@@ -1,0 +1,21 @@
+// Command catalogue prints the generated RQCODE patterns-catalogue
+// reference document (the Go analogue of deliverable D2.7) to stdout.
+//
+// Usage:
+//
+//	catalogue > CATALOGUE.md
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"veridevops/internal/catalogue"
+)
+
+func main() {
+	if _, err := fmt.Print(catalogue.Markdown()); err != nil {
+		fmt.Fprintf(os.Stderr, "catalogue: %v\n", err)
+		os.Exit(1)
+	}
+}

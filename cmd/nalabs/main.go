@@ -1,0 +1,88 @@
+// Command nalabs analyzes a natural-language requirements corpus for bad
+// smells, the CLI counterpart of the NALABS GUI.
+//
+// Usage:
+//
+//	nalabs [-id-col 0] [-text-col 1] [-metrics] [-csv] file.csv
+//	nalabs -generate 100 -rate 0.3 -seed 7    (emit a seeded corpus)
+//
+// Exit status: 0 no smells, 1 smells found, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"veridevops/internal/nalabs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nalabs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	idCol := fs.Int("id-col", 0, "zero-based CSV column holding the REQ ID")
+	textCol := fs.Int("text-col", 1, "zero-based CSV column holding the requirement text")
+	metrics := fs.Bool("metrics", false, "print the corpus summary with metric means")
+	csvOut := fs.Bool("csv", false, "emit per-requirement metric values as CSV")
+	generate := fs.Int("generate", 0, "instead of analyzing, emit N seeded requirements as CSV")
+	rate := fs.Float64("rate", 0.3, "smell rate for -generate")
+	seed := fs.Int64("seed", 1, "seed for -generate")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *generate > 0 {
+		corpus := nalabs.GenerateCorpus(*generate, *rate, rand.New(rand.NewSource(*seed)))
+		reqs := make([]nalabs.Requirement, len(corpus))
+		for i, lr := range corpus {
+			reqs[i] = lr.Requirement
+		}
+		if err := nalabs.WriteCSV(stdout, reqs); err != nil {
+			fmt.Fprintf(stderr, "nalabs: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: nalabs [flags] file.csv")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "nalabs: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	reqs, err := nalabs.ReadCSV(f, *idCol, *textCol)
+	if err != nil {
+		fmt.Fprintf(stderr, "nalabs: %v\n", err)
+		return 2
+	}
+	an := nalabs.NewAnalyzer()
+	rep := an.AnalyzeAll(reqs)
+
+	switch {
+	case *csvOut:
+		if err := nalabs.WriteResultsCSV(stdout, an, rep); err != nil {
+			fmt.Fprintf(stderr, "nalabs: %v\n", err)
+			return 2
+		}
+	default:
+		fmt.Fprint(stdout, rep)
+		if *metrics {
+			fmt.Fprintln(stdout)
+			fmt.Fprint(stdout, rep.Summary())
+		}
+	}
+	if rep.SmellyCount() > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "reqs.csv")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGenerateEmitsCSV(t *testing.T) {
+	code, out, _ := runCapture(t, "-generate", "5", "-seed", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + 5
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "id,text" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestAnalyzeCleanCorpus(t *testing.T) {
+	p := writeTemp(t, "id,text\nR1,The system shall encrypt data.\n")
+	code, out, _ := runCapture(t, p)
+	if code != 0 {
+		t.Fatalf("clean corpus should exit 0: %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "total: 0/1 smelly") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestAnalyzeSmellyCorpus(t *testing.T) {
+	p := writeTemp(t, "id,text\nR1,The system may possibly respond as appropriate.\n")
+	code, out, _ := runCapture(t, p)
+	if code != 1 {
+		t.Fatalf("smelly corpus should exit 1: %d\n%s", code, out)
+	}
+}
+
+func TestMetricsSummary(t *testing.T) {
+	p := writeTemp(t, "id,text\nR1,The system shall encrypt data.\n")
+	_, out, _ := runCapture(t, "-metrics", p)
+	if !strings.Contains(out, "mean ARI") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	p := writeTemp(t, "id,text\nR1,The system may respond.\n")
+	code, out, _ := runCapture(t, "-csv", p)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.HasPrefix(out, "id,") || !strings.Contains(out, "optionality") {
+		t.Errorf("csv output:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCapture(t); code != 2 {
+		t.Error("missing file should exit 2")
+	}
+	if code, _, _ := runCapture(t, "/nonexistent/file.csv"); code != 2 {
+		t.Error("unreadable file should exit 2")
+	}
+	if code, _, _ := runCapture(t, "-bogus"); code != 2 {
+		t.Error("bad flag should exit 2")
+	}
+	p := writeTemp(t, "only-one-column\n")
+	if code, _, _ := runCapture(t, p); code != 2 {
+		t.Error("short rows should exit 2")
+	}
+}

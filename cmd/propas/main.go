@@ -1,0 +1,174 @@
+// Command propas compiles specification patterns to TCTL and observer
+// automata and model-checks them against plant models — the PROPAS
+// workflow of VeriDevOps D2.7 in one binary.
+//
+// Usage:
+//
+//	propas -formula "req -->[<=20] ack"              (parse + print TCTL)
+//	propas -pattern response -p a -s c -d 20 -plant 4 -period 10
+//	    (build the observer, compose with an n-location cyclic plant
+//	     emitting a,b,c,..., and verify A[] !err)
+//	propas -model net.json [-uppaal out.xml]         (verify a network file)
+//
+// Exit status: 0 property holds, 1 violated, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"veridevops/internal/automata"
+	"veridevops/internal/mc"
+	"veridevops/internal/sps"
+	"veridevops/internal/tctl"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("propas", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	formula := fs.String("formula", "", "TCTL formula to parse and echo")
+	sentence := fs.String("sentence", "", "structured-English pattern sentence to formalise")
+	pattern := fs.String("pattern", "", "observer pattern: absence|response|precedence|existence|minsep")
+	p := fs.String("p", "p", "primary event")
+	s := fs.String("s", "s", "secondary event (response/precedence)")
+	d := fs.Int64("d", 10, "deadline / separation in time units")
+	plantN := fs.Int("plant", 4, "cyclic plant size (locations)")
+	period := fs.Int64("period", 10, "plant step period")
+	discrete := fs.Bool("discrete", false, "use the discrete-time checker (ablation)")
+	modelPath := fs.String("model", "", "verify a network JSON file (A[] !err) instead of building one")
+	uppaal := fs.String("uppaal", "", "also export the network as UPPAAL XML to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *formula != "" {
+		f, err := tctl.Parse(*formula)
+		if err != nil {
+			fmt.Fprintf(stderr, "propas: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "formula:    %s\n", f)
+		fmt.Fprintf(stdout, "simplified: %s\n", tctl.Simplify(f))
+		fmt.Fprintf(stdout, "desugared:  %s\n", tctl.Desugar(f))
+		fmt.Fprintf(stdout, "signals:    %v\n", tctl.Props(f))
+		return 0
+	}
+
+	if *sentence != "" {
+		res, err := sps.Parse(*sentence)
+		if err != nil {
+			fmt.Fprintf(stderr, "propas: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "template:  %s\n", res.Template)
+		fmt.Fprintf(stdout, "pattern:   %s/%s\n", res.Pattern.Behaviour, res.Pattern.Scope)
+		fmt.Fprintf(stdout, "formula:   %s\n", res.Formula)
+		if obs, err := automata.FromPattern(res.Pattern); err == nil {
+			fmt.Fprintf(stdout, "observer:  %s\n", obs.Name)
+		} else {
+			fmt.Fprintf(stdout, "observer:  (not reachability-checkable: %v)\n", err)
+		}
+		return 0
+	}
+
+	var net *automata.Network
+	switch {
+	case *modelPath != "":
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "propas: %v\n", err)
+			return 2
+		}
+		net, err = automata.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "propas: %v\n", err)
+			return 2
+		}
+	case *pattern != "":
+		var obs *automata.Automaton
+		switch *pattern {
+		case "absence":
+			obs = automata.AbsenceObserver(*p)
+		case "response":
+			obs = automata.ResponseTimedObserver(*p, *s, *d)
+		case "precedence":
+			obs = automata.PrecedenceObserver(*p, *s)
+		case "existence":
+			obs = automata.ExistenceBoundedObserver(*p, *d)
+		case "minsep":
+			obs = automata.MinSeparationObserver(*p, *d)
+		default:
+			fmt.Fprintf(stderr, "propas: unknown pattern %q\n", *pattern)
+			return 2
+		}
+		labels := make([]string, *plantN)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("ev%d", i)
+		}
+		labels[0] = *p
+		if *plantN > 2 {
+			labels[2] = *s
+		}
+		plant := automata.CyclicPlant("plant", *plantN, labels, *period)
+		var err error
+		net, err = automata.NewNetwork(plant, obs)
+		if err != nil {
+			fmt.Fprintf(stderr, "propas: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "observer:  %s\n", obs.Name)
+		fmt.Fprintf(stdout, "plant:     %d locations, period %d\n", *plantN, *period)
+	default:
+		fmt.Fprintln(stderr, "usage: propas -formula <tctl> | -pattern <name> [flags] | -model net.json")
+		return 2
+	}
+
+	if *uppaal != "" {
+		f, err := os.Create(*uppaal)
+		if err != nil {
+			fmt.Fprintf(stderr, "propas: %v\n", err)
+			return 2
+		}
+		err = automata.WriteUppaalXML(f, net)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "propas: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "uppaal:    wrote %s\n", *uppaal)
+	}
+	return check(stdout, net, *discrete)
+}
+
+// check verifies A[] !err and prints the verdict.
+func check(stdout io.Writer, net *automata.Network, discrete bool) int {
+	var holds bool
+	var witness []string
+	var stats mc.Stats
+	var err error
+	if discrete {
+		holds, witness, stats, err = mc.NewDiscreteChecker(net).CheckErrorFree()
+	} else {
+		holds, witness, stats, err = mc.NewChecker(net).CheckErrorFree()
+	}
+	if err != nil {
+		fmt.Fprintf(stdout, "propas: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "verdict:   A[] !err = %v\n", holds)
+	fmt.Fprintf(stdout, "explored:  %d states, %d transitions\n", stats.StatesExplored, stats.Transitions)
+	if !holds {
+		fmt.Fprintf(stdout, "witness:   %v\n", witness)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+// Command rqcode audits and enforces the RQCODE STIG catalogues against a
+// simulated host, mirroring the Main/Windows10SecurityTechnicalImplementationGuide
+// entry points of the reference repository.
+//
+// Usage:
+//
+//	rqcode -os ubuntu|win10 [-enforce] [-drift N] [-seed N] [-verbose]
+//
+// Exit status: 0 fully compliant, 1 findings open, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+	"veridevops/internal/stig"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rqcode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	osName := fs.String("os", "ubuntu", "target host: ubuntu or win10")
+	enforce := fs.Bool("enforce", false, "remediate failing findings")
+	drift := fs.Int("drift", 0, "apply N random compliance-breaking mutations first")
+	seed := fs.Int64("seed", 1, "drift seed")
+	verbose := fs.Bool("verbose", false, "print each finding's document")
+	catalogPath := fs.String("catalog", "", "load an additional JSON catalogue of findings")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var cat *core.Catalog
+	hosts := stig.Hosts{}
+	switch *osName {
+	case "ubuntu":
+		h := host.NewUbuntu1804()
+		hosts.Linux = h
+		cat = stig.UbuntuCatalog(h)
+		cat.Run(core.CheckAndEnforce) // establish the hardened baseline
+		host.DriftLinux(h, *drift, rng)
+	case "win10":
+		w := host.NewWindows10()
+		hosts.Windows = w
+		cat = stig.Win10Catalog(w)
+		host.DriftWindows(w, *drift, rng)
+	default:
+		fmt.Fprintf(stderr, "rqcode: unknown -os %q (want ubuntu or win10)\n", *osName)
+		return 2
+	}
+
+	if *catalogPath != "" {
+		f, err := os.Open(*catalogPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "rqcode: %v\n", err)
+			return 2
+		}
+		extra, err := stig.LoadCatalog(f, hosts)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "rqcode: %v\n", err)
+			return 2
+		}
+		for _, r := range extra.All() {
+			if err := cat.Register(r); err != nil {
+				fmt.Fprintf(stderr, "rqcode: %v\n", err)
+				return 2
+			}
+		}
+	}
+
+	if *verbose {
+		for _, r := range cat.All() {
+			fmt.Fprintf(stdout,
+				"Finding ID: %s\nSeverity: %s\nSTIG: %s\nDescription: %s\nCheck Text: %s\nFix Text: %s\nStatus: %s\n\n",
+				r.FindingID(), r.Severity(), r.STIG(), r.Description(),
+				r.CheckText(), r.FixText(), r.Check())
+		}
+	}
+
+	mode := core.CheckOnly
+	if *enforce {
+		mode = core.CheckAndEnforce
+	}
+	rep := cat.Run(mode)
+	fmt.Fprint(stdout, rep)
+	if rep.Compliance() < 1 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUbuntuCompliantBaseline(t *testing.T) {
+	code, out, _ := runCapture(t, "-os", "ubuntu")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "compliance: 100.0%") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestUbuntuDriftAudit(t *testing.T) {
+	code, out, _ := runCapture(t, "-os", "ubuntu", "-drift", "10", "-seed", "3")
+	if code != 1 {
+		t.Fatalf("drifted audit should exit 1, got %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("expected failing findings:\n%s", out)
+	}
+}
+
+func TestUbuntuDriftEnforce(t *testing.T) {
+	code, out, _ := runCapture(t, "-os", "ubuntu", "-drift", "10", "-seed", "3", "-enforce")
+	if code != 0 {
+		t.Fatalf("enforcement should restore compliance, got %d\n%s", code, out)
+	}
+}
+
+func TestWin10FreshFails(t *testing.T) {
+	code, out, _ := runCapture(t, "-os", "win10")
+	if code != 1 {
+		t.Fatalf("fresh win10 should be non-compliant, got %d\n%s", code, out)
+	}
+}
+
+func TestWin10Enforce(t *testing.T) {
+	code, _, _ := runCapture(t, "-os", "win10", "-enforce")
+	if code != 0 {
+		t.Fatal("win10 enforcement should succeed")
+	}
+}
+
+func TestVerbosePrintsFindings(t *testing.T) {
+	_, out, _ := runCapture(t, "-os", "ubuntu", "-verbose")
+	if !strings.Contains(out, "Finding ID: V-219157") {
+		t.Errorf("verbose output missing finding documents:\n%.300s", out)
+	}
+}
+
+func TestExtraCatalogLoaded(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "extra.json")
+	doc := `[{"kind":"package","id":"EXT-100","severity":"high","package":"telnetd"}]`
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCapture(t, "-os", "ubuntu", "-catalog", p)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "EXT-100") {
+		t.Errorf("extra finding missing from report:\n%s", out)
+	}
+}
+
+func TestExtraCatalogErrors(t *testing.T) {
+	if code, _, _ := runCapture(t, "-os", "ubuntu", "-catalog", "/nonexistent.json"); code != 2 {
+		t.Error("unreadable catalogue should exit 2")
+	}
+	p := filepath.Join(t.TempDir(), "dup.json")
+	doc := `[{"kind":"package","id":"V-219157","package":"nis"}]` // collides with builtin
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCapture(t, "-os", "ubuntu", "-catalog", p); code != 2 {
+		t.Error("duplicate finding ID should exit 2")
+	}
+}
+
+func TestUnknownOS(t *testing.T) {
+	code, _, errb := runCapture(t, "-os", "plan9")
+	if code != 2 || !strings.Contains(errb, "unknown -os") {
+		t.Errorf("code=%d stderr=%q", code, errb)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _, _ := runCapture(t, "-bogus")
+	if code != 2 {
+		t.Errorf("bad flag should exit 2, got %d", code)
+	}
+}

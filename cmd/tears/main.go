@@ -1,0 +1,75 @@
+// Command tears evaluates a guarded-assertion (G/A) file against a signal
+// log and prints the ANALYSIS overview, the batch counterpart of the
+// NAPKIN environment.
+//
+// Usage:
+//
+//	tears -ga requirements.ga -log signals.csv
+//
+// The log is trace CSV ("signal,time,value"); the G/A file holds one
+// "GA <name>: when <guard> then <assert> [within N ms]" per line.
+// Exit status: 0 all pass, 1 violations, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"veridevops/internal/tears"
+	"veridevops/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tears", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gaPath := fs.String("ga", "", "guarded-assertions file")
+	logPath := fs.String("log", "", "signal log CSV")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *gaPath == "" || *logPath == "" {
+		fmt.Fprintln(stderr, "usage: tears -ga file.ga -log signals.csv")
+		return 2
+	}
+
+	gaText, err := os.ReadFile(*gaPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "tears: %v\n", err)
+		return 2
+	}
+	gas, errs := tears.ParseFile(string(gaText))
+	for _, e := range errs {
+		fmt.Fprintf(stderr, "tears: %v\n", e)
+	}
+	if len(gas) == 0 {
+		fmt.Fprintf(stderr, "tears: no valid G/As in %s\n", *gaPath)
+		return 2
+	}
+
+	lf, err := os.Open(*logPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "tears: %v\n", err)
+		return 2
+	}
+	tr, err := trace.ReadCSV(lf)
+	lf.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "tears: %v\n", err)
+		return 2
+	}
+
+	verdicts := tears.EvaluateAll(tr, gas)
+	fmt.Fprint(stdout, tears.Overview(verdicts))
+	for _, v := range verdicts {
+		if !v.Passed() {
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const passingLog = `signal,time,value
+intrusion,100,1
+intrusion,101,0
+alarm,110,1
+alarm,111,0
+end,500,0
+`
+
+func TestPassingGA(t *testing.T) {
+	ga := writeTemp(t, "r.ga", "GA g: when intrusion then alarm within 20 ms\n")
+	log := writeTemp(t, "s.csv", passingLog)
+	code, out, _ := runCapture(t, "-ga", ga, "-log", log)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "summary: 1 pass") {
+		t.Errorf("overview:\n%s", out)
+	}
+}
+
+func TestFailingGA(t *testing.T) {
+	ga := writeTemp(t, "r.ga", "GA g: when intrusion then alarm within 5 ms\n")
+	log := writeTemp(t, "s.csv", passingLog)
+	code, out, _ := runCapture(t, "-ga", ga, "-log", log)
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("overview:\n%s", out)
+	}
+}
+
+func TestParseErrorsReported(t *testing.T) {
+	ga := writeTemp(t, "r.ga", "garbage\nGA g: when a then b\n")
+	log := writeTemp(t, "s.csv", "a,0,0\n")
+	code, _, errb := runCapture(t, "-ga", ga, "-log", log)
+	if code != 0 { // remaining valid GA is vacuous => pass
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errb, "line 1") {
+		t.Errorf("stderr = %q", errb)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCapture(t); code != 2 {
+		t.Error("missing flags should exit 2")
+	}
+	if code, _, _ := runCapture(t, "-ga", "/nope", "-log", "/nope"); code != 2 {
+		t.Error("unreadable ga should exit 2")
+	}
+	ga := writeTemp(t, "r.ga", "all garbage\n")
+	log := writeTemp(t, "s.csv", "a,0,0\n")
+	if code, _, _ := runCapture(t, "-ga", ga, "-log", log); code != 2 {
+		t.Error("no valid G/As should exit 2")
+	}
+	ga2 := writeTemp(t, "r2.ga", "GA g: when a then b\n")
+	bad := writeTemp(t, "bad.csv", "a,notatime,1\n")
+	if code, _, _ := runCapture(t, "-ga", ga2, "-log", bad); code != 2 {
+		t.Error("bad log should exit 2")
+	}
+}

@@ -1,0 +1,121 @@
+// Command tiger generates abstract test paths from a GraphWalker-style
+// model and concretises them into scripts — the TIGER workflow of
+// VeriDevOps D2.7.
+//
+// Usage:
+//
+//	tiger -model model.json [-generator all-edges|random|weighted]
+//	      [-coverage 1.0] [-seed 1] [-signals signals.xml] [-abstract]
+//
+// Without -signals, steps are emitted through the fallback mapping
+// ("step <name>"); with -abstract the abstract test cases are printed as
+// JSON instead of scripts. Exit status: 0 ok, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"veridevops/internal/gwt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tiger", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	modelPath := fs.String("model", "", "model JSON file")
+	generator := fs.String("generator", "all-edges", "all-edges|random|weighted")
+	coverage := fs.Float64("coverage", 1.0, "edge-coverage stop condition for random generators")
+	seed := fs.Int64("seed", 1, "random generator seed")
+	signalsPath := fs.String("signals", "", "signal XML file for concretisation")
+	abstract := fs.Bool("abstract", false, "emit abstract test cases as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *modelPath == "" {
+		fmt.Fprintln(stderr, "usage: tiger -model model.json [flags]")
+		return 2
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "tiger: %v\n", err)
+		return 2
+	}
+	var model *gwt.Model
+	if strings.HasSuffix(strings.ToLower(*modelPath), ".graphml") {
+		model, err = gwt.ReadGraphML(mf)
+	} else {
+		model, err = gwt.ReadJSON(mf)
+	}
+	mf.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "tiger: %v\n", err)
+		return 2
+	}
+
+	var tcs []gwt.TestCase
+	rng := rand.New(rand.NewSource(*seed))
+	switch *generator {
+	case "all-edges":
+		tcs = gwt.AllEdges(model)
+	case "random":
+		tcs = gwt.RandomWalk(model, rng, gwt.EdgeCoverageAtLeast(*coverage))
+	case "weighted":
+		tcs = gwt.WeightedRandomWalk(model, rng, gwt.EdgeCoverageAtLeast(*coverage))
+	default:
+		fmt.Fprintf(stderr, "tiger: unknown generator %q\n", *generator)
+		return 2
+	}
+	fmt.Fprintf(stderr, "tiger: %d test cases, %d steps, edge coverage %.0f%%\n",
+		len(tcs), gwt.TotalSteps(tcs), 100*gwt.EdgeCoverage(model, tcs))
+
+	if *abstract {
+		if err := gwt.WriteAbstractTests(stdout, tcs); err != nil {
+			fmt.Fprintf(stderr, "tiger: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	var signals []gwt.Signal
+	if *signalsPath != "" {
+		sf, err := os.Open(*signalsPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "tiger: %v\n", err)
+			return 2
+		}
+		signals, err = gwt.ReadSignalsXML(sf)
+		sf.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "tiger: %v\n", err)
+			return 2
+		}
+	}
+	gen, err := gwt.NewTestGenerator(signals, nil, "step %q")
+	if err != nil {
+		fmt.Fprintf(stderr, "tiger: %v\n", err)
+		return 2
+	}
+	scripts, err := gen.Concretize(tcs)
+	if err != nil {
+		fmt.Fprintf(stderr, "tiger: %v\n", err)
+		return 2
+	}
+	creator := gwt.ScriptCreator{Header: []string{"#!/bin/sh", "set -e"}}
+	for _, sc := range scripts {
+		if err := creator.Render(stdout, sc); err != nil {
+			fmt.Fprintf(stderr, "tiger: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"veridevops/internal/gwt"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeModel(t *testing.T) string {
+	t.Helper()
+	m := gwt.RandomModel("m", 5, 3, rand.New(rand.NewSource(1)))
+	p := filepath.Join(t.TempDir(), "model.json")
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return p
+}
+
+func TestAllEdgesScripts(t *testing.T) {
+	p := writeModel(t)
+	code, out, errb := runCapture(t, "-model", p)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errb)
+	}
+	if !strings.Contains(errb, "edge coverage 100%") {
+		t.Errorf("stderr = %q", errb)
+	}
+	if !strings.Contains(out, "#!/bin/sh") || !strings.Contains(out, `step "step`) {
+		t.Errorf("scripts:\n%s", out)
+	}
+}
+
+func TestAbstractJSON(t *testing.T) {
+	p := writeModel(t)
+	code, out, _ := runCapture(t, "-model", p, "-abstract", "-generator", "random", "-coverage", "0.5")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	tcs, err := gwt.ReadAbstractTests(strings.NewReader(out))
+	if err != nil || len(tcs) == 0 {
+		t.Errorf("abstract output unparseable: %v", err)
+	}
+}
+
+func TestWeightedGenerator(t *testing.T) {
+	p := writeModel(t)
+	code, _, errb := runCapture(t, "-model", p, "-generator", "weighted")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errb)
+	}
+}
+
+func TestSignalsConcretisation(t *testing.T) {
+	p := writeModel(t)
+	sp := filepath.Join(t.TempDir(), "signals.xml")
+	if err := os.WriteFile(sp, []byte(`<signals><signal name="s" type="bool" min="0" max="1"/></signals>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runCapture(t, "-model", p, "-signals", sp)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errb)
+	}
+}
+
+func TestGraphMLModel(t *testing.T) {
+	doc := `<graphml><graph id="g">
+	  <node id="a"/><node id="b"/>
+	  <edge id="e0" source="a" target="b"/><edge id="e1" source="b" target="a"/>
+	</graph></graphml>`
+	p := filepath.Join(t.TempDir(), "model.graphml")
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runCapture(t, "-model", p)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errb)
+	}
+	if !strings.Contains(errb, "edge coverage 100%") {
+		t.Errorf("stderr = %q", errb)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCapture(t); code != 2 {
+		t.Error("missing model should exit 2")
+	}
+	if code, _, _ := runCapture(t, "-model", "/nonexistent.json"); code != 2 {
+		t.Error("unreadable model should exit 2")
+	}
+	p := writeModel(t)
+	if code, _, _ := runCapture(t, "-model", p, "-generator", "bogus"); code != 2 {
+		t.Error("unknown generator should exit 2")
+	}
+	if code, _, _ := runCapture(t, "-model", p, "-signals", "/nonexistent.xml"); code != 2 {
+		t.Error("unreadable signals should exit 2")
+	}
+}

@@ -1,0 +1,66 @@
+// Command vdo-bench regenerates every experiment table of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	vdo-bench [-seed N] [-json] [-only E3]
+//
+// Exit status: 0 ok, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"veridevops/internal/bench"
+	"veridevops/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vdo-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "experiment seed")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of text tables")
+	mdOut := fs.Bool("markdown", false, "emit markdown tables")
+	csvOut := fs.Bool("csv", false, "emit CSV tables")
+	only := fs.String("only", "", "run only experiments whose title contains this substring (e.g. E3)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var tables []*report.Table
+	for _, t := range bench.All(*seed) {
+		if *only != "" && !strings.Contains(t.Title, *only) {
+			continue
+		}
+		tables = append(tables, t)
+	}
+	if len(tables) == 0 {
+		fmt.Fprintf(stderr, "vdo-bench: no experiment matches %q\n", *only)
+		return 2
+	}
+	for _, t := range tables {
+		var err error
+		switch {
+		case *jsonOut:
+			err = t.WriteJSON(stdout)
+		case *mdOut:
+			_, err = fmt.Fprintln(stdout, t.Markdown())
+		case *csvOut:
+			err = t.WriteCSV(stdout)
+		default:
+			err = t.WriteText(stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "vdo-bench: %v\n", err)
+			return 2
+		}
+	}
+	return 0
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestOnlyE6Text(t *testing.T) {
+	code, out, _ := runCapture(t, "-only", "E6")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "E6: prevention vs protection") {
+		t.Errorf("output:\n%.200s", out)
+	}
+	if strings.Contains(out, "E1:") {
+		t.Error("-only must filter other tables")
+	}
+}
+
+func TestOnlyE8JSON(t *testing.T) {
+	code, out, _ := runCapture(t, "-only", "E8", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	var doc struct {
+		Title string     `json:"title"`
+		Rows  [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("json output unparseable: %v", err)
+	}
+	if !strings.HasPrefix(doc.Title, "E8") || len(doc.Rows) == 0 {
+		t.Errorf("doc = %+v", doc)
+	}
+}
+
+func TestMarkdownAndCSVModes(t *testing.T) {
+	code, out, _ := runCapture(t, "-only", "E8", "-markdown")
+	if code != 0 || !strings.Contains(out, "### E8") || !strings.Contains(out, "|---|") {
+		t.Errorf("markdown mode:\n%.200s", out)
+	}
+	code, out, _ = runCapture(t, "-only", "E8", "-csv")
+	if code != 0 || !strings.HasPrefix(out, "behaviour,sentences,accuracy") {
+		t.Errorf("csv mode:\n%.200s", out)
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	code, _, errb := runCapture(t, "-only", "E99")
+	if code != 2 || !strings.Contains(errb, "no experiment matches") {
+		t.Errorf("code=%d stderr=%q", code, errb)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCapture(t, "-bogus"); code != 2 {
+		t.Error("bad flag should exit 2")
+	}
+}

@@ -1,0 +1,111 @@
+// Command vulnscan scans a simulated host's package inventory against an
+// advisory feed, prints the findings, and optionally remediates by
+// generating and enforcing patch requirements — the WP2 vulnerability-
+// database path end to end.
+//
+// Usage:
+//
+//	vulnscan -feed advisories.json [-packages "openssl=1.0.2,nginx=1.18"] [-patch]
+//	vulnscan -generate "openssl,nginx" -per 3 -seed 1    (emit a synthetic feed)
+//
+// Exit status: 0 clean, 1 vulnerabilities open, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+	"veridevops/internal/report"
+	"veridevops/internal/vulndb"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vulnscan", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	feedPath := fs.String("feed", "", "advisory feed JSON")
+	packages := fs.String("packages", "", "comma-separated name=version pairs installed on the host")
+	patch := fs.Bool("patch", false, "generate and enforce patch requirements")
+	generate := fs.String("generate", "", "emit a synthetic feed for these comma-separated packages")
+	per := fs.Int("per", 3, "advisories per package for -generate")
+	seed := fs.Int64("seed", 1, "seed for -generate")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *generate != "" {
+		feed := vulndb.GenerateFeed(strings.Split(*generate, ","), *per, rand.New(rand.NewSource(*seed)))
+		db, err := vulndb.NewDB(feed)
+		if err != nil {
+			fmt.Fprintf(stderr, "vulnscan: %v\n", err)
+			return 2
+		}
+		if err := db.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "vulnscan: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	if *feedPath == "" {
+		fmt.Fprintln(stderr, "usage: vulnscan -feed advisories.json [-packages n=v,...] [-patch]")
+		return 2
+	}
+	f, err := os.Open(*feedPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "vulnscan: %v\n", err)
+		return 2
+	}
+	db, err := vulndb.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "vulnscan: %v\n", err)
+		return 2
+	}
+
+	h := host.NewLinux()
+	if *packages != "" {
+		for _, pair := range strings.Split(*packages, ",") {
+			name, version, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || name == "" {
+				fmt.Fprintf(stderr, "vulnscan: bad -packages entry %q (want name=version)\n", pair)
+				return 2
+			}
+			h.Install(name, version)
+		}
+	}
+
+	matches := db.Scan(h)
+	t := report.New("vulnerability scan", "advisory", "package", "installed", "fixed-in", "score", "severity")
+	for _, m := range matches {
+		t.AddRow(m.Advisory.ID, m.Advisory.Package, m.Installed, m.Advisory.FixedIn, m.Score, m.Severity.String())
+	}
+	s := vulndb.Summarize(matches)
+	t.Note = fmt.Sprintf("%d matches (%d critical, %d high, %d medium, %d low), max score %.1f",
+		s.Matches, s.Critical, s.High, s.Medium, s.Low, s.MaxScore)
+	if err := t.WriteText(stdout); err != nil {
+		fmt.Fprintf(stderr, "vulnscan: %v\n", err)
+		return 2
+	}
+
+	if *patch && len(matches) > 0 {
+		cat := vulndb.Catalog(db, h)
+		rep := cat.Run(core.CheckAndEnforce)
+		fmt.Fprint(stdout, rep)
+		matches = db.Scan(h)
+		fmt.Fprintf(stdout, "post-patch matches: %d\n", len(matches))
+	}
+	if len(matches) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const feedJSON = `[
+  {"id":"CVE-1","package":"openssl","fixed_in":"1.1.1","vector":"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H","summary":"RCE."},
+  {"id":"CVE-2","package":"nginx","vector":"CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N","summary":"Unfixable."}
+]`
+
+func writeFeed(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "feed.json")
+	if err := os.WriteFile(p, []byte(feedJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestScanFindsVulnerabilities(t *testing.T) {
+	code, out, _ := runCapture(t, "-feed", writeFeed(t), "-packages", "openssl=1.0.2,nginx=1.18")
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"CVE-1", "9.80", "critical", "CVE-2", "1 critical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScanCleanHost(t *testing.T) {
+	code, out, _ := runCapture(t, "-feed", writeFeed(t), "-packages", "openssl=1.1.1")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+}
+
+func TestPatchRemediates(t *testing.T) {
+	code, out, _ := runCapture(t, "-feed", writeFeed(t), "-packages", "openssl=1.0.2,nginx=1.18", "-patch")
+	if code != 0 {
+		t.Fatalf("patched host should exit 0: %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "post-patch matches: 0") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestGenerateFeedOutput(t *testing.T) {
+	code, out, _ := runCapture(t, "-generate", "a,b", "-per", "2", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "CVE-2026-00001") || !strings.Contains(out, `"package": "b"`) {
+		t.Errorf("feed:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCapture(t); code != 2 {
+		t.Error("missing feed should exit 2")
+	}
+	if code, _, _ := runCapture(t, "-feed", "/nonexistent.json"); code != 2 {
+		t.Error("unreadable feed should exit 2")
+	}
+	if code, _, _ := runCapture(t, "-feed", writeFeed(t), "-packages", "malformed"); code != 2 {
+		t.Error("bad packages flag should exit 2")
+	}
+}

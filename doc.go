@@ -1,0 +1,29 @@
+// Package veridevops is a self-contained Go reproduction of the VeriDevOps
+// framework ("VeriDevOps: Automated Protection and Prevention to Meet
+// Security Requirements in DevOps", DATE 2021) and its D2.7 patterns
+// catalogue.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory):
+//
+//   - core:      RQCODE concepts (Checkable / Enforceable requirements)
+//   - temporal:  the temporal pattern monitors (MonitoringLoop family)
+//   - tctl:      TCTL formulas, parser, trace evaluation, SPS patterns
+//   - automata:  timed automata + PSP observer templates
+//   - mc:        zone-based (DBM) and discrete-time model checkers
+//   - host:      simulated Ubuntu / Windows 10 hosts
+//   - stig:      the Ubuntu 18.04 and Windows 10 STIG catalogues
+//   - nalabs:    requirements bad-smell metrics
+//   - resa:      boilerplate requirements language
+//   - extract:   rule-based NL-to-pattern formalisation
+//   - gwt:       Given-When-Then models + test generation + concretisation
+//   - tears:     guarded assertions over signal logs
+//   - monitor:   reactive-protection scheduler
+//   - pipeline:  DevSecOps pipeline simulator
+//   - vulndb:    CVSS v3.1 scoring + advisory matching + patch requirements
+//   - iec62443:  security-level assessment over catalogue reports
+//   - catalogue: patterns-catalogue document generator
+//   - bench:     the E1-E12 experiment suite (EXPERIMENTS.md)
+//
+// Executables live under cmd/ and runnable examples under examples/.
+package veridevops

@@ -1,0 +1,35 @@
+// Quickstart: define a security requirement as code, check it, enforce it,
+// and re-check — the complete RQCODE loop in thirty lines.
+package main
+
+import (
+	"fmt"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+	"veridevops/internal/stig"
+)
+
+func main() {
+	// A simulated Ubuntu 18.04 host that has drifted: someone installed
+	// the legacy NIS package.
+	h := host.NewUbuntu1804()
+	h.Install("nis", "3.17")
+
+	// The STIG finding V-219157 as a first-class value.
+	req := stig.NewV219157(h)
+	fmt.Println(req.FindingID(), "-", req.Severity())
+	fmt.Println(req.Description())
+
+	fmt.Println("check:  ", req.Check()) // FAIL: nis is installed
+
+	// Requirements are enforceable: fix the host programmatically.
+	fmt.Println("enforce:", req.Enforce())
+	fmt.Println("recheck:", req.Check()) // PASS
+
+	// The same loop over a whole catalogue.
+	cat := stig.UbuntuCatalog(h)
+	rep := cat.Run(core.CheckAndEnforce)
+	fmt.Println()
+	fmt.Print(rep)
+}

@@ -1,0 +1,78 @@
+// Security levels: the standards-facing loop. An advisory feed is matched
+// against a drifted host (vulndb), patch requirements remediate it, the
+// STIG catalogue is enforced, and the combined compliance report rolls up
+// into IEC 62443 achieved-security-level verdicts per foundational
+// requirement class.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+	"veridevops/internal/iec62443"
+	"veridevops/internal/stig"
+	"veridevops/internal/vulndb"
+)
+
+func main() {
+	h := host.NewUbuntu1804()
+	w := host.NewWindows10()
+	lin := stig.UbuntuCatalog(h)
+	win := stig.Win10Catalog(w)
+	lin.Run(core.CheckAndEnforce)
+	win.Run(core.CheckAndEnforce)
+
+	// Operations drift + a vulnerable package appears.
+	rng := rand.New(rand.NewSource(7))
+	host.DriftLinux(h, 8, rng)
+	host.DriftWindows(w, 5, rng)
+	h.Install("openssl", "1.0.2")
+
+	// 1. Vulnerability scan.
+	db, err := vulndb.NewDB([]vulndb.Advisory{
+		{ID: "CVE-2026-1111", Package: "openssl", FixedIn: "1.1.1",
+			Vector:  "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+			Summary: "Remote code execution in the TLS handshake."},
+		{ID: "CVE-2026-2222", Package: "nis", // matches only if drift installed it
+			Vector:  "CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+			Summary: "Legacy NIS protocol weakness; no fix, remove the package."},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("== 1. vulnerability scan ==")
+	for _, m := range db.Scan(h) {
+		fmt.Printf("%s %s %s installed=%s score=%.1f (%s)\n",
+			m.Advisory.ID, m.Severity, m.Advisory.Package, m.Installed, m.Score, m.Advisory.Summary)
+	}
+
+	// 2. Patch requirements remediate the scan.
+	fmt.Println("\n== 2. patch enforcement ==")
+	fmt.Print(vulndb.Catalog(db, h).Run(core.CheckAndEnforce))
+	fmt.Printf("post-patch matches: %d\n", len(db.Scan(h)))
+
+	// 3. The drifted STIG posture, assessed against IEC 62443.
+	combined := func() core.Report {
+		a := lin.Run(core.CheckOnly)
+		b := win.Run(core.CheckOnly)
+		return core.Report{Results: append(a.Results, b.Results...)}
+	}
+	fmt.Println("\n== 3. IEC 62443 assessment (drifted) ==")
+	assessment, err := iec62443.Assess(combined(), iec62443.BuiltinTags(), iec62443.TypicalTarget())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(assessment)
+
+	// 4. Enforce the catalogues and re-assess.
+	lin.Run(core.CheckAndEnforce)
+	win.Run(core.CheckAndEnforce)
+	fmt.Println("\n== 4. IEC 62443 assessment (enforced) ==")
+	assessment, err = iec62443.Assess(combined(), iec62443.BuiltinTags(), iec62443.TypicalTarget())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(assessment)
+}

@@ -1,0 +1,53 @@
+// Ubuntu hardening: audit a drifted Ubuntu 18.04 host against the full
+// STIG catalogue, remediate, and keep it compliant with a reactive-
+// protection monitor that heals further drift automatically.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+	"veridevops/internal/monitor"
+	"veridevops/internal/stig"
+)
+
+func main() {
+	h := host.NewUbuntu1804()
+	cat := stig.UbuntuCatalog(h)
+	cat.Run(core.CheckAndEnforce) // hardened baseline
+	rng := rand.New(rand.NewSource(42))
+
+	// An operator breaks things; the snapshot diff shows exactly what
+	// changed before the audit says which requirements that violates.
+	baseline := h.Snapshot()
+	host.DriftLinux(h, 8, rng)
+	fmt.Println("== what changed (snapshot diff) ==")
+	fmt.Print(host.RenderDiff(host.Diff(baseline, h.Snapshot())))
+
+	fmt.Println("\n== audit after drift ==")
+	fmt.Print(cat.Run(core.CheckOnly))
+
+	fmt.Println("\n== remediation ==")
+	fmt.Print(cat.Run(core.CheckAndEnforce))
+
+	// Reactive protection: a scheduler polls the catalogue in virtual
+	// time and auto-enforces; we inject two more drift waves mid-run.
+	fmt.Println("\n== reactive protection (virtual time) ==")
+	s := monitor.NewScheduler(10)
+	s.AutoEnforce = true
+	s.WatchCatalog(cat)
+	s.Run(1000, []monitor.TimedAction{
+		{At: 200, Do: func() { host.DriftLinux(h, 3, rng) }},
+		{At: 600, Do: func() { host.DriftLinux(h, 3, rng) }},
+	})
+	fmt.Print(monitor.Report(s.Alarms()))
+
+	fmt.Println("\n== final audit ==")
+	rep := cat.Run(core.CheckOnly)
+	fmt.Print(rep)
+	if rep.Compliance() == 1 {
+		fmt.Println("host is compliant")
+	}
+}

@@ -1,0 +1,42 @@
+// Windows 10 audit policy: walk the Windows 10 STIG pattern hierarchy
+// (AuditPolicyRequirement and its subcategory refinements), check a fresh
+// host through the auditpol text interface, and enforce the guide.
+package main
+
+import (
+	"fmt"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+	"veridevops/internal/stig"
+)
+
+func main() {
+	w := host.NewWindows10()
+	guide := stig.Windows10SecurityTechnicalImplementationGuide{Host: w}
+
+	// Inspect the pattern hierarchy: every finding knows its category,
+	// subcategory and required inclusion setting.
+	fmt.Println("== Windows 10 STIG findings ==")
+	for _, r := range guide.AllSTIGs() {
+		ap := r.(*stig.AuditPolicyRequirement)
+		fmt.Printf("%s  %-20s >> %-26s requires %q\n",
+			ap.FindingID(), ap.GetCategory(), ap.GetSubcategory(), ap.GetInclusionSetting())
+	}
+
+	// The raw auditpol interface the patterns drive underneath.
+	ap := host.AuditPol{W: w}
+	out, err := ap.Run("/get", `/subcategory:"Sensitive Privilege Use"`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\n== auditpol /get before enforcement ==")
+	fmt.Print(out)
+
+	fmt.Println("\n== audit -> enforce -> re-audit ==")
+	fmt.Print(guide.Catalog().Run(core.CheckAndEnforce))
+
+	out, _ = ap.Run("/get", `/subcategory:"Sensitive Privilege Use"`)
+	fmt.Println("\n== auditpol /get after enforcement ==")
+	fmt.Print(out)
+}

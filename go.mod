@@ -1,0 +1,3 @@
+module veridevops
+
+go 1.22

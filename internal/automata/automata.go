@@ -1,0 +1,288 @@
+// Package automata implements timed automata networks in the style consumed
+// by the PROPAS tool of VeriDevOps: automata with real-valued clocks,
+// diagonal-free guards, location invariants and broadcast-event
+// synchronisation, plus the observer-automata templates of the PSP-UPPAAL
+// catalogue. Verification of a pattern is reduced to reachability of the
+// observer's error location in the plant-observer composition, decided by
+// the zone-based checker in internal/mc.
+package automata
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is a comparison operator in a clock constraint.
+type Op int
+
+// Clock-constraint operators.
+const (
+	OpLt Op = iota // x <  bound
+	OpLe           // x <= bound
+	OpGe           // x >= bound
+	OpGt           // x >  bound
+	OpEq           // x == bound
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGe:
+		return ">="
+	case OpGt:
+		return ">"
+	case OpEq:
+		return "=="
+	default:
+		return "?"
+	}
+}
+
+// Constraint is an atomic diagonal-free clock constraint "clock op bound".
+type Constraint struct {
+	Clock string
+	Op    Op
+	Bound int64
+}
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s %s %d", c.Clock, c.Op, c.Bound)
+}
+
+// Guard is a conjunction of clock constraints; the empty guard is true.
+type Guard []Constraint
+
+func (g Guard) String() string {
+	if len(g) == 0 {
+		return "true"
+	}
+	s := ""
+	for i, c := range g {
+		if i > 0 {
+			s += " && "
+		}
+		s += c.String()
+	}
+	return s
+}
+
+// Edge is a transition between locations. Label "" is an internal step; a
+// non-empty label synchronises with every other automaton in the network
+// that can receive it (broadcast semantics, the scheme used by observer
+// automata that eavesdrop on plant events).
+type Edge struct {
+	From, To string
+	Label    string
+	Guard    Guard
+	Resets   []string
+}
+
+func (e Edge) String() string {
+	lbl := e.Label
+	if lbl == "" {
+		lbl = "tau"
+	}
+	return fmt.Sprintf("%s --%s[%s]--> %s", e.From, lbl, e.Guard, e.To)
+}
+
+// Location is a named control state with an optional invariant. Error marks
+// observer verdict locations.
+type Location struct {
+	Name      string
+	Invariant Guard
+	Error     bool
+}
+
+// Automaton is one component of a network.
+type Automaton struct {
+	Name      string
+	Locations []Location
+	Edges     []Edge
+	Initial   string
+	// Observer marks eavesdropping components: their labeled edges are
+	// receive-only and never emit. Pattern observers set this so that they
+	// cannot spontaneously produce the plant events they watch.
+	Observer bool
+
+	locIndex map[string]int
+}
+
+// New returns an empty automaton with the given name.
+func New(name string) *Automaton {
+	return &Automaton{Name: name, locIndex: map[string]int{}}
+}
+
+// NewObserver returns an empty receive-only (eavesdropping) automaton.
+func NewObserver(name string) *Automaton {
+	a := New(name)
+	a.Observer = true
+	return a
+}
+
+// AddLocation appends a location and returns the automaton for chaining.
+// Adding a duplicate name panics: automata are built by static construction
+// code where that is a programming error.
+func (a *Automaton) AddLocation(loc Location) *Automaton {
+	if _, dup := a.locIndex[loc.Name]; dup {
+		panic(fmt.Sprintf("automata: duplicate location %q in %s", loc.Name, a.Name))
+	}
+	a.locIndex[loc.Name] = len(a.Locations)
+	a.Locations = append(a.Locations, loc)
+	if a.Initial == "" {
+		a.Initial = loc.Name
+	}
+	return a
+}
+
+// AddEdge appends an edge.
+func (a *Automaton) AddEdge(e Edge) *Automaton {
+	a.Edges = append(a.Edges, e)
+	return a
+}
+
+// SetInitial overrides the initial location (default: first added).
+func (a *Automaton) SetInitial(name string) *Automaton {
+	a.Initial = name
+	return a
+}
+
+// LocIndex returns the index of the named location.
+func (a *Automaton) LocIndex(name string) (int, bool) {
+	i, ok := a.locIndex[name]
+	return i, ok
+}
+
+// Validate checks referential integrity: edges connect existing locations
+// and the initial location exists.
+func (a *Automaton) Validate() error {
+	if len(a.Locations) == 0 {
+		return fmt.Errorf("automata: %s has no locations", a.Name)
+	}
+	if _, ok := a.locIndex[a.Initial]; !ok {
+		return fmt.Errorf("automata: %s initial location %q undefined", a.Name, a.Initial)
+	}
+	for _, e := range a.Edges {
+		if _, ok := a.locIndex[e.From]; !ok {
+			return fmt.Errorf("automata: %s edge from undefined location %q", a.Name, e.From)
+		}
+		if _, ok := a.locIndex[e.To]; !ok {
+			return fmt.Errorf("automata: %s edge to undefined location %q", a.Name, e.To)
+		}
+	}
+	return nil
+}
+
+// Clocks returns the sorted set of clock names used by the automaton's
+// guards, invariants and resets.
+func (a *Automaton) Clocks() []string {
+	set := map[string]struct{}{}
+	add := func(g Guard) {
+		for _, c := range g {
+			set[c.Clock] = struct{}{}
+		}
+	}
+	for _, l := range a.Locations {
+		add(l.Invariant)
+	}
+	for _, e := range a.Edges {
+		add(e.Guard)
+		for _, r := range e.Resets {
+			set[r] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Labels returns the sorted set of non-internal edge labels.
+func (a *Automaton) Labels() []string {
+	set := map[string]struct{}{}
+	for _, e := range a.Edges {
+		if e.Label != "" {
+			set[e.Label] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Network is a parallel composition of automata with broadcast label
+// synchronisation.
+type Network struct {
+	Automata []*Automaton
+}
+
+// NewNetwork composes the automata. Component names must be unique so
+// analysis output is unambiguous.
+func NewNetwork(as ...*Automaton) (*Network, error) {
+	seen := map[string]struct{}{}
+	for _, a := range as {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := seen[a.Name]; dup {
+			return nil, fmt.Errorf("automata: duplicate component name %q", a.Name)
+		}
+		seen[a.Name] = struct{}{}
+	}
+	return &Network{Automata: as}, nil
+}
+
+// MustNetwork is NewNetwork that panics on error.
+func MustNetwork(as ...*Automaton) *Network {
+	n, err := NewNetwork(as...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Clocks returns the union of component clocks, sorted, with component
+// prefixes kept as-is (clock names are global to the network).
+func (n *Network) Clocks() []string {
+	set := map[string]struct{}{}
+	for _, a := range n.Automata {
+		for _, c := range a.Clocks() {
+			set[c] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxConstant returns the largest constant appearing in any guard or
+// invariant, the k used for zone extrapolation.
+func (n *Network) MaxConstant() int64 {
+	var k int64
+	scan := func(g Guard) {
+		for _, c := range g {
+			if c.Bound > k {
+				k = c.Bound
+			}
+		}
+	}
+	for _, a := range n.Automata {
+		for _, l := range a.Locations {
+			scan(l.Invariant)
+		}
+		for _, e := range a.Edges {
+			scan(e.Guard)
+		}
+	}
+	return k
+}

@@ -1,0 +1,213 @@
+package automata
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBuilderAndValidate(t *testing.T) {
+	a := New("m")
+	a.AddLocation(Location{Name: "s0"})
+	a.AddLocation(Location{Name: "s1"})
+	a.AddEdge(Edge{From: "s0", To: "s1", Label: "go"})
+	if a.Initial != "s0" {
+		t.Errorf("Initial = %q, want first location", a.Initial)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	a.SetInitial("s1")
+	if a.Initial != "s1" {
+		t.Error("SetInitial did not take effect")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	empty := New("e")
+	if empty.Validate() == nil {
+		t.Error("empty automaton must not validate")
+	}
+
+	a := New("a")
+	a.AddLocation(Location{Name: "s0"})
+	a.AddEdge(Edge{From: "s0", To: "ghost"})
+	if a.Validate() == nil {
+		t.Error("edge to undefined location must not validate")
+	}
+
+	b := New("b")
+	b.AddLocation(Location{Name: "s0"})
+	b.AddEdge(Edge{From: "ghost", To: "s0"})
+	if b.Validate() == nil {
+		t.Error("edge from undefined location must not validate")
+	}
+
+	c := New("c")
+	c.AddLocation(Location{Name: "s0"})
+	c.SetInitial("ghost")
+	if c.Validate() == nil {
+		t.Error("undefined initial location must not validate")
+	}
+}
+
+func TestDuplicateLocationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate location must panic")
+		}
+	}()
+	New("a").AddLocation(Location{Name: "s"}).AddLocation(Location{Name: "s"})
+}
+
+func TestClocksAndLabels(t *testing.T) {
+	a := New("m")
+	a.AddLocation(Location{Name: "s0", Invariant: Guard{{Clock: "z", Op: OpLe, Bound: 5}}})
+	a.AddLocation(Location{Name: "s1"})
+	a.AddEdge(Edge{From: "s0", To: "s1", Label: "go",
+		Guard:  Guard{{Clock: "x", Op: OpGe, Bound: 1}},
+		Resets: []string{"y"}})
+	a.AddEdge(Edge{From: "s1", To: "s0"}) // internal
+
+	clocks := a.Clocks()
+	if len(clocks) != 3 || clocks[0] != "x" || clocks[1] != "y" || clocks[2] != "z" {
+		t.Errorf("Clocks = %v", clocks)
+	}
+	labels := a.Labels()
+	if len(labels) != 1 || labels[0] != "go" {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	a := New("a")
+	a.AddLocation(Location{Name: "s"})
+	b := New("a") // duplicate name
+	b.AddLocation(Location{Name: "s"})
+	if _, err := NewNetwork(a, b); err == nil {
+		t.Error("duplicate component names must be rejected")
+	}
+	c := New("c")
+	c.AddLocation(Location{Name: "s"})
+	n, err := NewNetwork(a, c)
+	if err != nil || len(n.Automata) != 2 {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+}
+
+func TestMustNetworkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNetwork should panic on invalid input")
+		}
+	}()
+	MustNetwork(New("empty"))
+}
+
+func TestNetworkMaxConstant(t *testing.T) {
+	a := New("a")
+	a.AddLocation(Location{Name: "s", Invariant: Guard{{Clock: "x", Op: OpLe, Bound: 7}}})
+	a.AddEdge(Edge{From: "s", To: "s", Guard: Guard{{Clock: "x", Op: OpGe, Bound: 30}}})
+	n := MustNetwork(a)
+	if n.MaxConstant() != 30 {
+		t.Errorf("MaxConstant = %d, want 30", n.MaxConstant())
+	}
+}
+
+func TestGuardAndEdgeStrings(t *testing.T) {
+	var g Guard
+	if g.String() != "true" {
+		t.Errorf("empty guard prints %q", g.String())
+	}
+	g = Guard{{Clock: "x", Op: OpLe, Bound: 3}, {Clock: "y", Op: OpGt, Bound: 1}}
+	if g.String() != "x <= 3 && y > 1" {
+		t.Errorf("guard prints %q", g.String())
+	}
+	e := Edge{From: "a", To: "b", Label: "", Guard: g}
+	if !strings.Contains(e.String(), "tau") {
+		t.Errorf("internal edge should print tau: %q", e.String())
+	}
+	ops := map[Op]string{OpLt: "<", OpLe: "<=", OpGe: ">=", OpGt: ">", OpEq: "==", Op(9): "?"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("Op(%d) = %q, want %q", int(op), op.String(), want)
+		}
+	}
+}
+
+func TestCyclicPlantStructure(t *testing.T) {
+	p := CyclicPlant("plant", 4, []string{"a", "b"}, 10)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(p.Locations) != 4 || len(p.Edges) != 4 {
+		t.Errorf("got %d locations, %d edges", len(p.Locations), len(p.Edges))
+	}
+	labels := p.Labels()
+	if len(labels) != 2 {
+		t.Errorf("Labels = %v", labels)
+	}
+	// Every edge resets the plant clock and is guarded at the period.
+	for _, e := range p.Edges {
+		if len(e.Resets) != 1 || len(e.Guard) != 1 || e.Guard[0].Bound != 10 {
+			t.Errorf("edge %v not period-shaped", e)
+		}
+	}
+}
+
+func TestCyclicPlantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CyclicPlant must panic on bad arguments")
+		}
+	}()
+	CyclicPlant("p", 0, []string{"a"}, 1)
+}
+
+func TestRandomPlantDeterminism(t *testing.T) {
+	p1 := RandomPlant("p", 6, []string{"a", "b", "c"}, 5, 4, rand.New(rand.NewSource(9)))
+	p2 := RandomPlant("p", 6, []string{"a", "b", "c"}, 5, 4, rand.New(rand.NewSource(9)))
+	if err := p1.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(p1.Edges) != len(p2.Edges) {
+		t.Fatal("same seed must give same plant")
+	}
+	for i := range p1.Edges {
+		if p1.Edges[i].String() != p2.Edges[i].String() {
+			t.Fatalf("edge %d differs: %v vs %v", i, p1.Edges[i], p2.Edges[i])
+		}
+	}
+	if len(p1.Edges) != 6+4 {
+		t.Errorf("edges = %d, want ring+extra = 10", len(p1.Edges))
+	}
+}
+
+func TestObserverTemplatesValidate(t *testing.T) {
+	obs := []*Automaton{
+		AbsenceObserver("p"),
+		ExistenceBoundedObserver("p", 10),
+		ResponseTimedObserver("p", "s", 10),
+		PrecedenceObserver("p", "s"),
+		UniversalityObserver("p_viol"),
+		AfterUntilAbsenceObserver("q", "p", "r"),
+		MinSeparationObserver("p", 5),
+	}
+	for _, o := range obs {
+		if err := o.Validate(); err != nil {
+			t.Errorf("%s: %v", o.Name, err)
+		}
+		hasErr := false
+		for _, l := range o.Locations {
+			if l.Error {
+				if l.Name != ErrLoc {
+					t.Errorf("%s: error location named %q, want %q", o.Name, l.Name, ErrLoc)
+				}
+				hasErr = true
+			}
+		}
+		if !hasErr {
+			t.Errorf("%s: observer must have an error location", o.Name)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package automata
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON codec for automata networks, the file format accepted by
+// cmd/propas -model. The schema mirrors the in-memory structures; see
+// testdata in the package tests for an example document.
+
+type jsonConstraint struct {
+	Clock string `json:"clock"`
+	Op    string `json:"op"`
+	Bound int64  `json:"bound"`
+}
+
+type jsonLocation struct {
+	Name      string           `json:"name"`
+	Invariant []jsonConstraint `json:"invariant,omitempty"`
+	Error     bool             `json:"error,omitempty"`
+}
+
+type jsonEdge struct {
+	From   string           `json:"from"`
+	To     string           `json:"to"`
+	Label  string           `json:"label,omitempty"`
+	Guard  []jsonConstraint `json:"guard,omitempty"`
+	Resets []string         `json:"resets,omitempty"`
+}
+
+type jsonAutomaton struct {
+	Name      string         `json:"name"`
+	Initial   string         `json:"initial"`
+	Observer  bool           `json:"observer,omitempty"`
+	Locations []jsonLocation `json:"locations"`
+	Edges     []jsonEdge     `json:"edges"`
+}
+
+type jsonNetwork struct {
+	Automata []jsonAutomaton `json:"automata"`
+}
+
+func opName(o Op) string { return o.String() }
+
+func opOf(s string) (Op, error) {
+	switch s {
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">=":
+		return OpGe, nil
+	case ">":
+		return OpGt, nil
+	case "==":
+		return OpEq, nil
+	default:
+		return 0, fmt.Errorf("automata: unknown operator %q", s)
+	}
+}
+
+func guardToJSON(g Guard) []jsonConstraint {
+	out := make([]jsonConstraint, 0, len(g))
+	for _, c := range g {
+		out = append(out, jsonConstraint{Clock: c.Clock, Op: opName(c.Op), Bound: c.Bound})
+	}
+	return out
+}
+
+func guardFromJSON(cs []jsonConstraint) (Guard, error) {
+	var g Guard
+	for _, c := range cs {
+		op, err := opOf(c.Op)
+		if err != nil {
+			return nil, err
+		}
+		g = append(g, Constraint{Clock: c.Clock, Op: op, Bound: c.Bound})
+	}
+	return g, nil
+}
+
+// WriteJSON encodes the network.
+func (n *Network) WriteJSON(w io.Writer) error {
+	doc := jsonNetwork{}
+	for _, a := range n.Automata {
+		ja := jsonAutomaton{Name: a.Name, Initial: a.Initial, Observer: a.Observer}
+		for _, l := range a.Locations {
+			ja.Locations = append(ja.Locations, jsonLocation{
+				Name: l.Name, Invariant: guardToJSON(l.Invariant), Error: l.Error,
+			})
+		}
+		for _, e := range a.Edges {
+			ja.Edges = append(ja.Edges, jsonEdge{
+				From: e.From, To: e.To, Label: e.Label,
+				Guard: guardToJSON(e.Guard), Resets: e.Resets,
+			})
+		}
+		doc.Automata = append(doc.Automata, ja)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON decodes and validates a network.
+func ReadJSON(r io.Reader) (*Network, error) {
+	var doc jsonNetwork
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("automata: network json: %w", err)
+	}
+	if len(doc.Automata) == 0 {
+		return nil, fmt.Errorf("automata: network has no components")
+	}
+	var as []*Automaton
+	for _, ja := range doc.Automata {
+		a := New(ja.Name)
+		a.Observer = ja.Observer
+		for _, jl := range ja.Locations {
+			inv, err := guardFromJSON(jl.Invariant)
+			if err != nil {
+				return nil, err
+			}
+			a.AddLocation(Location{Name: jl.Name, Invariant: inv, Error: jl.Error})
+		}
+		for _, je := range ja.Edges {
+			g, err := guardFromJSON(je.Guard)
+			if err != nil {
+				return nil, err
+			}
+			a.AddEdge(Edge{From: je.From, To: je.To, Label: je.Label, Guard: g, Resets: je.Resets})
+		}
+		if ja.Initial != "" {
+			a.SetInitial(ja.Initial)
+		}
+		as = append(as, a)
+	}
+	return NewNetwork(as...)
+}

@@ -1,0 +1,113 @@
+package automata
+
+import "fmt"
+
+// Observer-automata templates, following the PSP-UPPAAL catalogue scheme
+// referenced by VeriDevOps D2.7: each specification pattern becomes an
+// automaton that eavesdrops on plant events (broadcast labels) and enters a
+// distinguished error location exactly when the pattern is violated.
+// Verifying the pattern then amounts to checking A[] !err on the plant ||
+// observer composition.
+//
+// Events are occurrence-based: a label p means "event p happened". For
+// state-based propositions the plant model is instrumented to emit an event
+// on every relevant change (the convention PROPAS uses when generating
+// plant stubs from requirements).
+
+// ErrLoc is the conventional name of observer error locations.
+const ErrLoc = "err"
+
+// AbsenceObserver observes "globally, event p never occurs".
+func AbsenceObserver(p string) *Automaton {
+	a := NewObserver("obs_absence_" + p)
+	a.AddLocation(Location{Name: "idle"})
+	a.AddLocation(Location{Name: ErrLoc, Error: true})
+	a.AddEdge(Edge{From: "idle", To: ErrLoc, Label: p})
+	return a
+}
+
+// ExistenceBoundedObserver observes "event p occurs within d time units of
+// system start". The deadline makes the liveness obligation checkable as
+// reachability, the standard PROPAS encoding of existence.
+func ExistenceBoundedObserver(p string, d int64) *Automaton {
+	x := fmt.Sprintf("x_obs_ex_%s", p)
+	a := NewObserver("obs_existence_" + p)
+	a.AddLocation(Location{Name: "waiting"})
+	a.AddLocation(Location{Name: "done"})
+	a.AddLocation(Location{Name: ErrLoc, Error: true})
+	a.AddEdge(Edge{From: "waiting", To: "done", Label: p})
+	a.AddEdge(Edge{From: "waiting", To: ErrLoc, Guard: Guard{{Clock: x, Op: OpGt, Bound: d}}})
+	// Once satisfied, further p events are irrelevant.
+	a.AddEdge(Edge{From: "done", To: "done", Label: p})
+	return a
+}
+
+// ResponseTimedObserver observes "globally, every event p is followed by
+// event s within d time units" (GlobalResponseTimed of D2.7).
+func ResponseTimedObserver(p, s string, d int64) *Automaton {
+	x := fmt.Sprintf("x_obs_resp_%s_%s", p, s)
+	a := NewObserver(fmt.Sprintf("obs_response_%s_%s", p, s))
+	a.AddLocation(Location{Name: "idle"})
+	a.AddLocation(Location{Name: "waiting"})
+	a.AddLocation(Location{Name: ErrLoc, Error: true})
+	a.AddEdge(Edge{From: "idle", To: "waiting", Label: p, Resets: []string{x}})
+	a.AddEdge(Edge{From: "idle", To: "idle", Label: s})
+	a.AddEdge(Edge{From: "waiting", To: "idle", Label: s, Guard: Guard{{Clock: x, Op: OpLe, Bound: d}}})
+	a.AddEdge(Edge{From: "waiting", To: ErrLoc, Guard: Guard{{Clock: x, Op: OpGt, Bound: d}}})
+	// A new trigger while waiting keeps the earliest deadline (no reset).
+	a.AddEdge(Edge{From: "waiting", To: "waiting", Label: p})
+	return a
+}
+
+// PrecedenceObserver observes "event p is always preceded by event s".
+func PrecedenceObserver(p, s string) *Automaton {
+	a := NewObserver(fmt.Sprintf("obs_precedence_%s_%s", p, s))
+	a.AddLocation(Location{Name: "unauth"})
+	a.AddLocation(Location{Name: "auth"})
+	a.AddLocation(Location{Name: ErrLoc, Error: true})
+	a.AddEdge(Edge{From: "unauth", To: "auth", Label: s})
+	a.AddEdge(Edge{From: "unauth", To: ErrLoc, Label: p})
+	a.AddEdge(Edge{From: "auth", To: "auth", Label: p})
+	a.AddEdge(Edge{From: "auth", To: "auth", Label: s})
+	return a
+}
+
+// UniversalityObserver observes "globally p holds", where the plant is
+// instrumented to emit pViol whenever the proposition p turns false; the
+// observer is then the absence observer of the violation event.
+func UniversalityObserver(pViol string) *Automaton {
+	a := AbsenceObserver(pViol)
+	a.Name = "obs_universality_" + pViol
+	return a
+}
+
+// AfterUntilAbsenceObserver observes "after event q and until event r,
+// event p never occurs" — the scoped absence pattern.
+func AfterUntilAbsenceObserver(q, p, r string) *Automaton {
+	a := NewObserver(fmt.Sprintf("obs_afteruntil_%s_%s_%s", q, p, r))
+	a.AddLocation(Location{Name: "idle"})
+	a.AddLocation(Location{Name: "armed"})
+	a.AddLocation(Location{Name: ErrLoc, Error: true})
+	a.AddEdge(Edge{From: "idle", To: "armed", Label: q})
+	a.AddEdge(Edge{From: "idle", To: "idle", Label: p})
+	a.AddEdge(Edge{From: "idle", To: "idle", Label: r})
+	a.AddEdge(Edge{From: "armed", To: "idle", Label: r})
+	a.AddEdge(Edge{From: "armed", To: "armed", Label: q})
+	a.AddEdge(Edge{From: "armed", To: ErrLoc, Label: p})
+	return a
+}
+
+// MinSeparationObserver observes "two consecutive occurrences of event p
+// are at least d time units apart" — a rate-limiting requirement used by
+// the protection experiments.
+func MinSeparationObserver(p string, d int64) *Automaton {
+	x := fmt.Sprintf("x_obs_sep_%s", p)
+	a := NewObserver("obs_minsep_" + p)
+	a.AddLocation(Location{Name: "first"})
+	a.AddLocation(Location{Name: "spaced"})
+	a.AddLocation(Location{Name: ErrLoc, Error: true})
+	a.AddEdge(Edge{From: "first", To: "spaced", Label: p, Resets: []string{x}})
+	a.AddEdge(Edge{From: "spaced", To: "spaced", Label: p, Guard: Guard{{Clock: x, Op: OpGe, Bound: d}}, Resets: []string{x}})
+	a.AddEdge(Edge{From: "spaced", To: ErrLoc, Label: p, Guard: Guard{{Clock: x, Op: OpLt, Bound: d}}})
+	return a
+}

@@ -1,0 +1,76 @@
+package automata
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Plant models for verification experiments. PROPAS checks pattern
+// observers against a model of the system under specification; the
+// benchmark harness uses these generated plants as stand-ins for the
+// industrial case-study models.
+
+// CyclicPlant builds a ring of n locations where the i-th step emits
+// labels[i%len(labels)] exactly every period time units (invariant x <=
+// period, guard x >= period, reset on every step). Response latencies in
+// this plant are exact multiples of period, giving the E4 benchmark a
+// ground truth: event j follows event i after ((j-i) mod n) * period time
+// units.
+func CyclicPlant(name string, n int, labels []string, period int64) *Automaton {
+	if n < 1 || len(labels) == 0 || period < 1 {
+		panic("automata: CyclicPlant requires n>=1, labels, period>=1")
+	}
+	x := "x_" + name
+	a := New(name)
+	for i := 0; i < n; i++ {
+		a.AddLocation(Location{
+			Name:      fmt.Sprintf("l%d", i),
+			Invariant: Guard{{Clock: x, Op: OpLe, Bound: period}},
+		})
+	}
+	for i := 0; i < n; i++ {
+		a.AddEdge(Edge{
+			From:   fmt.Sprintf("l%d", i),
+			To:     fmt.Sprintf("l%d", (i+1)%n),
+			Label:  labels[i%len(labels)],
+			Guard:  Guard{{Clock: x, Op: OpGe, Bound: period}},
+			Resets: []string{x},
+		})
+	}
+	return a
+}
+
+// RandomPlant builds a connected random automaton over n locations whose
+// edges emit labels drawn from the given set, with random dwell-time
+// guards up to maxDwell. A spanning ring keeps every location reachable;
+// extra chords add branching. Deterministic in the seed of rng.
+func RandomPlant(name string, n int, labels []string, maxDwell int64, extraEdges int, rng *rand.Rand) *Automaton {
+	if n < 1 || len(labels) == 0 || maxDwell < 1 {
+		panic("automata: RandomPlant requires n>=1, labels, maxDwell>=1")
+	}
+	x := "x_" + name
+	a := New(name)
+	for i := 0; i < n; i++ {
+		a.AddLocation(Location{
+			Name:      fmt.Sprintf("l%d", i),
+			Invariant: Guard{{Clock: x, Op: OpLe, Bound: maxDwell}},
+		})
+	}
+	edge := func(from, to int) {
+		dwell := 1 + rng.Int63n(maxDwell)
+		a.AddEdge(Edge{
+			From:   fmt.Sprintf("l%d", from),
+			To:     fmt.Sprintf("l%d", to),
+			Label:  labels[rng.Intn(len(labels))],
+			Guard:  Guard{{Clock: x, Op: OpGe, Bound: dwell}},
+			Resets: []string{x},
+		})
+	}
+	for i := 0; i < n; i++ {
+		edge(i, (i+1)%n)
+	}
+	for i := 0; i < extraEdges; i++ {
+		edge(rng.Intn(n), rng.Intn(n))
+	}
+	return a
+}

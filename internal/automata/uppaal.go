@@ -1,0 +1,154 @@
+package automata
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteUppaalXML exports the network as an UPPAAL 4.x system description —
+// the artefact PROPAS hands to UPPAAL for verification. Labels become
+// broadcast channels (emitters send `label!`, observers receive `label?`),
+// clocks and channels are declared globally, and observer error locations
+// are named so the accompanying query is simply
+//
+//	A[] not (obs.err)
+//
+// The exporter covers the subset of UPPAAL this package models (diagonal-
+// free guards, broadcast sync, no integer variables).
+func WriteUppaalXML(w io.Writer, n *Network) error {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="utf-8"?>` + "\n")
+	b.WriteString("<nta>\n")
+
+	// Global declarations: clocks and broadcast channels.
+	b.WriteString("  <declaration>\n")
+	for _, c := range n.Clocks() {
+		fmt.Fprintf(&b, "    clock %s;\n", sanitizeIdent(c))
+	}
+	chans := map[string]struct{}{}
+	for _, a := range n.Automata {
+		for _, l := range a.Labels() {
+			chans[l] = struct{}{}
+		}
+	}
+	for _, l := range sortedKeys(chans) {
+		fmt.Fprintf(&b, "    broadcast chan %s;\n", sanitizeIdent(l))
+	}
+	b.WriteString("  </declaration>\n")
+
+	for _, a := range n.Automata {
+		fmt.Fprintf(&b, "  <template>\n    <name>%s</name>\n", sanitizeIdent(a.Name))
+		for i, loc := range a.Locations {
+			fmt.Fprintf(&b, "    <location id=\"id%d\"><name>%s</name>", i, sanitizeIdent(loc.Name))
+			if len(loc.Invariant) > 0 {
+				fmt.Fprintf(&b, "<label kind=\"invariant\">%s</label>", guardExpr(loc.Invariant))
+			}
+			b.WriteString("</location>\n")
+		}
+		init, _ := a.LocIndex(a.Initial)
+		fmt.Fprintf(&b, "    <init ref=\"id%d\"/>\n", init)
+		for _, e := range a.Edges {
+			from, _ := a.LocIndex(e.From)
+			to, _ := a.LocIndex(e.To)
+			fmt.Fprintf(&b, "    <transition><source ref=\"id%d\"/><target ref=\"id%d\"/>", from, to)
+			if e.Label != "" {
+				dir := "!"
+				if a.Observer {
+					dir = "?"
+				}
+				fmt.Fprintf(&b, "<label kind=\"synchronisation\">%s%s</label>", sanitizeIdent(e.Label), dir)
+			}
+			if len(e.Guard) > 0 {
+				fmt.Fprintf(&b, "<label kind=\"guard\">%s</label>", guardExpr(e.Guard))
+			}
+			if len(e.Resets) > 0 {
+				var rs []string
+				for _, r := range e.Resets {
+					rs = append(rs, sanitizeIdent(r)+" = 0")
+				}
+				fmt.Fprintf(&b, "<label kind=\"assignment\">%s</label>", strings.Join(rs, ", "))
+			}
+			b.WriteString("</transition>\n")
+		}
+		b.WriteString("  </template>\n")
+	}
+
+	// System composition.
+	b.WriteString("  <system>\n")
+	var procs []string
+	for _, a := range n.Automata {
+		name := sanitizeIdent(a.Name)
+		fmt.Fprintf(&b, "    P_%s = %s();\n", name, name)
+		procs = append(procs, "P_"+name)
+	}
+	fmt.Fprintf(&b, "    system %s;\n", strings.Join(procs, ", "))
+	b.WriteString("  </system>\n")
+
+	// Queries: error-freedom per observer.
+	b.WriteString("  <queries>\n")
+	for _, a := range n.Automata {
+		for _, l := range a.Locations {
+			if l.Error {
+				fmt.Fprintf(&b, "    <query><formula>A[] not (P_%s.%s)</formula></query>\n",
+					sanitizeIdent(a.Name), sanitizeIdent(l.Name))
+			}
+		}
+	}
+	b.WriteString("  </queries>\n")
+	b.WriteString("</nta>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// guardExpr renders a guard as an UPPAAL boolean expression.
+func guardExpr(g Guard) string {
+	var parts []string
+	for _, c := range g {
+		op := c.Op.String()
+		parts = append(parts, fmt.Sprintf("%s %s %d", sanitizeIdent(c.Clock), xmlEscapeOp(op), c.Bound))
+	}
+	return strings.Join(parts, " &amp;&amp; ")
+}
+
+func xmlEscapeOp(op string) string {
+	op = strings.ReplaceAll(op, "<", "&lt;")
+	op = strings.ReplaceAll(op, ">", "&gt;")
+	return op
+}
+
+// sanitizeIdent maps arbitrary names to UPPAAL identifiers (letters,
+// digits, underscore; must not start with a digit).
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

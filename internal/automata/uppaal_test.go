@@ -1,0 +1,75 @@
+package automata
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestWriteUppaalXML(t *testing.T) {
+	plant := CyclicPlant("plant", 3, []string{"a", "b", "c"}, 7)
+	obs := ResponseTimedObserver("a", "c", 14)
+	net := MustNetwork(plant, obs)
+
+	var buf bytes.Buffer
+	if err := WriteUppaalXML(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("output is not well-formed XML: %v\n%s", err, out)
+		}
+	}
+
+	for _, want := range []string{
+		"<nta>",
+		"clock x_plant;",
+		"broadcast chan a;",
+		"broadcast chan c;",
+		"<name>plant</name>",
+		"<name>obs_response_a_c</name>",
+		`<label kind="synchronisation">a!</label>`, // plant emits
+		`<label kind="synchronisation">a?</label>`, // observer receives
+		`<label kind="invariant">x_plant &lt;= 7</label>`,
+		"x_obs_resp_a_c = 0",
+		"system P_plant, P_obs_response_a_c;",
+		"A[] not (P_obs_response_a_c.err)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("UPPAAL export missing %q", want)
+		}
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"x_plant":   "x_plant",
+		"a-b c":     "a_b_c",
+		"9lives":    "_9lives",
+		"":          "_",
+		"ok123":     "ok123",
+		"obs.err!?": "obs_err__",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitizeIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGuardExprEscaping(t *testing.T) {
+	g := Guard{{Clock: "x", Op: OpLt, Bound: 3}, {Clock: "y", Op: OpGe, Bound: 1}}
+	got := guardExpr(g)
+	if got != "x &lt; 3 &amp;&amp; y &gt;= 1" {
+		t.Errorf("guardExpr = %q", got)
+	}
+}

@@ -1,0 +1,105 @@
+// Package catalogue renders the patterns-catalogue reference document from
+// the implementation itself — the Go analogue of VeriDevOps deliverable
+// D2.7, whose Annex 1 documents the RQCODE concepts, the temporal patterns
+// and the STIG instantiations. Because the document is generated from the
+// registered types, it cannot drift from the code.
+package catalogue
+
+import (
+	"fmt"
+	"strings"
+
+	"veridevops/internal/host"
+	"veridevops/internal/stig"
+	"veridevops/internal/temporal"
+	"veridevops/internal/trace"
+)
+
+// Markdown renders the complete catalogue.
+func Markdown() string {
+	var b strings.Builder
+	b.WriteString("# RQCODE Patterns Catalogue\n\n")
+	b.WriteString("Generated from the implementation; the Go rendering of the D2.7 patterns catalogue.\n\n")
+	concepts(&b)
+	temporalPatterns(&b)
+	ubuntu(&b)
+	win10(&b)
+	return b.String()
+}
+
+func concepts(b *strings.Builder) {
+	b.WriteString("## Package core (rqcode.concepts)\n\n")
+	b.WriteString("| Concept | Kind | Purpose |\n|---|---|---|\n")
+	rows := [][3]string{
+		{"Checkable", "interface", "requirements checked programmatically through `Check() CheckStatus` (PASS / FAIL / INCOMPLETE)"},
+		{"Enforceable", "interface", "requirements enforced on the hosting environment through `Enforce() EnforcementStatus` (SUCCESS / FAILURE / INCOMPLETE)"},
+		{"Requirement", "interface", "STIG-finding-shaped metadata: finding ID, rule, severity, check text, fix text, ..."},
+		{"CheckableEnforceableRequirement", "interface", "the combination registered in catalogues"},
+		{"Finding", "struct", "value implementation of Requirement for embedding"},
+		{"Catalog", "struct", "registry + audit/enforce runner producing compliance reports"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(b, "| `%s` | %s | %s |\n", r[0], r[1], r[2])
+	}
+	b.WriteString("\n")
+}
+
+// temporalPatterns documents each pattern through a throwaway instance, so
+// descriptions and TCTL templates come from the code paths users run.
+func temporalPatterns(b *strings.Builder) {
+	b.WriteString("## Package temporal (rqcode.patterns.temporal)\n\n")
+	clk := temporal.NewSimClock()
+	opt := temporal.Options{Clock: clk, Period: 10, Boundary: 10}
+	probe := func(n string) temporal.Probe {
+		return temporal.BoolProbe(n, func() bool { return true })
+	}
+	entries := []struct {
+		name string
+		m    temporal.Monitor
+	}{
+		{"GlobalUniversality", temporal.NewGlobalUniversality(probe("P"), opt)},
+		{"Eventually", temporal.NewEventually(probe("P"), opt)},
+		{"GlobalResponseTimed", temporal.NewGlobalResponseTimed(probe("P"), probe("S"), trace.Time(50), opt)},
+		{"GlobalResponseUntil", temporal.NewGlobalResponseUntil(probe("P"), probe("Q"), probe("R"), opt)},
+		{"GlobalUniversalityTimed", temporal.NewGlobalUniversalityTimed(probe("P"), trace.Time(50), opt)},
+		{"AfterUntilUniversality", temporal.NewAfterUntilUniversality(probe("Q"), probe("P"), probe("R"), opt)},
+	}
+	b.WriteString("| Pattern | Meaning | TCTL |\n|---|---|---|\n")
+	for _, e := range entries {
+		fmt.Fprintf(b, "| `%s` | %s | `%s` |\n", e.name, e.m.String(), e.m.TCTL())
+	}
+	b.WriteString("\nAll patterns are driven by `MonitoringLoop`: a polling service with precondition, invariant, exit-condition and postcondition hooks, a decreasing variant (`Boundary`) and a configurable period.\n\n")
+}
+
+func ubuntu(b *strings.Builder) {
+	b.WriteString("## Package stig: Ubuntu 18.04 (rqcode.stigs.ubuntu)\n\n")
+	b.WriteString("Reusable patterns: `UbuntuPackagePattern` (package present/absent), `UbuntuConfigPattern` (key=value in a config file), `UbuntuServicePattern` (service active/disabled).\n\n")
+	h := host.NewLinux()
+	cat := stig.UbuntuCatalog(h)
+	b.WriteString("| Finding | Severity | Summary |\n|---|---|---|\n")
+	for _, r := range cat.All() {
+		fmt.Fprintf(b, "| `%s` | %s | %s |\n", r.FindingID(), r.Severity(), firstSentence(r.Description()))
+	}
+	b.WriteString("\n")
+}
+
+func win10(b *strings.Builder) {
+	b.WriteString("## Package stig: Windows 10 (rqcode.stigs.win10)\n\n")
+	b.WriteString("Pattern hierarchy: `AuditPolicyRequirement` drives the audit policy through the emulated `auditpol` text interface; category/subcategory refinements (`AccountManagement`, `LogonLogoff`, `PrivilegeUse`, ...) fix the taxonomy for the leaf findings. `RegistryRequirement` covers registry-valued findings.\n\n")
+	w := host.NewWindows10()
+	guide := stig.Windows10SecurityTechnicalImplementationGuide{Host: w}
+	b.WriteString("| Finding | Category | Subcategory | Required setting |\n|---|---|---|---|\n")
+	for _, r := range guide.AllSTIGs() {
+		ap := r.(*stig.AuditPolicyRequirement)
+		fmt.Fprintf(b, "| `%s` | %s | %s | %s |\n",
+			ap.FindingID(), ap.GetCategory(), ap.GetSubcategory(), ap.GetInclusionSetting())
+	}
+	b.WriteString("\n")
+}
+
+func firstSentence(s string) string {
+	if i := strings.IndexByte(s, '.'); i > 0 {
+		return s[:i+1]
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func newFake(id, sev string, compliant, enforceOK bool) *fakeReq {
+	return &fakeReq{
+		Finding:   Finding{ID: id, Sev: sev},
+		compliant: compliant,
+		enforceOK: enforceOK,
+	}
+}
+
+func TestCatalogRegisterAndLookup(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Register(newFake("V-1", "medium", true, true)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, ok := c.Lookup("V-1"); !ok {
+		t.Error("registered requirement not found")
+	}
+	if _, ok := c.Lookup("V-404"); ok {
+		t.Error("lookup of unknown ID succeeded")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCatalogRejectsDuplicates(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Register(newFake("V-1", "low", true, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(newFake("V-1", "low", true, true)); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+}
+
+func TestCatalogRejectsEmptyID(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Register(newFake("", "low", true, true)); err == nil {
+		t.Error("empty finding ID must be rejected")
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	c := NewCatalog()
+	c.MustRegister(newFake("V-1", "low", true, true))
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister should panic on duplicate")
+		}
+	}()
+	c.MustRegister(newFake("V-1", "low", true, true))
+}
+
+func TestCatalogIDsSorted(t *testing.T) {
+	c := NewCatalog()
+	for _, id := range []string{"V-9", "V-1", "V-5"} {
+		c.MustRegister(newFake(id, "low", true, true))
+	}
+	ids := c.IDs()
+	want := []string{"V-1", "V-5", "V-9"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestRunCheckOnly(t *testing.T) {
+	c := NewCatalog()
+	bad := newFake("V-2", "high", false, true)
+	c.MustRegister(newFake("V-1", "medium", true, true))
+	c.MustRegister(bad)
+
+	rep := c.Run(CheckOnly)
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	pass, fail, inc := rep.Counts()
+	if pass != 1 || fail != 1 || inc != 0 {
+		t.Errorf("Counts = (%d,%d,%d), want (1,1,0)", pass, fail, inc)
+	}
+	if bad.enforces != 0 {
+		t.Error("CheckOnly must not enforce")
+	}
+	if got := rep.Compliance(); got != 0.5 {
+		t.Errorf("Compliance = %v, want 0.5", got)
+	}
+}
+
+func TestRunCheckAndEnforce(t *testing.T) {
+	c := NewCatalog()
+	fixable := newFake("V-2", "high", false, true)
+	stuck := newFake("V-3", "high", false, false)
+	c.MustRegister(newFake("V-1", "medium", true, true))
+	c.MustRegister(fixable)
+	c.MustRegister(stuck)
+
+	rep := c.Run(CheckAndEnforce)
+	pass, fail, _ := rep.Counts()
+	if pass != 2 || fail != 1 {
+		t.Errorf("Counts = (%d,%d), want pass=2 fail=1", pass, fail)
+	}
+	if fixable.enforces != 1 || stuck.enforces != 1 {
+		t.Error("both failing requirements should have been enforced once")
+	}
+	failing := rep.Failing()
+	if len(failing) != 1 || failing[0] != "V-3" {
+		t.Errorf("Failing = %v, want [V-3]", failing)
+	}
+	// Results must be ordered by finding ID.
+	for i, id := range []string{"V-1", "V-2", "V-3"} {
+		if rep.Results[i].FindingID != id {
+			t.Errorf("Results[%d] = %s, want %s", i, rep.Results[i].FindingID, id)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	c := NewCatalog()
+	c.MustRegister(newFake("V-1", "medium", false, true))
+	rep := c.Run(CheckAndEnforce)
+	s := rep.String()
+	for _, want := range []string{"V-1", "FAIL", "SUCCESS", "PASS", "compliance: 100.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEmptyReportCompliance(t *testing.T) {
+	var rep Report
+	if rep.Compliance() != 1 {
+		t.Error("empty report should be fully compliant")
+	}
+	if rep.Failing() != nil {
+		t.Error("empty report should have no failing entries")
+	}
+}
+
+func TestCatalogConcurrentAccess(t *testing.T) {
+	c := NewCatalog()
+	done := make(chan bool)
+	go func() {
+		for i := 0; i < 100; i++ {
+			c.Lookup("V-1")
+			c.IDs()
+		}
+		done <- true
+	}()
+	for i := 0; i < 100; i++ {
+		_ = c.Register(newFake("V-1", "low", true, true)) // only first succeeds
+	}
+	<-done
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}

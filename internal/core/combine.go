@@ -1,0 +1,95 @@
+package core
+
+// This file provides the status algebra used to compose requirements.
+// Composition follows three-valued (Kleene) logic where INCOMPLETE plays
+// the role of "unknown": a conjunction is FAIL as soon as one conjunct
+// fails, PASS only when all conjuncts pass, and INCOMPLETE otherwise.
+
+// AndStatus combines two check statuses conjunctively.
+func AndStatus(a, b CheckStatus) CheckStatus {
+	switch {
+	case a == CheckFail || b == CheckFail:
+		return CheckFail
+	case a == CheckIncomplete || b == CheckIncomplete:
+		return CheckIncomplete
+	default:
+		return CheckPass
+	}
+}
+
+// OrStatus combines two check statuses disjunctively.
+func OrStatus(a, b CheckStatus) CheckStatus {
+	switch {
+	case a == CheckPass || b == CheckPass:
+		return CheckPass
+	case a == CheckIncomplete || b == CheckIncomplete:
+		return CheckIncomplete
+	default:
+		return CheckFail
+	}
+}
+
+// NotStatus negates a check status; INCOMPLETE is a fixed point.
+func NotStatus(a CheckStatus) CheckStatus {
+	switch a {
+	case CheckPass:
+		return CheckFail
+	case CheckFail:
+		return CheckPass
+	default:
+		return CheckIncomplete
+	}
+}
+
+// AllOf is the conjunction of a set of checkable requirements. An empty
+// conjunction passes vacuously.
+func AllOf(reqs ...Checkable) Checkable {
+	return CheckFunc(func() CheckStatus {
+		out := CheckPass
+		for _, r := range reqs {
+			out = AndStatus(out, r.Check())
+			if out == CheckFail {
+				return CheckFail
+			}
+		}
+		return out
+	})
+}
+
+// AnyOf is the disjunction of a set of checkable requirements. An empty
+// disjunction fails vacuously.
+func AnyOf(reqs ...Checkable) Checkable {
+	return CheckFunc(func() CheckStatus {
+		out := CheckFail
+		for _, r := range reqs {
+			out = OrStatus(out, r.Check())
+			if out == CheckPass {
+				return CheckPass
+			}
+		}
+		return out
+	})
+}
+
+// Not inverts a checkable requirement.
+func Not(r Checkable) Checkable {
+	return CheckFunc(func() CheckStatus { return NotStatus(r.Check()) })
+}
+
+// Implies returns a requirement that passes when p failing or q passing,
+// i.e. the material implication p -> q under Kleene logic.
+func Implies(p, q Checkable) Checkable {
+	return AnyOf(Not(p), q)
+}
+
+// CheckThenEnforce checks the requirement and, only if the check does not
+// pass, enforces it and re-checks. It returns the final check status and
+// the enforcement status (EnforceSuccess without action when the initial
+// check already passed).
+func CheckThenEnforce(r CheckableEnforceableRequirement) (CheckStatus, EnforcementStatus) {
+	if s := r.Check(); s == CheckPass {
+		return s, EnforceSuccess
+	}
+	es := r.Enforce()
+	return r.Check(), es
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func clamp(s CheckStatus) CheckStatus {
+	switch s {
+	case CheckPass, CheckFail, CheckIncomplete:
+		return s
+	default:
+		// Map arbitrary quick-generated values into the domain.
+		v := int(s) % 3
+		if v < 0 {
+			v = -v
+		}
+		return CheckStatus(v)
+	}
+}
+
+func TestAndStatusTruthTable(t *testing.T) {
+	want := map[[2]CheckStatus]CheckStatus{
+		{CheckPass, CheckPass}:             CheckPass,
+		{CheckPass, CheckFail}:             CheckFail,
+		{CheckPass, CheckIncomplete}:       CheckIncomplete,
+		{CheckFail, CheckFail}:             CheckFail,
+		{CheckFail, CheckIncomplete}:       CheckFail,
+		{CheckIncomplete, CheckIncomplete}: CheckIncomplete,
+	}
+	for k, w := range want {
+		if got := AndStatus(k[0], k[1]); got != w {
+			t.Errorf("AndStatus(%v,%v) = %v, want %v", k[0], k[1], got, w)
+		}
+		if got := AndStatus(k[1], k[0]); got != w {
+			t.Errorf("AndStatus(%v,%v) = %v, want %v (commutativity)", k[1], k[0], got, w)
+		}
+	}
+}
+
+func TestOrStatusTruthTable(t *testing.T) {
+	want := map[[2]CheckStatus]CheckStatus{
+		{CheckPass, CheckPass}:             CheckPass,
+		{CheckPass, CheckFail}:             CheckPass,
+		{CheckPass, CheckIncomplete}:       CheckPass,
+		{CheckFail, CheckFail}:             CheckFail,
+		{CheckFail, CheckIncomplete}:       CheckIncomplete,
+		{CheckIncomplete, CheckIncomplete}: CheckIncomplete,
+	}
+	for k, w := range want {
+		if got := OrStatus(k[0], k[1]); got != w {
+			t.Errorf("OrStatus(%v,%v) = %v, want %v", k[0], k[1], got, w)
+		}
+		if got := OrStatus(k[1], k[0]); got != w {
+			t.Errorf("OrStatus(%v,%v) = %v, want %v (commutativity)", k[1], k[0], got, w)
+		}
+	}
+}
+
+func TestNotStatus(t *testing.T) {
+	if NotStatus(CheckPass) != CheckFail || NotStatus(CheckFail) != CheckPass {
+		t.Error("NotStatus must swap PASS and FAIL")
+	}
+	if NotStatus(CheckIncomplete) != CheckIncomplete {
+		t.Error("NotStatus must fix INCOMPLETE")
+	}
+}
+
+// Property: double negation is the identity on the status domain.
+func TestNotStatusInvolution(t *testing.T) {
+	f := func(raw CheckStatus) bool {
+		s := clamp(raw)
+		return NotStatus(NotStatus(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan duality between AndStatus and OrStatus.
+func TestDeMorganStatus(t *testing.T) {
+	f := func(rawA, rawB CheckStatus) bool {
+		a, b := clamp(rawA), clamp(rawB)
+		return NotStatus(AndStatus(a, b)) == OrStatus(NotStatus(a), NotStatus(b)) &&
+			NotStatus(OrStatus(a, b)) == AndStatus(NotStatus(a), NotStatus(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AndStatus and OrStatus are associative.
+func TestStatusAssociativity(t *testing.T) {
+	f := func(rawA, rawB, rawC CheckStatus) bool {
+		a, b, c := clamp(rawA), clamp(rawB), clamp(rawC)
+		return AndStatus(AndStatus(a, b), c) == AndStatus(a, AndStatus(b, c)) &&
+			OrStatus(OrStatus(a, b), c) == OrStatus(a, OrStatus(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllOf(t *testing.T) {
+	if AllOf().Check() != CheckPass {
+		t.Error("empty AllOf should pass vacuously")
+	}
+	if AllOf(Const(CheckPass), Const(CheckPass)).Check() != CheckPass {
+		t.Error("AllOf(pass,pass) should pass")
+	}
+	if AllOf(Const(CheckPass), Const(CheckFail)).Check() != CheckFail {
+		t.Error("AllOf with a failing conjunct should fail")
+	}
+	if AllOf(Const(CheckPass), Const(CheckIncomplete)).Check() != CheckIncomplete {
+		t.Error("AllOf with an incomplete conjunct should be incomplete")
+	}
+}
+
+func TestAllOfShortCircuits(t *testing.T) {
+	called := false
+	spy := CheckFunc(func() CheckStatus { called = true; return CheckPass })
+	if AllOf(Const(CheckFail), spy).Check() != CheckFail {
+		t.Fatal("AllOf should fail")
+	}
+	if called {
+		t.Error("AllOf must short-circuit after a FAIL")
+	}
+}
+
+func TestAnyOf(t *testing.T) {
+	if AnyOf().Check() != CheckFail {
+		t.Error("empty AnyOf should fail vacuously")
+	}
+	if AnyOf(Const(CheckFail), Const(CheckPass)).Check() != CheckPass {
+		t.Error("AnyOf with a passing disjunct should pass")
+	}
+	if AnyOf(Const(CheckFail), Const(CheckFail)).Check() != CheckFail {
+		t.Error("AnyOf(fail,fail) should fail")
+	}
+	if AnyOf(Const(CheckFail), Const(CheckIncomplete)).Check() != CheckIncomplete {
+		t.Error("AnyOf with an incomplete disjunct should be incomplete")
+	}
+}
+
+func TestAnyOfShortCircuits(t *testing.T) {
+	called := false
+	spy := CheckFunc(func() CheckStatus { called = true; return CheckFail })
+	if AnyOf(Const(CheckPass), spy).Check() != CheckPass {
+		t.Fatal("AnyOf should pass")
+	}
+	if called {
+		t.Error("AnyOf must short-circuit after a PASS")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	cases := []struct {
+		p, q, want CheckStatus
+	}{
+		{CheckFail, CheckFail, CheckPass},
+		{CheckFail, CheckPass, CheckPass},
+		{CheckPass, CheckPass, CheckPass},
+		{CheckPass, CheckFail, CheckFail},
+		{CheckIncomplete, CheckFail, CheckIncomplete},
+		{CheckPass, CheckIncomplete, CheckIncomplete},
+	}
+	for _, c := range cases {
+		if got := Implies(Const(c.p), Const(c.q)).Check(); got != c.want {
+			t.Errorf("Implies(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// fakeReq is a minimal CheckableEnforceableRequirement for runner tests.
+type fakeReq struct {
+	Finding
+	compliant bool
+	enforceOK bool
+	checks    int
+	enforces  int
+}
+
+func (f *fakeReq) Check() CheckStatus {
+	f.checks++
+	return CheckBool(f.compliant)
+}
+
+func (f *fakeReq) Enforce() EnforcementStatus {
+	f.enforces++
+	if f.enforceOK {
+		f.compliant = true
+		return EnforceSuccess
+	}
+	return EnforceFailure
+}
+
+func TestCheckThenEnforceAlreadyCompliant(t *testing.T) {
+	r := &fakeReq{Finding: Finding{ID: "V-1"}, compliant: true}
+	after, es := CheckThenEnforce(r)
+	if after != CheckPass || es != EnforceSuccess {
+		t.Errorf("got (%v,%v), want (PASS,SUCCESS)", after, es)
+	}
+	if r.enforces != 0 {
+		t.Error("enforcement must not run when the check passes")
+	}
+}
+
+func TestCheckThenEnforceRemediates(t *testing.T) {
+	r := &fakeReq{Finding: Finding{ID: "V-2"}, compliant: false, enforceOK: true}
+	after, es := CheckThenEnforce(r)
+	if after != CheckPass || es != EnforceSuccess {
+		t.Errorf("got (%v,%v), want (PASS,SUCCESS)", after, es)
+	}
+	if r.enforces != 1 {
+		t.Errorf("enforces = %d, want 1", r.enforces)
+	}
+}
+
+func TestCheckThenEnforceFailure(t *testing.T) {
+	r := &fakeReq{Finding: Finding{ID: "V-3"}, compliant: false, enforceOK: false}
+	after, es := CheckThenEnforce(r)
+	if after != CheckFail || es != EnforceFailure {
+		t.Errorf("got (%v,%v), want (FAIL,FAILURE)", after, es)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckStatusString(t *testing.T) {
+	cases := []struct {
+		s    CheckStatus
+		want string
+	}{
+		{CheckPass, "PASS"},
+		{CheckFail, "FAIL"},
+		{CheckIncomplete, "INCOMPLETE"},
+		{CheckStatus(42), "UNKNOWN"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("CheckStatus(%d).String() = %q, want %q", int(c.s), got, c.want)
+		}
+	}
+}
+
+func TestEnforcementStatusString(t *testing.T) {
+	cases := []struct {
+		s    EnforcementStatus
+		want string
+	}{
+		{EnforceSuccess, "SUCCESS"},
+		{EnforceFailure, "FAILURE"},
+		{EnforceIncomplete, "INCOMPLETE"},
+		{EnforcementStatus(-1), "UNKNOWN"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("EnforcementStatus(%d).String() = %q, want %q", int(c.s), got, c.want)
+		}
+	}
+}
+
+func TestCheckBool(t *testing.T) {
+	if CheckBool(true) != CheckPass {
+		t.Error("CheckBool(true) should be PASS")
+	}
+	if CheckBool(false) != CheckFail {
+		t.Error("CheckBool(false) should be FAIL")
+	}
+}
+
+func TestCheckFuncAdapter(t *testing.T) {
+	calls := 0
+	var c Checkable = CheckFunc(func() CheckStatus {
+		calls++
+		return CheckPass
+	})
+	if c.Check() != CheckPass || calls != 1 {
+		t.Errorf("CheckFunc adapter misbehaved: calls=%d", calls)
+	}
+}
+
+func TestEnforceFuncAdapter(t *testing.T) {
+	var e Enforceable = EnforceFunc(func() EnforcementStatus { return EnforceFailure })
+	if e.Enforce() != EnforceFailure {
+		t.Error("EnforceFunc adapter did not forward result")
+	}
+}
+
+func TestPredicate(t *testing.T) {
+	on := false
+	p := Predicate(func() bool { return on })
+	if p.Check() != CheckFail {
+		t.Error("predicate over false should FAIL")
+	}
+	on = true
+	if p.Check() != CheckPass {
+		t.Error("predicate over true should PASS")
+	}
+}
+
+func TestConst(t *testing.T) {
+	for _, s := range []CheckStatus{CheckPass, CheckFail, CheckIncomplete} {
+		if Const(s).Check() != s {
+			t.Errorf("Const(%v) did not return %v", s, s)
+		}
+	}
+}
+
+func sampleFinding() Finding {
+	return Finding{
+		ID:        "V-219157",
+		Ver:       "UBTU-18-010017",
+		Rule:      "SV-219157r508662_rule",
+		IA:        "",
+		Sev:       "medium",
+		Desc:      "Removing the NIS package decreases risk.",
+		Guide:     "Canonical Ubuntu 18.04 LTS STIG",
+		Published: "2021-06-16",
+		CheckCode: "C-20882r304786_chk",
+		CheckTxt:  "Verify that the NIS package is not installed.",
+		FixCode:   "F-20881r304787_fix",
+		FixTxt:    "Remove the NIS package: sudo apt-get remove nis",
+	}
+}
+
+func TestFindingAccessors(t *testing.T) {
+	f := sampleFinding()
+	var r Requirement = f
+	pairs := []struct {
+		name, got, want string
+	}{
+		{"FindingID", r.FindingID(), "V-219157"},
+		{"Version", r.Version(), "UBTU-18-010017"},
+		{"RuleID", r.RuleID(), "SV-219157r508662_rule"},
+		{"IAControls", r.IAControls(), ""},
+		{"Severity", r.Severity(), "medium"},
+		{"STIG", r.STIG(), "Canonical Ubuntu 18.04 LTS STIG"},
+		{"Date", r.Date(), "2021-06-16"},
+		{"CheckTextCode", r.CheckTextCode(), "C-20882r304786_chk"},
+		{"FixTextCode", r.FixTextCode(), "F-20881r304787_fix"},
+	}
+	for _, p := range pairs {
+		if p.got != p.want {
+			t.Errorf("%s = %q, want %q", p.name, p.got, p.want)
+		}
+	}
+	if !strings.Contains(r.Description(), "NIS") {
+		t.Error("Description lost content")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	s := sampleFinding().String()
+	for _, want := range []string{
+		"Finding ID: V-219157",
+		"Severity: medium",
+		"STIG: Canonical Ubuntu 18.04 LTS STIG",
+		"Check Text: Verify that the NIS package is not installed.",
+		"Fix Text: Remove the NIS package",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Finding.String() missing %q in:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report export formats: compliance reports feed dashboards (JSON) and
+// review documents (markdown) in addition to the terminal table.
+
+// reportDoc is the JSON schema of an exported report.
+type reportDoc struct {
+	GeneratedAt string          `json:"generated_at,omitempty"`
+	Compliance  float64         `json:"compliance"`
+	Pass        int             `json:"pass"`
+	Fail        int             `json:"fail"`
+	Incomplete  int             `json:"incomplete"`
+	Results     []reportDocItem `json:"results"`
+}
+
+type reportDocItem struct {
+	FindingID   string `json:"finding_id"`
+	Severity    string `json:"severity"`
+	Before      string `json:"before"`
+	Enforced    bool   `json:"enforced"`
+	Enforcement string `json:"enforcement,omitempty"`
+	After       string `json:"after"`
+}
+
+// WriteJSON exports the report. The timestamp is included when stamp is
+// true (benchmarks and golden tests pass false for reproducibility).
+func (r Report) WriteJSON(w io.Writer, stamp bool) error {
+	pass, fail, inc := r.Counts()
+	doc := reportDoc{
+		Compliance: r.Compliance(),
+		Pass:       pass, Fail: fail, Incomplete: inc,
+	}
+	if stamp {
+		doc.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	for _, res := range r.Results {
+		item := reportDocItem{
+			FindingID: res.FindingID,
+			Severity:  res.Severity,
+			Before:    res.Before.String(),
+			Enforced:  res.Enforced,
+			After:     res.After.String(),
+		}
+		if res.Enforced {
+			item.Enforcement = res.Enforcement.String()
+		}
+		doc.Results = append(doc.Results, item)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Markdown renders the report as a markdown table.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| Finding | Severity | Before | Enforced | After |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, res := range r.Results {
+		enf := "-"
+		if res.Enforced {
+			enf = res.Enforcement.String()
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			res.FindingID, res.Severity, res.Before, enf, res.After)
+	}
+	pass, fail, inc := r.Counts()
+	fmt.Fprintf(&b, "\n**Compliance: %.1f%%** (%d pass, %d fail, %d incomplete)\n",
+		100*r.Compliance(), pass, fail, inc)
+	return b.String()
+}

@@ -1,0 +1,366 @@
+// Package extract implements the rule-based formalisation step of
+// VeriDevOps WP2: mapping free-form natural-language security requirements
+// onto specification patterns (internal/tctl). It first tries the strict
+// ReSA boilerplates (internal/resa) and falls back to keyword heuristics,
+// reporting a confidence level with each classification — the automated
+// "extraction, formalization and verification of security requirements from
+// natural language" pipeline the DATE 2021 paper positions as WP2's core.
+package extract
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+
+	"veridevops/internal/resa"
+	"veridevops/internal/sps"
+	"veridevops/internal/tctl"
+)
+
+// Confidence grades how the classification was obtained.
+type Confidence int
+
+// Confidence levels.
+const (
+	// None: no rule matched; the sentence needs manual formalisation.
+	None Confidence = iota
+	// Heuristic: a keyword rule matched free text.
+	Heuristic
+	// Boilerplate: the sentence parsed as a strict ReSA boilerplate.
+	Boilerplate
+)
+
+func (c Confidence) String() string {
+	switch c {
+	case Boilerplate:
+		return "boilerplate"
+	case Heuristic:
+		return "heuristic"
+	default:
+		return "none"
+	}
+}
+
+// Extraction is the result of formalising one sentence.
+type Extraction struct {
+	Source     string
+	Pattern    tctl.Pattern
+	Formula    tctl.Formula
+	Confidence Confidence
+	// Rule names the heuristic that fired (empty for boilerplate hits).
+	Rule string
+}
+
+var (
+	deadlineRe = regexp.MustCompile(`(?i)\bwithin\s+(\d+)\s*(ms|milliseconds?|s|seconds?|minutes?|min)\b`)
+	neverRe    = regexp.MustCompile(`(?i)\b(never|must not|shall not|may not|is prohibited)\b`)
+	alwaysRe   = regexp.MustCompile(`(?i)\b(always|at all times|continuously|globally)\b`)
+	eventualRe = regexp.MustCompile(`(?i)\b(eventually|at some point|finally)\b`)
+	afterRe    = regexp.MustCompile(`(?i)\bafter\s+(.+?),\s*(.+?)\s+until\s+(.+)$`)
+	whileRe    = regexp.MustCompile(`(?i)^while\s+(.+?),\s*(.+)$`)
+	respondRe  = regexp.MustCompile(`(?i)\b(when|whenever|if|upon|on)\b\s+(.+?),\s*(.+)$`)
+	beforeRe   = regexp.MustCompile(`(?i)^(.+?)\s+must\s+(?:be\s+)?precede[ds]?(?:\s+by)?\s+(.+)$`)
+	requireRe  = regexp.MustCompile(`(?i)(.+?)\s+requires?\s+(?:prior\s+)?(.+)$`)
+)
+
+func deadlineOf(s string) (tctl.Bound, string) {
+	m := deadlineRe.FindStringSubmatch(s)
+	if m == nil {
+		return tctl.Unbounded, s
+	}
+	n, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		return tctl.Unbounded, s
+	}
+	mult := int64(1)
+	switch strings.ToLower(m[2])[0] {
+	case 's':
+		mult = 1000
+	}
+	if strings.HasPrefix(strings.ToLower(m[2]), "min") {
+		mult = 60000
+	}
+	return tctl.Within(n * mult), deadlineRe.ReplaceAllString(s, "")
+}
+
+func prop(phrase string) tctl.Prop {
+	return tctl.Prop{Name: resa.Slug(phrase)}
+}
+
+// stripModal removes leading subjects/modals from a clause so the
+// proposition slug names the behaviour rather than the boilerplate glue.
+func stripModal(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, ".")
+	for _, pre := range []string{"then ", "the system shall ", "the system must ", "it shall ", "it must ", "shall ", "must ", "the "} {
+		ls := strings.ToLower(s)
+		if strings.HasPrefix(ls, pre) {
+			s = s[len(pre):]
+			ls = strings.ToLower(s)
+		}
+		_ = ls
+	}
+	return strings.TrimSpace(s)
+}
+
+// Extract formalises one sentence.
+func Extract(sentence string) Extraction {
+	ex := Extraction{Source: sentence}
+	s := strings.TrimSpace(sentence)
+	if s == "" {
+		return ex
+	}
+
+	// 1a. Exact catalogue grammar: the SPS structured-English sentences of
+	// the pattern catalogue parse with full confidence.
+	if res, err := sps.Parse(s); err == nil {
+		ex.Pattern, ex.Formula, ex.Confidence = res.Pattern, res.Formula, Boilerplate
+		ex.Rule = "sps:" + res.Template
+		return ex
+	}
+
+	// 1b. Strict boilerplate. A ubiquitous response opening with
+	// "eventually" is an existence obligation, which the boilerplate
+	// grammar has no kind for; route it to the heuristic layer instead.
+	if r, err := resa.Parse(s); err == nil &&
+		!(r.Kind == resa.Ubiquitous && strings.HasPrefix(strings.ToLower(r.Response), "eventually")) {
+		if p, err := r.ToPattern(); err == nil {
+			if f, err := p.Compile(); err == nil {
+				ex.Pattern, ex.Formula, ex.Confidence = p, f, Boilerplate
+				return ex
+			}
+		}
+	}
+
+	// 2. Keyword heuristics, most specific first.
+	bound, stripped := deadlineOf(strings.TrimSuffix(s, "."))
+
+	if m := afterRe.FindStringSubmatch(stripped); m != nil {
+		p := tctl.Pattern{
+			Behaviour: tctl.Universality, Scope: tctl.AfterUntil,
+			Q: prop(m[1]), P: prop(stripModal(m[2])), R: prop(m[3]),
+		}
+		return heuristic(ex, p, "after-until")
+	}
+	if m := whileRe.FindStringSubmatch(stripped); m != nil {
+		cond := prop(m[1])
+		p := tctl.Pattern{
+			Behaviour: tctl.Universality, Scope: tctl.AfterUntil,
+			Q: cond, P: prop(stripModal(m[2])), R: tctl.Not{F: cond},
+		}
+		return heuristic(ex, p, "while-universality")
+	}
+	if neverRe.MatchString(stripped) {
+		body := neverRe.ReplaceAllString(stripped, "")
+		p := tctl.Pattern{Behaviour: tctl.Absence, Scope: tctl.Globally, P: prop(stripModal(body))}
+		return heuristic(ex, p, "absence")
+	}
+	if m := respondRe.FindStringSubmatch(stripped); m != nil {
+		p := tctl.Pattern{
+			Behaviour: tctl.Response, Scope: tctl.Globally,
+			P: prop(m[2]), S: prop(stripModal(m[3])), B: bound,
+		}
+		return heuristic(ex, p, "response")
+	}
+	if m := beforeRe.FindStringSubmatch(stripped); m != nil {
+		p := tctl.Pattern{Behaviour: tctl.Precedence, Scope: tctl.Globally,
+			P: prop(stripModal(m[1])), S: prop(stripModal(m[2]))}
+		return heuristic(ex, p, "precedence")
+	}
+	if m := requireRe.FindStringSubmatch(stripped); m != nil {
+		p := tctl.Pattern{Behaviour: tctl.Precedence, Scope: tctl.Globally,
+			P: prop(stripModal(m[1])), S: prop(stripModal(m[2]))}
+		return heuristic(ex, p, "precedence")
+	}
+	if eventualRe.MatchString(stripped) {
+		body := eventualRe.ReplaceAllString(stripped, "")
+		p := tctl.Pattern{Behaviour: tctl.Existence, Scope: tctl.Globally, P: prop(stripModal(body)), B: bound}
+		return heuristic(ex, p, "existence")
+	}
+	if alwaysRe.MatchString(stripped) {
+		body := alwaysRe.ReplaceAllString(stripped, "")
+		p := tctl.Pattern{Behaviour: tctl.Universality, Scope: tctl.Globally, P: prop(stripModal(body))}
+		return heuristic(ex, p, "universality")
+	}
+	if strings.Contains(strings.ToLower(stripped), " shall ") || strings.Contains(strings.ToLower(stripped), " must ") {
+		// Plain imperative with no scope keywords: universal obligation.
+		p := tctl.Pattern{Behaviour: tctl.Universality, Scope: tctl.Globally, P: prop(stripModal(stripped))}
+		return heuristic(ex, p, "imperative-universality")
+	}
+	return ex
+}
+
+func heuristic(ex Extraction, p tctl.Pattern, rule string) Extraction {
+	f, err := p.Compile()
+	if err != nil {
+		return ex
+	}
+	ex.Pattern, ex.Formula, ex.Confidence, ex.Rule = p, f, Heuristic, rule
+	return ex
+}
+
+// ExtractAll formalises a list of sentences.
+func ExtractAll(sentences []string) []Extraction {
+	out := make([]Extraction, 0, len(sentences))
+	for _, s := range sentences {
+		out = append(out, Extract(s))
+	}
+	return out
+}
+
+// SplitSentences is a minimal sentence splitter for requirement documents:
+// it splits on '.', '!' and '?' terminators while keeping decimal numbers
+// and common abbreviations intact.
+func SplitSentences(text string) []string {
+	var out []string
+	var cur strings.Builder
+	runes := []rune(text)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		cur.WriteRune(r)
+		if r == '.' || r == '!' || r == '?' {
+			// keep decimals like "4.2" together
+			if r == '.' && i+1 < len(runes) && runes[i+1] >= '0' && runes[i+1] <= '9' {
+				continue
+			}
+			s := strings.TrimSpace(cur.String())
+			if s != "" && s != "." {
+				out = append(out, s)
+			}
+			cur.Reset()
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// LabelledSentence pairs a sentence with its expected pattern class, the
+// ground truth of the E8 accuracy experiment.
+type LabelledSentence struct {
+	Text      string
+	Behaviour tctl.Behaviour
+	Scope     tctl.Scope
+}
+
+// Accuracy scores extraction against labelled ground truth: the fraction
+// of sentences classified with the right behaviour and scope.
+func Accuracy(corpus []LabelledSentence) float64 {
+	if len(corpus) == 0 {
+		return 1
+	}
+	ok := 0
+	for _, ls := range corpus {
+		ex := Extract(ls.Text)
+		if ex.Confidence != None && ex.Pattern.Behaviour == ls.Behaviour && ex.Pattern.Scope == ls.Scope {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(corpus))
+}
+
+// AccuracyPerBehaviour breaks Accuracy down by expected behaviour class.
+func AccuracyPerBehaviour(corpus []LabelledSentence) map[tctl.Behaviour]float64 {
+	hit := map[tctl.Behaviour]int{}
+	total := map[tctl.Behaviour]int{}
+	for _, ls := range corpus {
+		total[ls.Behaviour]++
+		ex := Extract(ls.Text)
+		if ex.Confidence != None && ex.Pattern.Behaviour == ls.Behaviour && ex.Pattern.Scope == ls.Scope {
+			hit[ls.Behaviour]++
+		}
+	}
+	out := map[tctl.Behaviour]float64{}
+	for b, n := range total {
+		out[b] = float64(hit[b]) / float64(n)
+	}
+	return out
+}
+
+// BenchmarkCorpus returns the labelled sentence corpus used by the E8
+// experiment: security requirements phrased the way the VeriDevOps case
+// studies write them, spanning every behaviour class.
+func BenchmarkCorpus() []LabelledSentence {
+	mk := func(b tctl.Behaviour, sc tctl.Scope, texts ...string) []LabelledSentence {
+		out := make([]LabelledSentence, 0, len(texts))
+		for _, t := range texts {
+			out = append(out, LabelledSentence{Text: t, Behaviour: b, Scope: sc})
+		}
+		return out
+	}
+	var corpus []LabelledSentence
+	corpus = append(corpus, mk(tctl.Universality, tctl.Globally,
+		"The gateway shall encrypt all traffic.",
+		"The firewall must drop packets from blacklisted hosts at all times.",
+		"Audit logging shall always remain enabled.",
+		"The session token must be signed.",
+		"The boot loader shall verify signatures.",
+		"The service must run with least privilege.",
+		"Disk volumes shall be encrypted.",
+		"The system shall enforce the password policy.",
+		"TLS 1.2 or higher shall be used.",
+		"Security patches must be applied.",
+	)...)
+	corpus = append(corpus, mk(tctl.Absence, tctl.Globally,
+		"The server shall not store plaintext passwords.",
+		"The device must not expose a telnet service.",
+		"Debug interfaces must never be reachable from the internet.",
+		"The application shall not log credit card numbers.",
+		"Root login over SSH is prohibited.",
+		"The kernel must not load unsigned modules.",
+		"The agent shall not transmit credentials in clear text.",
+		"Anonymous uploads must never be accepted.",
+		"The backup job must not run with domain administrator rights.",
+		"The container shall not mount the host filesystem.",
+	)...)
+	corpus = append(corpus, mk(tctl.Response, tctl.Globally,
+		"When an intrusion is detected, the monitor shall raise an alarm within 5 seconds.",
+		"When a login fails three times, the account shall be locked.",
+		"If a checksum fails, then the loader shall abort the update.",
+		"Upon certificate expiry, the broker shall reject new sessions.",
+		"When tampering is sensed, the device shall zeroize its keys within 100 ms.",
+		"If the audit disk fills up, the system shall alert the operator.",
+		"When a session is idle for 15 minutes, the terminal shall lock.",
+		"Whenever malware is quarantined, the agent shall notify the console within 2 seconds.",
+		"If an unauthorized change is found, the verifier shall restore the baseline.",
+		"On power restoration, the controller shall re-run the integrity check.",
+	)...)
+	corpus = append(corpus, mk(tctl.Precedence, tctl.Globally,
+		"Privileged access requires prior multifactor authentication.",
+		"Configuration changes require prior approval.",
+		"Remote execution requires prior authentication.",
+		"Database access must be preceded by authorization.",
+		"Firmware installation requires prior signature verification.",
+		"Key export requires prior dual control.",
+		"Session establishment must be preceded by certificate validation.",
+		"Account deletion requires prior confirmation.",
+		"Log deletion requires prior archival.",
+		"Production deployment requires prior security review.",
+	)...)
+	corpus = append(corpus, mk(tctl.Existence, tctl.Globally,
+		"The scanner shall eventually complete a full system sweep.",
+		"The rotation job shall eventually archive every log segment.",
+		"A vulnerability report shall eventually be produced.",
+		"The revoked certificate shall eventually be purged from all caches.",
+		"Every quarantined file shall eventually be reviewed.",
+		"The backup shall eventually be replicated off-site.",
+		"The incident ticket shall eventually be closed.",
+		"All pending patches shall eventually be installed.",
+		"The audit trail shall eventually be sealed.",
+		"The key ceremony shall eventually be completed.",
+	)...)
+	corpus = append(corpus, mk(tctl.Universality, tctl.AfterUntil,
+		"After maintenance begins, diagnostics shall stay enabled until maintenance ends.",
+		"After lockdown is declared, external ports shall remain closed until the all-clear is issued.",
+		"After an incident is raised, enhanced logging shall stay active until the incident is closed.",
+		"After a breach is confirmed, network isolation shall remain in force until forensics completes.",
+		"After degraded mode starts, write access shall stay disabled until recovery finishes.",
+		"While maintenance mode is active, the controller shall reject remote commands.",
+		"While the vault is open, the camera shall record.",
+		"While an update is in progress, the watchdog shall suppress restarts.",
+		"While the debugger is attached, secrets shall stay masked.",
+		"While the alarm is active, the door shall remain locked.",
+	)...)
+	return corpus
+}

@@ -1,0 +1,177 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"veridevops/internal/tctl"
+)
+
+func TestExtractBoilerplateConfidence(t *testing.T) {
+	ex := Extract("When an intrusion is detected, the monitor shall raise an alarm within 5 seconds.")
+	if ex.Confidence != Boilerplate {
+		t.Errorf("Confidence = %v, want boilerplate", ex.Confidence)
+	}
+	if ex.Pattern.Behaviour != tctl.Response || ex.Pattern.Scope != tctl.Globally {
+		t.Errorf("classified as %v/%v", ex.Pattern.Behaviour, ex.Pattern.Scope)
+	}
+	if !ex.Pattern.B.Valid || ex.Pattern.B.D != 5000 {
+		t.Errorf("bound = %+v, want 5000", ex.Pattern.B)
+	}
+	if ex.Formula == nil {
+		t.Fatal("formula missing")
+	}
+	if _, err := tctl.Parse(ex.Formula.String()); err != nil {
+		t.Errorf("formula must re-parse: %v", err)
+	}
+}
+
+func TestExtractHeuristicAbsence(t *testing.T) {
+	ex := Extract("Debug interfaces must never be reachable from the internet.")
+	if ex.Confidence != Heuristic || ex.Rule != "absence" {
+		t.Errorf("got %v/%s", ex.Confidence, ex.Rule)
+	}
+	if ex.Pattern.Behaviour != tctl.Absence {
+		t.Errorf("behaviour = %v", ex.Pattern.Behaviour)
+	}
+}
+
+func TestExtractHeuristicResponseWithDeadline(t *testing.T) {
+	ex := Extract("Upon certificate expiry, the broker shall reject new sessions within 2 seconds.")
+	if ex.Confidence != Heuristic || ex.Rule != "response" {
+		t.Fatalf("got %v/%s", ex.Confidence, ex.Rule)
+	}
+	if !ex.Pattern.B.Valid || ex.Pattern.B.D != 2000 {
+		t.Errorf("bound = %+v", ex.Pattern.B)
+	}
+}
+
+func TestExtractPrecedence(t *testing.T) {
+	for _, s := range []string{
+		"Privileged access requires prior multifactor authentication.",
+		"Database access must be preceded by authorization.",
+	} {
+		ex := Extract(s)
+		if ex.Pattern.Behaviour != tctl.Precedence {
+			t.Errorf("%q -> %v (%s)", s, ex.Pattern.Behaviour, ex.Rule)
+		}
+	}
+}
+
+func TestExtractExistence(t *testing.T) {
+	ex := Extract("The backup shall eventually be replicated off-site.")
+	if ex.Pattern.Behaviour != tctl.Existence {
+		t.Errorf("behaviour = %v", ex.Pattern.Behaviour)
+	}
+}
+
+func TestExtractAfterUntil(t *testing.T) {
+	ex := Extract("After lockdown is declared, external ports shall remain closed until the all-clear is issued.")
+	if ex.Pattern.Behaviour != tctl.Universality || ex.Pattern.Scope != tctl.AfterUntil {
+		t.Errorf("got %v/%v (%s)", ex.Pattern.Behaviour, ex.Pattern.Scope, ex.Rule)
+	}
+}
+
+func TestExtractWhileHeuristic(t *testing.T) {
+	ex := Extract("While the debugger is attached, secrets shall stay masked.")
+	if ex.Pattern.Scope != tctl.AfterUntil || ex.Rule != "while-universality" {
+		t.Errorf("got %v/%v (%s)", ex.Pattern.Behaviour, ex.Pattern.Scope, ex.Rule)
+	}
+}
+
+func TestExtractSPSGrammar(t *testing.T) {
+	ex := Extract("Globally, it is always the case that if intrusion holds, then alarm eventually holds within 50 time units.")
+	if ex.Confidence != Boilerplate || ex.Rule != "sps:global-response-timed" {
+		t.Fatalf("got %v/%s", ex.Confidence, ex.Rule)
+	}
+	if ex.Formula.String() != "intrusion -->[<=50] alarm" {
+		t.Errorf("formula = %q", ex.Formula)
+	}
+}
+
+func TestExtractNoMatch(t *testing.T) {
+	for _, s := range []string{"", "hello world", "lorem ipsum dolor"} {
+		ex := Extract(s)
+		if ex.Confidence != None {
+			t.Errorf("%q should not classify, got %v/%s", s, ex.Confidence, ex.Rule)
+		}
+	}
+}
+
+func TestExtractAllPreservesOrder(t *testing.T) {
+	exs := ExtractAll([]string{
+		"The gateway shall encrypt all traffic.",
+		"garbage",
+	})
+	if len(exs) != 2 || exs[0].Confidence == None || exs[1].Confidence != None {
+		t.Errorf("ExtractAll = %+v", exs)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	text := "The system shall comply with section 4.2 of the standard. It must not fail! Does it log? Yes"
+	got := SplitSentences(text)
+	if len(got) != 4 {
+		t.Fatalf("SplitSentences = %d pieces: %q", len(got), got)
+	}
+	if !strings.Contains(got[0], "4.2") {
+		t.Errorf("decimal split: %q", got[0])
+	}
+	if got[3] != "Yes" {
+		t.Errorf("trailing fragment lost: %q", got[3])
+	}
+	if len(SplitSentences("")) != 0 {
+		t.Error("empty text should yield no sentences")
+	}
+}
+
+func TestBenchmarkCorpusAccuracy(t *testing.T) {
+	corpus := BenchmarkCorpus()
+	if len(corpus) < 60 {
+		t.Fatalf("corpus has %d sentences, want >= 60", len(corpus))
+	}
+	acc := Accuracy(corpus)
+	if acc < 0.9 {
+		per := AccuracyPerBehaviour(corpus)
+		t.Errorf("accuracy = %.2f, want >= 0.9 (per-behaviour: %v)", acc, per)
+		for _, ls := range corpus {
+			ex := Extract(ls.Text)
+			if ex.Confidence == None || ex.Pattern.Behaviour != ls.Behaviour || ex.Pattern.Scope != ls.Scope {
+				t.Logf("MISS %q -> %v/%v via %s", ls.Text, ex.Pattern.Behaviour, ex.Pattern.Scope, ex.Rule)
+			}
+		}
+	}
+}
+
+func TestAccuracyDegenerate(t *testing.T) {
+	if Accuracy(nil) != 1 {
+		t.Error("empty corpus accuracy should be 1")
+	}
+}
+
+func TestAccuracyPerBehaviourKeys(t *testing.T) {
+	per := AccuracyPerBehaviour(BenchmarkCorpus())
+	for _, b := range []tctl.Behaviour{tctl.Universality, tctl.Absence, tctl.Response, tctl.Precedence, tctl.Existence} {
+		if _, ok := per[b]; !ok {
+			t.Errorf("missing behaviour %v in breakdown", b)
+		}
+	}
+}
+
+func TestConfidenceString(t *testing.T) {
+	if None.String() != "none" || Heuristic.String() != "heuristic" || Boilerplate.String() != "boilerplate" {
+		t.Error("confidence names wrong")
+	}
+}
+
+func TestEveryExtractionFormulaParses(t *testing.T) {
+	for _, ls := range BenchmarkCorpus() {
+		ex := Extract(ls.Text)
+		if ex.Confidence == None {
+			continue
+		}
+		if _, err := tctl.Parse(ex.Formula.String()); err != nil {
+			t.Errorf("%q: formula %q does not parse: %v", ls.Text, ex.Formula.String(), err)
+		}
+	}
+}

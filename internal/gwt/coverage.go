@@ -1,0 +1,114 @@
+package gwt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Requirement traceability: TIGER links generated tests back to the
+// security requirements that motivated the model, so a test suite can be
+// audited for requirement coverage, not just structural coverage.
+
+// RequirementMap associates model edges with requirement IDs (an edge may
+// exercise several requirements; a requirement may be exercised by several
+// edges).
+type RequirementMap struct {
+	byEdge map[string][]string
+	all    map[string]struct{}
+}
+
+// NewRequirementMap returns an empty mapping.
+func NewRequirementMap() *RequirementMap {
+	return &RequirementMap{byEdge: map[string][]string{}, all: map[string]struct{}{}}
+}
+
+// Link records that traversing edgeID exercises reqID.
+func (rm *RequirementMap) Link(edgeID, reqID string) *RequirementMap {
+	rm.byEdge[edgeID] = append(rm.byEdge[edgeID], reqID)
+	rm.all[reqID] = struct{}{}
+	return rm
+}
+
+// Declare registers a requirement with no edge yet: it will show up as
+// uncovered until linked and exercised, surfacing traceability gaps.
+func (rm *RequirementMap) Declare(reqID string) *RequirementMap {
+	rm.all[reqID] = struct{}{}
+	return rm
+}
+
+// Requirements returns all known requirement IDs, sorted.
+func (rm *RequirementMap) Requirements() []string {
+	out := make([]string, 0, len(rm.all))
+	for r := range rm.all {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Covered returns the requirement IDs exercised by the test cases, sorted.
+func (rm *RequirementMap) Covered(tcs []TestCase) []string {
+	set := map[string]struct{}{}
+	for _, tc := range tcs {
+		for _, st := range tc.Steps {
+			for _, r := range rm.byEdge[st.EdgeID] {
+				set[r] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Coverage returns the fraction of known requirements exercised.
+func (rm *RequirementMap) Coverage(tcs []TestCase) float64 {
+	if len(rm.all) == 0 {
+		return 1
+	}
+	return float64(len(rm.Covered(tcs))) / float64(len(rm.all))
+}
+
+// Uncovered returns the requirement IDs not exercised, sorted.
+func (rm *RequirementMap) Uncovered(tcs []TestCase) []string {
+	covered := map[string]struct{}{}
+	for _, r := range rm.Covered(tcs) {
+		covered[r] = struct{}{}
+	}
+	var out []string
+	for _, r := range rm.Requirements() {
+		if _, ok := covered[r]; !ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Matrix renders the traceability matrix: one row per requirement with the
+// edges that exercise it and whether the suite covers it.
+func (rm *RequirementMap) Matrix(tcs []TestCase) string {
+	coveredSet := map[string]bool{}
+	for _, r := range rm.Covered(tcs) {
+		coveredSet[r] = true
+	}
+	// Invert edge->req into req->edges.
+	byReq := map[string][]string{}
+	for e, reqs := range rm.byEdge {
+		for _, r := range reqs {
+			byReq[r] = append(byReq[r], e)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-9s %s\n", "REQUIREMENT", "COVERED", "EDGES")
+	for _, r := range rm.Requirements() {
+		edges := byReq[r]
+		sort.Strings(edges)
+		fmt.Fprintf(&b, "%-16s %-9v %s\n", r, coveredSet[r], strings.Join(edges, ","))
+	}
+	fmt.Fprintf(&b, "requirement coverage: %.0f%%\n", 100*rm.Coverage(tcs))
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package gwt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func coverageModel() (*Model, *RequirementMap) {
+	m := NewModel("m", "v0")
+	m.AddVertex(Vertex{ID: "v1"})
+	m.AddVertex(Vertex{ID: "v2"})
+	m.AddEdge(Edge{ID: "login", From: "v0", To: "v1"})
+	m.AddEdge(Edge{ID: "escalate", From: "v1", To: "v2"})
+	m.AddEdge(Edge{ID: "logout", From: "v2", To: "v0"})
+	rm := NewRequirementMap().
+		Link("login", "REQ-AUTH").
+		Link("escalate", "REQ-PRIV").
+		Link("logout", "REQ-AUTH").
+		Declare("REQ-ORPHAN")
+	return m, rm
+}
+
+func TestRequirementCoverageFull(t *testing.T) {
+	m, rm := coverageModel()
+	tcs := AllEdges(m)
+	covered := rm.Covered(tcs)
+	if len(covered) != 2 || covered[0] != "REQ-AUTH" || covered[1] != "REQ-PRIV" {
+		t.Errorf("Covered = %v", covered)
+	}
+	// 2 of 3 known requirements (REQ-ORPHAN has no edge).
+	if got := rm.Coverage(tcs); got < 0.66 || got > 0.67 {
+		t.Errorf("Coverage = %v, want 2/3", got)
+	}
+	unc := rm.Uncovered(tcs)
+	if len(unc) != 1 || unc[0] != "REQ-ORPHAN" {
+		t.Errorf("Uncovered = %v", unc)
+	}
+}
+
+func TestRequirementCoveragePartial(t *testing.T) {
+	m, rm := coverageModel()
+	// A suite that only takes the first edge.
+	tcs := []TestCase{{Steps: []Step{{EdgeID: "login", VertexID: "v1"}}}}
+	covered := rm.Covered(tcs)
+	if len(covered) != 1 || covered[0] != "REQ-AUTH" {
+		t.Errorf("Covered = %v", covered)
+	}
+	if len(rm.Uncovered(tcs)) != 2 {
+		t.Errorf("Uncovered = %v", rm.Uncovered(tcs))
+	}
+	_ = m
+}
+
+func TestRequirementMatrix(t *testing.T) {
+	m, rm := coverageModel()
+	out := rm.Matrix(AllEdges(m))
+	for _, want := range []string{"REQ-AUTH", "login,logout", "REQ-ORPHAN", "false", "requirement coverage: 67%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyRequirementMap(t *testing.T) {
+	rm := NewRequirementMap()
+	if rm.Coverage(nil) != 1 {
+		t.Error("empty map is vacuously covered")
+	}
+	if len(rm.Requirements()) != 0 {
+		t.Error("no requirements expected")
+	}
+}
+
+// Property: edge coverage of 100% implies requirement coverage of 100%
+// for maps where every requirement is linked to at least one edge.
+func TestFullEdgeCoverageImpliesLinkedReqCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 10; iter++ {
+		m := RandomModel("m", 6+rng.Intn(6), 5, rng)
+		rm := NewRequirementMap()
+		for i, e := range m.Edges {
+			rm.Link(e.ID, []string{"REQ-A", "REQ-B", "REQ-C"}[i%3])
+		}
+		tcs := AllEdges(m)
+		if EdgeCoverage(m, tcs) != 1 {
+			t.Fatal("all-edges must fully cover")
+		}
+		if rm.Coverage(tcs) != 1 {
+			t.Fatalf("iter %d: requirement coverage %.2f", iter, rm.Coverage(tcs))
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package gwt
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Abstract test-path generators, mirroring GraphWalker's generator/stop-
+// condition pairs.
+
+// Progress is the incremental generation state a StopCondition inspects;
+// it is updated in O(1) per step so stop conditions stay cheap on long
+// walks.
+type Progress struct {
+	Model *Model
+	// Steps is the number of steps taken so far.
+	Steps int
+
+	covered map[string]bool
+}
+
+// EdgeCoverage returns the fraction of model edges covered so far.
+func (p *Progress) EdgeCoverage() float64 {
+	if len(p.Model.Edges) == 0 {
+		return 1
+	}
+	return float64(len(p.covered)) / float64(len(p.Model.Edges))
+}
+
+func (p *Progress) record(e Edge) {
+	p.covered[e.ID] = true
+	p.Steps++
+}
+
+// StopCondition decides when a generator may stop.
+type StopCondition func(p *Progress) bool
+
+// EdgeCoverageAtLeast stops once the given fraction of edges is covered.
+func EdgeCoverageAtLeast(frac float64) StopCondition {
+	return func(p *Progress) bool { return p.EdgeCoverage() >= frac }
+}
+
+// StepsAtMost stops after the given total number of steps.
+func StepsAtMost(n int) StopCondition {
+	return func(p *Progress) bool { return p.Steps >= n }
+}
+
+// RandomWalk walks the model uniformly at random from the start vertex
+// until the stop condition holds (checked at every step), producing a
+// single test case. Vertices without outgoing edges restart the walk.
+func RandomWalk(m *Model, rng *rand.Rand, stop StopCondition) []TestCase {
+	return walk(m, stop, func(outs []int) int { return outs[rng.Intn(len(outs))] })
+}
+
+// WeightedRandomWalk is RandomWalk biased by edge weights (unweighted
+// edges count as weight 1).
+func WeightedRandomWalk(m *Model, rng *rand.Rand, stop StopCondition) []TestCase {
+	return walk(m, stop, func(outs []int) int {
+		total := 0.0
+		for _, ei := range outs {
+			total += weightOf(m.Edges[ei])
+		}
+		x := rng.Float64() * total
+		for _, ei := range outs {
+			x -= weightOf(m.Edges[ei])
+			if x <= 0 {
+				return ei
+			}
+		}
+		return outs[len(outs)-1]
+	})
+}
+
+func weightOf(e Edge) float64 {
+	if e.Weight <= 0 {
+		return 1
+	}
+	return e.Weight
+}
+
+func walk(m *Model, stop StopCondition, choose func(outs []int) int) []TestCase {
+	m.index()
+	tc := TestCase{Name: "walk"}
+	at := m.StartID
+	progress := &Progress{Model: m, covered: map[string]bool{}}
+	const hardCap = 1 << 24 // runaway guard for unsatisfiable stop conditions
+	for progress.Steps < hardCap {
+		if stop(progress) {
+			break
+		}
+		outs := m.Out(at)
+		if len(outs) == 0 {
+			if at == m.StartID {
+				break // the start vertex is a sink: nothing to walk
+			}
+			at = m.StartID // dead end: restart
+			continue
+		}
+		ei := choose(outs)
+		e := m.Edges[ei]
+		tc.Steps = append(tc.Steps, Step{EdgeID: e.ID, EdgeName: e.Name, VertexID: e.To})
+		progress.record(e)
+		at = e.To
+	}
+	return []TestCase{tc}
+}
+
+// AllEdges generates test cases achieving 100% edge coverage with a greedy
+// nearest-uncovered strategy: from the current vertex, walk the BFS-
+// shortest path to the closest uncovered edge and traverse it; when no
+// uncovered edge is reachable, close the test case and restart from the
+// start vertex. On strongly-connected models this yields a single test
+// case whose length is near the chinese-postman optimum.
+func AllEdges(m *Model) []TestCase {
+	m.index()
+	covered := map[string]bool{}
+	var tcs []TestCase
+	caseNo := 0
+
+	for len(covered) < len(m.Edges) {
+		caseNo++
+		tc := TestCase{Name: fmt.Sprintf("all-edges-%d", caseNo)}
+		at := m.StartID
+		for {
+			path := m.pathToUncovered(at, covered)
+			if path == nil {
+				break // nothing reachable from here; start a new case
+			}
+			for _, ei := range path {
+				e := m.Edges[ei]
+				tc.Steps = append(tc.Steps, Step{EdgeID: e.ID, EdgeName: e.Name, VertexID: e.To})
+				covered[e.ID] = true
+				at = e.To
+			}
+		}
+		if len(tc.Steps) == 0 {
+			// No uncovered edge reachable from start: disconnected input.
+			break
+		}
+		tcs = append(tcs, tc)
+	}
+	return tcs
+}
+
+// pathToUncovered returns the edge-index path from `from` to (and through)
+// the nearest uncovered edge, or nil when none is reachable. BFS over
+// vertices with edge parents.
+func (m *Model) pathToUncovered(from string, covered map[string]bool) []int {
+	type crumb struct {
+		vertex  string
+		viaEdge int
+		parent  int // index into crumbs, -1 for root
+	}
+	crumbs := []crumb{{vertex: from, viaEdge: -1, parent: -1}}
+	seen := map[string]bool{from: true}
+	for head := 0; head < len(crumbs); head++ {
+		cur := crumbs[head]
+		for _, ei := range m.Out(cur.vertex) {
+			e := m.Edges[ei]
+			if !covered[e.ID] {
+				// Take the path to cur, then this uncovered edge.
+				var rev []int
+				for i := head; crumbs[i].viaEdge >= 0; i = crumbs[i].parent {
+					rev = append(rev, crumbs[i].viaEdge)
+				}
+				path := make([]int, 0, len(rev)+1)
+				for i := len(rev) - 1; i >= 0; i-- {
+					path = append(path, rev[i])
+				}
+				return append(path, ei)
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				crumbs = append(crumbs, crumb{vertex: e.To, viaEdge: ei, parent: head})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package gwt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+)
+
+// Vertex is a model state.
+type Vertex struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+}
+
+// Edge is a model transition (a test stimulus).
+type Edge struct {
+	ID     string  `json:"id"`
+	Name   string  `json:"name"`
+	From   string  `json:"sourceVertexId"`
+	To     string  `json:"targetVertexId"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Model is a GraphWalker-style directed graph model.
+type Model struct {
+	Name     string   `json:"name"`
+	StartID  string   `json:"startVertexId"`
+	Vertices []Vertex `json:"vertices"`
+	Edges    []Edge   `json:"edges"`
+
+	byID map[string]int // vertex id -> index
+	out  map[string][]int
+}
+
+// NewModel returns a model containing only the start vertex.
+func NewModel(name, startID string) *Model {
+	m := &Model{Name: name, StartID: startID}
+	m.AddVertex(Vertex{ID: startID, Name: startID})
+	return m
+}
+
+// AddVertex appends a vertex.
+func (m *Model) AddVertex(v Vertex) *Model {
+	m.Vertices = append(m.Vertices, v)
+	m.invalidate()
+	return m
+}
+
+// AddEdge appends an edge.
+func (m *Model) AddEdge(e Edge) *Model {
+	m.Edges = append(m.Edges, e)
+	m.invalidate()
+	return m
+}
+
+func (m *Model) invalidate() { m.byID = nil; m.out = nil }
+
+func (m *Model) index() {
+	if m.byID != nil {
+		return
+	}
+	m.byID = make(map[string]int, len(m.Vertices))
+	for i, v := range m.Vertices {
+		m.byID[v.ID] = i
+	}
+	m.out = make(map[string][]int)
+	for i, e := range m.Edges {
+		m.out[e.From] = append(m.out[e.From], i)
+	}
+}
+
+// Out returns the indices of edges leaving the vertex.
+func (m *Model) Out(vertexID string) []int {
+	m.index()
+	return m.out[vertexID]
+}
+
+// Validate checks referential integrity and that every vertex and edge is
+// reachable from the start vertex.
+func (m *Model) Validate() error {
+	m.index()
+	if _, ok := m.byID[m.StartID]; !ok {
+		return fmt.Errorf("gwt: start vertex %q undefined", m.StartID)
+	}
+	seen := map[string]bool{}
+	for _, v := range m.Vertices {
+		if seen[v.ID] {
+			return fmt.Errorf("gwt: duplicate vertex %q", v.ID)
+		}
+		seen[v.ID] = true
+	}
+	for _, e := range m.Edges {
+		if _, ok := m.byID[e.From]; !ok {
+			return fmt.Errorf("gwt: edge %q from undefined vertex %q", e.ID, e.From)
+		}
+		if _, ok := m.byID[e.To]; !ok {
+			return fmt.Errorf("gwt: edge %q to undefined vertex %q", e.ID, e.To)
+		}
+	}
+	// Reachability.
+	reached := map[string]bool{m.StartID: true}
+	stack := []string{m.StartID}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range m.out[v] {
+			to := m.Edges[ei].To
+			if !reached[to] {
+				reached[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	for _, v := range m.Vertices {
+		if !reached[v.ID] {
+			return fmt.Errorf("gwt: vertex %q unreachable from start", v.ID)
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes the model as GraphWalker-style JSON.
+func (m *Model) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadJSON decodes a model written by WriteJSON (or hand-authored in the
+// same layout) and validates it.
+func ReadJSON(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("gwt: model json: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// RandomModel generates a strongly-connected random model: a Hamiltonian
+// ring over n vertices guarantees strong connectivity, plus extra random
+// chord edges. Deterministic in rng; used by the E5 experiment.
+func RandomModel(name string, n, extraEdges int, rng *rand.Rand) *Model {
+	if n < 2 {
+		panic("gwt: RandomModel needs n >= 2")
+	}
+	m := NewModel(name, "v0")
+	for i := 1; i < n; i++ {
+		m.AddVertex(Vertex{ID: fmt.Sprintf("v%d", i), Name: fmt.Sprintf("state %d", i)})
+	}
+	eid := 0
+	addEdge := func(from, to int) {
+		m.AddEdge(Edge{
+			ID:   fmt.Sprintf("e%d", eid),
+			Name: fmt.Sprintf("step %d", eid),
+			From: fmt.Sprintf("v%d", from),
+			To:   fmt.Sprintf("v%d", to),
+		})
+		eid++
+	}
+	for i := 0; i < n; i++ {
+		addEdge(i, (i+1)%n)
+	}
+	for k := 0; k < extraEdges; k++ {
+		addEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return m
+}
+
+// Step is one element of an abstract test path: a visited edge with its
+// endpoint vertex.
+type Step struct {
+	EdgeID   string `json:"edge"`
+	EdgeName string `json:"name"`
+	VertexID string `json:"vertex"`
+}
+
+// TestCase is an abstract test: a start-anchored path through the model.
+type TestCase struct {
+	Name  string `json:"name"`
+	Steps []Step `json:"steps"`
+}
+
+// EdgeCoverage returns the fraction of model edges covered by the test
+// cases.
+func EdgeCoverage(m *Model, tcs []TestCase) float64 {
+	if len(m.Edges) == 0 {
+		return 1
+	}
+	covered := map[string]bool{}
+	for _, tc := range tcs {
+		for _, st := range tc.Steps {
+			covered[st.EdgeID] = true
+		}
+	}
+	return float64(len(covered)) / float64(len(m.Edges))
+}
+
+// VertexCoverage returns the fraction of model vertices visited.
+func VertexCoverage(m *Model, tcs []TestCase) float64 {
+	if len(m.Vertices) == 0 {
+		return 1
+	}
+	visited := map[string]bool{m.StartID: true}
+	for _, tc := range tcs {
+		for _, st := range tc.Steps {
+			visited[st.VertexID] = true
+		}
+	}
+	return float64(len(visited)) / float64(len(m.Vertices))
+}
+
+// TotalSteps sums the lengths of all test cases: the cost measure of the
+// E5 experiment.
+func TotalSteps(tcs []TestCase) int {
+	n := 0
+	for _, tc := range tcs {
+		n += len(tc.Steps)
+	}
+	return n
+}
+
+// UncoveredEdges lists edge IDs not exercised by the test cases, sorted.
+func UncoveredEdges(m *Model, tcs []TestCase) []string {
+	covered := map[string]bool{}
+	for _, tc := range tcs {
+		for _, st := range tc.Steps {
+			covered[st.EdgeID] = true
+		}
+	}
+	var out []string
+	for _, e := range m.Edges {
+		if !covered[e.ID] {
+			out = append(out, e.ID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

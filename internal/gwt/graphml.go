@@ -1,0 +1,114 @@
+package gwt
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// GraphML model input: D2.7 notes that GraphWalker accepts models "in Json
+// or GraphML"; this reader covers the GraphML subset yEd/GraphWalker
+// produce — nodes with label data, directed edges with label data, and an
+// optional weight attribute.
+
+type graphmlDoc struct {
+	XMLName xml.Name      `xml:"graphml"`
+	Graphs  []graphmlBody `xml:"graph"`
+}
+
+type graphmlBody struct {
+	ID      string        `xml:"id,attr"`
+	Default string        `xml:"edgedefault,attr"`
+	Nodes   []graphmlNode `xml:"node"`
+	Edges   []graphmlEdge `xml:"edge"`
+}
+
+type graphmlNode struct {
+	ID   string        `xml:"id,attr"`
+	Data []graphmlData `xml:"data"`
+}
+
+type graphmlEdge struct {
+	ID     string        `xml:"id,attr"`
+	Source string        `xml:"source,attr"`
+	Target string        `xml:"target,attr"`
+	Data   []graphmlData `xml:"data"`
+}
+
+type graphmlData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+func dataValue(ds []graphmlData, keys ...string) string {
+	for _, d := range ds {
+		for _, k := range keys {
+			if d.Key == k {
+				return strings.TrimSpace(d.Value)
+			}
+		}
+	}
+	return ""
+}
+
+// ReadGraphML parses a GraphML model. Node/edge labels are taken from
+// data elements keyed "label"/"d0"/"description"; missing labels fall back
+// to the element ID. The first node is the start vertex unless one is
+// labelled "Start" (GraphWalker's convention).
+func ReadGraphML(r io.Reader) (*Model, error) {
+	var doc graphmlDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("gwt: graphml: %w", err)
+	}
+	if len(doc.Graphs) == 0 {
+		return nil, fmt.Errorf("gwt: graphml: no graph element")
+	}
+	g := doc.Graphs[0]
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("gwt: graphml: graph has no nodes")
+	}
+
+	start := g.Nodes[0].ID
+	for _, n := range g.Nodes {
+		if strings.EqualFold(dataValue(n.Data, "label", "d0", "description"), "start") {
+			start = n.ID
+			break
+		}
+	}
+	m := &Model{Name: g.ID, StartID: start}
+	for _, n := range g.Nodes {
+		name := dataValue(n.Data, "label", "d0", "description")
+		if name == "" {
+			name = n.ID
+		}
+		m.AddVertex(Vertex{ID: n.ID, Name: name})
+	}
+	for i, e := range g.Edges {
+		if e.Source == "" || e.Target == "" {
+			return nil, fmt.Errorf("gwt: graphml: edge %d missing source/target", i)
+		}
+		id := e.ID
+		if id == "" {
+			id = fmt.Sprintf("e%d", i)
+		}
+		name := dataValue(e.Data, "label", "d1", "description")
+		if name == "" {
+			name = id
+		}
+		var weight float64
+		if w := dataValue(e.Data, "weight", "d2"); w != "" {
+			v, err := strconv.ParseFloat(w, 64)
+			if err != nil {
+				return nil, fmt.Errorf("gwt: graphml: edge %s: bad weight %q", id, w)
+			}
+			weight = v
+		}
+		m.AddEdge(Edge{ID: id, Name: name, From: e.Source, To: e.Target, Weight: weight})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,88 @@
+package gwt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleGraphML = `<?xml version="1.0" encoding="UTF-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key id="label" for="all" attr.name="label" attr.type="string"/>
+  <key id="weight" for="edge" attr.name="weight" attr.type="double"/>
+  <graph id="login-model" edgedefault="directed">
+    <node id="n0"><data key="label">Start</data></node>
+    <node id="n1"><data key="label">logged in</data></node>
+    <node id="n2"/>
+    <edge id="e_login" source="n0" target="n1"><data key="label">login</data><data key="weight">2.5</data></edge>
+    <edge source="n1" target="n2"><data key="label">escalate</data></edge>
+    <edge id="e_out" source="n2" target="n0"/>
+  </graph>
+</graphml>`
+
+func TestReadGraphML(t *testing.T) {
+	m, err := ReadGraphML(strings.NewReader(sampleGraphML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "login-model" || m.StartID != "n0" {
+		t.Errorf("model = %q start=%q", m.Name, m.StartID)
+	}
+	if len(m.Vertices) != 3 || len(m.Edges) != 3 {
+		t.Fatalf("vertices=%d edges=%d", len(m.Vertices), len(m.Edges))
+	}
+	if m.Edges[0].Name != "login" || m.Edges[0].Weight != 2.5 {
+		t.Errorf("edge 0 = %+v", m.Edges[0])
+	}
+	// Unlabelled edge falls back to generated/explicit IDs.
+	if m.Edges[1].ID != "e1" || m.Edges[2].Name != "e_out" {
+		t.Errorf("fallbacks: %+v / %+v", m.Edges[1], m.Edges[2])
+	}
+	// Unlabelled node keeps its ID as name.
+	found := false
+	for _, v := range m.Vertices {
+		if v.ID == "n2" && v.Name == "n2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("n2 should fall back to its ID as name")
+	}
+	// The model is generatable.
+	tcs := AllEdges(m)
+	if EdgeCoverage(m, tcs) != 1 {
+		t.Error("GraphML model should be fully coverable")
+	}
+}
+
+func TestReadGraphMLStartConvention(t *testing.T) {
+	// Start label wins even when it is not the first node.
+	doc := strings.Replace(sampleGraphML, `<node id="n0"><data key="label">Start</data></node>`,
+		`<node id="n0"><data key="label">zero</data></node>`, 1)
+	doc = strings.Replace(doc, `<node id="n1"><data key="label">logged in</data></node>`,
+		`<node id="n1"><data key="label">START</data></node>`, 1)
+	// n1 as start leaves n0 unreachable unless an edge returns; e_out goes
+	// n2->n0 and e_login n0->n1, so from n1: escalate->n2->n0: reachable.
+	m, err := ReadGraphML(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StartID != "n1" {
+		t.Errorf("StartID = %q, want n1 (labelled START)", m.StartID)
+	}
+}
+
+func TestReadGraphMLErrors(t *testing.T) {
+	cases := []string{
+		"not xml",
+		"<graphml></graphml>",
+		`<graphml><graph id="g"></graph></graphml>`,
+		`<graphml><graph id="g"><node id="a"/><edge target="a"/></graph></graphml>`,
+		`<graphml><graph id="g"><node id="a"/><edge source="a" target="ghost"/></graph></graphml>`,
+		`<graphml><graph id="g"><node id="a"/><edge source="a" target="a"><data key="weight">x</data></edge></graph></graphml>`,
+	}
+	for _, c := range cases {
+		if _, err := ReadGraphML(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadGraphML(%q) should fail", c)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package gwt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const sampleFeature = `
+# security scenarios
+Scenario: lockout after failed logins
+  Given a registered user
+  And a clean audit log
+  When the user fails to log in three times
+  Then the account is locked
+  And an alert is raised
+
+Scenario: session lock
+  When the session is idle for 15 minutes
+  Then the terminal locks
+`
+
+func TestParseScenarios(t *testing.T) {
+	scs, err := ParseScenarios(sampleFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("parsed %d scenarios, want 2", len(scs))
+	}
+	s := scs[0]
+	if s.Name != "lockout after failed logins" {
+		t.Errorf("Name = %q", s.Name)
+	}
+	if len(s.Given) != 2 || len(s.When) != 1 || len(s.Then) != 2 {
+		t.Errorf("sections = %d/%d/%d", len(s.Given), len(s.When), len(s.Then))
+	}
+	if s.Then[1] != "an alert is raised" {
+		t.Errorf("And continuation lost: %v", s.Then)
+	}
+	if len(scs[1].Given) != 0 {
+		t.Error("second scenario has no Given")
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	bad := []string{
+		"Given orphan step",
+		"Scenario: x\n  And dangling continuation",
+		"Scenario: x\n  nonsense line",
+		"Scenario: incomplete\n  Given something", // no When/Then
+		"Scenario: nowhen\n  Then outcome",
+	}
+	for _, text := range bad {
+		if _, err := ParseScenarios(text); err == nil {
+			t.Errorf("ParseScenarios(%q) should fail", text)
+		}
+	}
+}
+
+func TestScenarioStringRoundTrip(t *testing.T) {
+	scs, err := ParseScenarios(sampleFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseScenarios(scs[0].String() + scs[1].String())
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(again) != 2 || again[0].Name != scs[0].Name || len(again[0].Then) != 2 {
+		t.Errorf("round trip changed scenarios: %+v", again)
+	}
+}
+
+func TestToModel(t *testing.T) {
+	scs, err := ParseScenarios(sampleFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ToModel(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 scenarios: one with Given (setup+when+reset = 3 edges), one
+	// without (when+reset = 2 edges).
+	if len(m.Edges) != 5 {
+		t.Errorf("edges = %d, want 5", len(m.Edges))
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	tcs := AllEdges(m)
+	if EdgeCoverage(m, tcs) != 1 {
+		t.Error("scenario model should be fully coverable")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := NewModel("m", "v0")
+	m.AddVertex(Vertex{ID: "v1"})
+	m.AddEdge(Edge{ID: "e0", From: "v0", To: "v1"})
+	m.AddEdge(Edge{ID: "e1", From: "v1", To: "v0"})
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+
+	dup := NewModel("m", "v0")
+	dup.AddVertex(Vertex{ID: "v0"})
+	if dup.Validate() == nil {
+		t.Error("duplicate vertex must be rejected")
+	}
+
+	dangling := NewModel("m", "v0")
+	dangling.AddEdge(Edge{ID: "e0", From: "v0", To: "ghost"})
+	if dangling.Validate() == nil {
+		t.Error("edge to undefined vertex must be rejected")
+	}
+
+	unreachable := NewModel("m", "v0")
+	unreachable.AddVertex(Vertex{ID: "island"})
+	if unreachable.Validate() == nil {
+		t.Error("unreachable vertex must be rejected")
+	}
+}
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	m := RandomModel("m", 5, 3, rand.New(rand.NewSource(1)))
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Edges) != len(m.Edges) || got.StartID != m.StartID {
+		t.Error("model changed through JSON round trip")
+	}
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("malformed json must error")
+	}
+}
+
+func TestRandomModelProperties(t *testing.T) {
+	m := RandomModel("m", 10, 7, rand.New(rand.NewSource(2)))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Vertices) != 10 || len(m.Edges) != 17 {
+		t.Errorf("got %d vertices, %d edges", len(m.Vertices), len(m.Edges))
+	}
+}
+
+func TestRandomWalkReachesCoverage(t *testing.T) {
+	m := RandomModel("m", 8, 5, rand.New(rand.NewSource(3)))
+	tcs := RandomWalk(m, rand.New(rand.NewSource(4)), EdgeCoverageAtLeast(1.0))
+	if cov := EdgeCoverage(m, tcs); cov != 1 {
+		t.Errorf("coverage = %.2f, want 1.0", cov)
+	}
+	if len(UncoveredEdges(m, tcs)) != 0 {
+		t.Error("UncoveredEdges should be empty at full coverage")
+	}
+}
+
+func TestRandomWalkStepBudget(t *testing.T) {
+	m := RandomModel("m", 8, 5, rand.New(rand.NewSource(3)))
+	tcs := RandomWalk(m, rand.New(rand.NewSource(4)), StepsAtMost(10))
+	if TotalSteps(tcs) != 10 {
+		t.Errorf("TotalSteps = %d, want 10", TotalSteps(tcs))
+	}
+}
+
+func TestWeightedRandomWalkBias(t *testing.T) {
+	// Two parallel edges from v0 to v1; weight 9:1. The heavy edge should
+	// be taken far more often.
+	m := NewModel("m", "v0")
+	m.AddVertex(Vertex{ID: "v1"})
+	m.AddEdge(Edge{ID: "heavy", From: "v0", To: "v1", Weight: 9})
+	m.AddEdge(Edge{ID: "light", From: "v0", To: "v1", Weight: 1})
+	m.AddEdge(Edge{ID: "back", From: "v1", To: "v0"})
+	tcs := WeightedRandomWalk(m, rand.New(rand.NewSource(5)), StepsAtMost(2000))
+	heavy, light := 0, 0
+	for _, st := range tcs[0].Steps {
+		switch st.EdgeID {
+		case "heavy":
+			heavy++
+		case "light":
+			light++
+		}
+	}
+	if heavy < 5*light {
+		t.Errorf("weight bias not honored: heavy=%d light=%d", heavy, light)
+	}
+}
+
+func TestAllEdgesFullCoverage(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		m := RandomModel("m", 12, 10, rand.New(rand.NewSource(seed)))
+		tcs := AllEdges(m)
+		if cov := EdgeCoverage(m, tcs); cov != 1 {
+			t.Errorf("seed %d: coverage = %.2f, want 1.0", seed, cov)
+		}
+		if VertexCoverage(m, tcs) != 1 {
+			t.Errorf("seed %d: vertex coverage incomplete", seed)
+		}
+	}
+}
+
+func TestAllEdgesBeatsRandomWalk(t *testing.T) {
+	m := RandomModel("m", 20, 15, rand.New(rand.NewSource(6)))
+	all := TotalSteps(AllEdges(m))
+	random := TotalSteps(RandomWalk(m, rand.New(rand.NewSource(7)), EdgeCoverageAtLeast(1.0)))
+	if all >= random {
+		t.Errorf("all-edges (%d steps) should cover with fewer steps than random walk (%d)", all, random)
+	}
+	// All-edges cannot beat the information-theoretic floor.
+	if all < len(m.Edges) {
+		t.Errorf("all-edges used %d steps for %d edges — impossible", all, len(m.Edges))
+	}
+}
+
+func TestAllEdgesOnDeadEndModel(t *testing.T) {
+	// start -> a -> deadEnd, start -> b: needs multiple test cases.
+	m := NewModel("m", "start")
+	m.AddVertex(Vertex{ID: "a"})
+	m.AddVertex(Vertex{ID: "dead"})
+	m.AddVertex(Vertex{ID: "b"})
+	m.AddEdge(Edge{ID: "e0", From: "start", To: "a"})
+	m.AddEdge(Edge{ID: "e1", From: "a", To: "dead"})
+	m.AddEdge(Edge{ID: "e2", From: "start", To: "b"})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tcs := AllEdges(m)
+	if EdgeCoverage(m, tcs) != 1 {
+		t.Fatalf("coverage = %.2f", EdgeCoverage(m, tcs))
+	}
+	if len(tcs) < 2 {
+		t.Errorf("dead-end model needs >= 2 test cases, got %d", len(tcs))
+	}
+}
+
+const signalsXML = `<signals>
+  <signal name="login_attempts" type="int" unit="count" min="0" max="10"/>
+  <signal name="locked" type="bool" unit="" min="0" max="1"/>
+</signals>`
+
+func TestReadSignalsXML(t *testing.T) {
+	sigs, err := ReadSignalsXML(strings.NewReader(signalsXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 2 || sigs[0].Name != "login_attempts" || sigs[0].Max != 10 {
+		t.Errorf("signals = %+v", sigs)
+	}
+	if _, err := ReadSignalsXML(strings.NewReader("<signals><signal/></signals>")); err == nil {
+		t.Error("unnamed signal must error")
+	}
+	if _, err := ReadSignalsXML(strings.NewReader("not xml")); err == nil {
+		t.Error("garbage must error")
+	}
+}
+
+func TestAbstractTestsJSONRoundTrip(t *testing.T) {
+	tcs := []TestCase{{Name: "t1", Steps: []Step{{EdgeID: "e0", EdgeName: "fail login", VertexID: "v1"}}}}
+	var buf bytes.Buffer
+	if err := WriteAbstractTests(&buf, tcs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAbstractTests(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Steps[0].EdgeName != "fail login" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := ReadAbstractTests(strings.NewReader("[{")); err == nil {
+		t.Error("malformed json must error")
+	}
+}
+
+func TestConcretization(t *testing.T) {
+	sigs, err := ReadSignalsXML(strings.NewReader(signalsXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewTestGenerator(sigs, []MappingRule{
+		{Pattern: `^fail login (\d+) times$`, Template: `inject ${signal:login_attempts} = $1`},
+		{Pattern: `^check locked$`, Template: `expect ${signal:locked} == 1`},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcs := []TestCase{{Name: "lockout", Steps: []Step{
+		{EdgeID: "e0", EdgeName: "fail login 3 times", VertexID: "v1"},
+		{EdgeID: "e1", EdgeName: "check locked", VertexID: "v2"},
+	}}}
+	scripts, err := gen.Concretize(tcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) != 1 || len(scripts[0].Lines) != 2 {
+		t.Fatalf("scripts = %+v", scripts)
+	}
+	if scripts[0].Lines[0] != "inject login_attempts[int 0..10] = 3" {
+		t.Errorf("line 0 = %q", scripts[0].Lines[0])
+	}
+	if scripts[0].Lines[1] != "expect locked[bool 0..1] == 1" {
+		t.Errorf("line 1 = %q", scripts[0].Lines[1])
+	}
+}
+
+func TestConcretizationErrors(t *testing.T) {
+	if _, err := NewTestGenerator(nil, []MappingRule{{Pattern: "("}}, ""); err == nil {
+		t.Error("bad regexp must error")
+	}
+	gen, err := NewTestGenerator(nil, []MappingRule{
+		{Pattern: "ghostsig", Template: "use ${signal:ghost}"},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.ConcretizeStep(Step{EdgeName: "ghostsig"}); err == nil {
+		t.Error("unknown signal reference must error")
+	}
+	if _, err := gen.ConcretizeStep(Step{EdgeName: "unmatched"}); err == nil {
+		t.Error("unmatched step without fallback must error")
+	}
+	fb, err := NewTestGenerator(nil, nil, "step %q has no mapping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := fb.ConcretizeStep(Step{EdgeName: "anything"})
+	if err != nil || !strings.Contains(line, "anything") {
+		t.Errorf("fallback line = %q, %v", line, err)
+	}
+}
+
+func TestScriptCreatorRender(t *testing.T) {
+	var buf bytes.Buffer
+	c := ScriptCreator{Header: []string{"#!/bin/sh", "set -e"}, LinePrefix: "run "}
+	err := c.Render(&buf, Script{Name: "t1", Lines: []string{"step one", "step two"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# test case: t1", "#!/bin/sh", "run step one", "run step two"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("script missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEndToEndScenarioToScript(t *testing.T) {
+	scs, err := ParseScenarios(sampleFeature)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ToModel(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcs := AllEdges(m)
+	gen, err := NewTestGenerator(nil, nil, "do %q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := gen.Concretize(tcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range scripts {
+		total += len(s.Lines)
+	}
+	if total != TotalSteps(tcs) {
+		t.Errorf("script lines %d != steps %d", total, TotalSteps(tcs))
+	}
+}

@@ -1,0 +1,90 @@
+package gwt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: on strongly-connected random models, AllEdges yields exactly
+// one test case whose step count is within a small factor of the |E|
+// lower bound.
+func TestAllEdgesEfficiencyBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 15; iter++ {
+		n := 5 + rng.Intn(30)
+		m := RandomModel("m", n, rng.Intn(2*n), rng)
+		tcs := AllEdges(m)
+		if len(tcs) != 1 {
+			t.Fatalf("strongly-connected model should need one test case, got %d", len(tcs))
+		}
+		steps := TotalSteps(tcs)
+		if steps < len(m.Edges) {
+			t.Fatalf("steps %d below the |E|=%d floor", steps, len(m.Edges))
+		}
+		if steps > 4*len(m.Edges) {
+			t.Fatalf("steps %d exceed 4x the |E|=%d floor — greedy regressed", steps, len(m.Edges))
+		}
+	}
+}
+
+// Property: every generator's output is a well-formed path: each step's
+// edge leaves the previous step's vertex.
+func TestGeneratedPathsAreConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := RandomModel("m", 12, 8, rng)
+	edgeByID := map[string]Edge{}
+	for _, e := range m.Edges {
+		edgeByID[e.ID] = e
+	}
+	check := func(name string, tcs []TestCase) {
+		for _, tc := range tcs {
+			at := m.StartID
+			for i, st := range tc.Steps {
+				e, ok := edgeByID[st.EdgeID]
+				if !ok {
+					t.Fatalf("%s: step %d uses unknown edge %q", name, i, st.EdgeID)
+				}
+				if e.From != at {
+					t.Fatalf("%s: step %d edge %q leaves %q but walker is at %q",
+						name, i, e.ID, e.From, at)
+				}
+				if e.To != st.VertexID {
+					t.Fatalf("%s: step %d records vertex %q, edge targets %q",
+						name, i, st.VertexID, e.To)
+				}
+				at = e.To
+			}
+		}
+	}
+	check("all-edges", AllEdges(m))
+	check("random", RandomWalk(m, rng, StepsAtMost(200)))
+	check("weighted", WeightedRandomWalk(m, rng, StepsAtMost(200)))
+}
+
+// Property: the scenario-to-model conversion always yields a valid,
+// fully-coverable model for valid scenarios.
+func TestScenarioModelsAlwaysCoverable(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	for iter := 0; iter < 20; iter++ {
+		var scs []Scenario
+		for s := 0; s < 1+rng.Intn(4); s++ {
+			sc := Scenario{
+				Name: words[rng.Intn(len(words))] + string(rune('0'+s)),
+				When: []string{"when " + words[rng.Intn(len(words))]},
+				Then: []string{"then " + words[rng.Intn(len(words))]},
+			}
+			if rng.Intn(2) == 0 {
+				sc.Given = []string{"given " + words[rng.Intn(len(words))]}
+			}
+			scs = append(scs, sc)
+		}
+		m, err := ToModel(scs)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if EdgeCoverage(m, AllEdges(m)) != 1 {
+			t.Fatalf("iter %d: scenario model not fully coverable", iter)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package gwt implements the Given-When-Then tooling of VeriDevOps D2.7:
+// BDD-style scenario specifications, GraphWalker-style model graphs with
+// abstract test-path generation (random, weighted-random and all-edges
+// strategies), and TIGER-style concretisation of abstract test cases into
+// executable scripts via signal tables and mapping rules.
+package gwt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scenario is one Given-When-Then specification: preconditions (Given),
+// stimulus (When) and expected reaction (Then), each possibly extended with
+// And/But continuation steps.
+type Scenario struct {
+	Name  string
+	Given []string
+	When  []string
+	Then  []string
+}
+
+// Validate checks the scenario is well-formed: named, with at least one
+// When and one Then step.
+func (s Scenario) Validate() error {
+	if strings.TrimSpace(s.Name) == "" {
+		return fmt.Errorf("gwt: scenario without a name")
+	}
+	if len(s.When) == 0 {
+		return fmt.Errorf("gwt: scenario %q has no When step", s.Name)
+	}
+	if len(s.Then) == 0 {
+		return fmt.Errorf("gwt: scenario %q has no Then step", s.Name)
+	}
+	return nil
+}
+
+// String renders the scenario in Gherkin-like layout.
+func (s Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario: %s\n", s.Name)
+	emit := func(kw string, steps []string) {
+		for i, st := range steps {
+			k := kw
+			if i > 0 {
+				k = "And"
+			}
+			fmt.Fprintf(&b, "  %s %s\n", k, st)
+		}
+	}
+	emit("Given", s.Given)
+	emit("When", s.When)
+	emit("Then", s.Then)
+	return b.String()
+}
+
+// ParseScenarios parses Gherkin-like text into scenarios. Supported
+// keywords: "Scenario:", "Given", "When", "Then", "And", "But" (And/But
+// continue the preceding section); '#' starts a comment line.
+func ParseScenarios(text string) ([]Scenario, error) {
+	var out []Scenario
+	var cur *Scenario
+	section := ""
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := cur.Validate(); err != nil {
+			return err
+		}
+		out = append(out, *cur)
+		cur = nil
+		return nil
+	}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kw, rest := splitKeyword(line)
+		switch kw {
+		case "Scenario":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = &Scenario{Name: rest}
+			section = ""
+		case "Given", "When", "Then":
+			if cur == nil {
+				return nil, fmt.Errorf("gwt: line %d: %s outside a scenario", ln+1, kw)
+			}
+			section = kw
+			cur.add(section, rest)
+		case "And", "But":
+			if cur == nil || section == "" {
+				return nil, fmt.Errorf("gwt: line %d: %s without a preceding step", ln+1, kw)
+			}
+			cur.add(section, rest)
+		default:
+			return nil, fmt.Errorf("gwt: line %d: unrecognized line %q", ln+1, line)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *Scenario) add(section, step string) {
+	switch section {
+	case "Given":
+		s.Given = append(s.Given, step)
+	case "When":
+		s.When = append(s.When, step)
+	case "Then":
+		s.Then = append(s.Then, step)
+	}
+}
+
+func splitKeyword(line string) (kw, rest string) {
+	if i := strings.Index(line, ":"); i > 0 && strings.TrimSpace(line[:i]) == "Scenario" {
+		return "Scenario", strings.TrimSpace(line[i+1:])
+	}
+	for _, k := range []string{"Given", "When", "Then", "And", "But"} {
+		if strings.HasPrefix(line, k+" ") {
+			return k, strings.TrimSpace(line[len(k):])
+		}
+	}
+	return "", line
+}
+
+// ToModel converts scenarios to a model graph: a start vertex, one vertex
+// per distinct Given/Then state, and one edge per When stimulus, giving the
+// GraphWalker input TIGER expects when scenarios are the source artefact.
+func ToModel(scenarios []Scenario) (*Model, error) {
+	m := NewModel("scenarios", "start")
+	seen := map[string]bool{"start": true}
+	ensure := func(name string) {
+		if !seen[name] {
+			m.AddVertex(Vertex{ID: name, Name: name})
+			seen[name] = true
+		}
+	}
+	for i, sc := range scenarios {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		from := "start"
+		if len(sc.Given) > 0 {
+			from = "given:" + strings.Join(sc.Given, "; ")
+			ensure(from)
+			m.AddEdge(Edge{
+				ID:   fmt.Sprintf("setup_%d", i),
+				Name: "setup: " + sc.Name,
+				From: "start", To: from,
+			})
+		}
+		to := "then:" + strings.Join(sc.Then, "; ")
+		ensure(to)
+		m.AddEdge(Edge{
+			ID:   fmt.Sprintf("when_%d", i),
+			Name: strings.Join(sc.When, " and "),
+			From: from, To: to,
+		})
+		// Return edge so generators can chain scenarios.
+		m.AddEdge(Edge{
+			ID:   fmt.Sprintf("reset_%d", i),
+			Name: "reset",
+			From: to, To: "start",
+		})
+	}
+	return m, m.Validate()
+}

@@ -1,0 +1,197 @@
+package gwt
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+// TIGER-style concretisation: abstract test cases (JSON) + signal
+// definitions (XML) + mapping rules = executable test scripts. Mirrors the
+// JsonReading / Signal / xmlReader / TestGenerator / ScriptCreator classes
+// of the reference repository.
+
+// Signal describes one stimulus/observation channel of the system under
+// test, as read from the signal XML.
+type Signal struct {
+	Name string  `xml:"name,attr"`
+	Type string  `xml:"type,attr"` // "bool" | "int" | "float"
+	Unit string  `xml:"unit,attr"`
+	Min  float64 `xml:"min,attr"`
+	Max  float64 `xml:"max,attr"`
+}
+
+type signalFile struct {
+	XMLName xml.Name `xml:"signals"`
+	Signals []Signal `xml:"signal"`
+}
+
+// ReadSignalsXML parses the signal table (the xmlReader class).
+func ReadSignalsXML(r io.Reader) ([]Signal, error) {
+	var f signalFile
+	if err := xml.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("gwt: signals xml: %w", err)
+	}
+	for _, s := range f.Signals {
+		if s.Name == "" {
+			return nil, fmt.Errorf("gwt: signal without a name")
+		}
+	}
+	return f.Signals, nil
+}
+
+// ReadAbstractTests parses abstract test cases from JSON (the JsonReading
+// class). The format is the output of json.Marshal on []TestCase.
+func ReadAbstractTests(r io.Reader) ([]TestCase, error) {
+	var tcs []TestCase
+	if err := json.NewDecoder(r).Decode(&tcs); err != nil {
+		return nil, fmt.Errorf("gwt: abstract tests json: %w", err)
+	}
+	return tcs, nil
+}
+
+// WriteAbstractTests stores abstract test cases as JSON.
+func WriteAbstractTests(w io.Writer, tcs []TestCase) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tcs)
+}
+
+// MappingRule concretises abstract steps whose edge name matches Pattern
+// (a regular expression). Template is the emitted script line; $1..$9
+// refer to capture groups and ${signal:NAME} inlines the named signal's
+// metadata reference.
+type MappingRule struct {
+	Pattern  string
+	Template string
+
+	re *regexp.Regexp
+}
+
+// Compile prepares the rule's regular expression.
+func (r *MappingRule) Compile() error {
+	re, err := regexp.Compile(r.Pattern)
+	if err != nil {
+		return fmt.Errorf("gwt: mapping rule %q: %w", r.Pattern, err)
+	}
+	r.re = re
+	return nil
+}
+
+// TestGenerator concretises abstract test cases with mapping rules over a
+// signal table (the TestGenerator class).
+type TestGenerator struct {
+	Signals []Signal
+	Rules   []MappingRule
+	// Fallback is emitted (with the step name substituted for %s) when no
+	// rule matches; empty means unmatched steps are an error.
+	Fallback string
+}
+
+// NewTestGenerator compiles the rules.
+func NewTestGenerator(signals []Signal, rules []MappingRule, fallback string) (*TestGenerator, error) {
+	g := &TestGenerator{Signals: signals, Rules: make([]MappingRule, len(rules)), Fallback: fallback}
+	copy(g.Rules, rules)
+	for i := range g.Rules {
+		if err := g.Rules[i].Compile(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func (g *TestGenerator) signal(name string) (Signal, bool) {
+	for _, s := range g.Signals {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Signal{}, false
+}
+
+var signalRefRe = regexp.MustCompile(`\$\{signal:([^}]+)\}`)
+
+// ConcretizeStep maps one abstract step to a script line.
+func (g *TestGenerator) ConcretizeStep(st Step) (string, error) {
+	for _, r := range g.Rules {
+		m := r.re.FindStringSubmatch(st.EdgeName)
+		if m == nil {
+			continue
+		}
+		line := r.Template
+		for i := len(m) - 1; i >= 1; i-- {
+			line = strings.ReplaceAll(line, fmt.Sprintf("$%d", i), m[i])
+		}
+		var serr error
+		line = signalRefRe.ReplaceAllStringFunc(line, func(ref string) string {
+			name := signalRefRe.FindStringSubmatch(ref)[1]
+			s, ok := g.signal(name)
+			if !ok {
+				serr = fmt.Errorf("gwt: template references unknown signal %q", name)
+				return ref
+			}
+			return fmt.Sprintf("%s[%s %g..%g]", s.Name, s.Type, s.Min, s.Max)
+		})
+		if serr != nil {
+			return "", serr
+		}
+		return line, nil
+	}
+	if g.Fallback != "" {
+		return fmt.Sprintf(g.Fallback, st.EdgeName), nil
+	}
+	return "", fmt.Errorf("gwt: no mapping rule matches step %q", st.EdgeName)
+}
+
+// Script is one concretised test script.
+type Script struct {
+	Name  string
+	Lines []string
+}
+
+// Concretize maps every abstract test case to a script.
+func (g *TestGenerator) Concretize(tcs []TestCase) ([]Script, error) {
+	out := make([]Script, 0, len(tcs))
+	for _, tc := range tcs {
+		sc := Script{Name: tc.Name}
+		for _, st := range tc.Steps {
+			line, err := g.ConcretizeStep(st)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", tc.Name, err)
+			}
+			sc.Lines = append(sc.Lines, line)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// ScriptCreator renders scripts in a target syntax (the ScriptCreator
+// class); the default emits shell-style scripts.
+type ScriptCreator struct {
+	// Header lines prepended to every script.
+	Header []string
+	// LinePrefix is prepended to every concretised line.
+	LinePrefix string
+}
+
+// Render writes one script.
+func (c ScriptCreator) Render(w io.Writer, s Script) error {
+	if _, err := fmt.Fprintf(w, "# test case: %s\n", s.Name); err != nil {
+		return err
+	}
+	for _, h := range c.Header {
+		if _, err := fmt.Fprintln(w, h); err != nil {
+			return err
+		}
+	}
+	for _, l := range s.Lines {
+		if _, err := fmt.Fprintln(w, c.LinePrefix+l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

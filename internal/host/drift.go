@@ -1,0 +1,42 @@
+package host
+
+import "math/rand"
+
+// Drift injection: the E1 and E6 experiments need hosts that have departed
+// from their hardened baseline, the situation reactive protection exists to
+// catch. Drift operations are deterministic in the provided rng.
+
+// BannedPackages are the legacy packages whose presence violates the
+// Ubuntu STIG findings implemented in internal/stig.
+var BannedPackages = []string{"nis", "rsh-server", "telnetd"}
+
+// RequiredPackages are the hardening packages whose absence violates the
+// Ubuntu STIG findings implemented in internal/stig.
+var RequiredPackages = []string{"openssh-server", "vlock", "libpam-pkcs11", "opensc-pkcs11", "aide"}
+
+// DriftLinux applies n random compliance-breaking mutations to the host:
+// installing a banned package, removing a required one, or weakening the
+// password-encryption configuration.
+func DriftLinux(l *Linux, n int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			l.Install(BannedPackages[rng.Intn(len(BannedPackages))], "0.legacy")
+		case 1:
+			l.Remove(RequiredPackages[rng.Intn(len(RequiredPackages))])
+		case 2:
+			l.SetConfig("/etc/login.defs", "ENCRYPT_METHOD", "MD5")
+		}
+	}
+}
+
+// DriftWindows flips n random audit-policy subcategories to "No Auditing",
+// the typical misconfiguration the Windows 10 STIG findings detect.
+func DriftWindows(w *Windows, n int, rng *rand.Rand) {
+	subs := w.Subcategories()
+	for i := 0; i < n; i++ {
+		sub := subs[rng.Intn(len(subs))]
+		// SetAudit on a known subcategory cannot fail.
+		_ = w.SetAudit(sub, AuditSetting{})
+	}
+}

@@ -1,0 +1,60 @@
+package host
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Event is one entry of a host event log.
+type Event struct {
+	Seq    int
+	At     time.Time
+	Action string
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s", e.Seq, e.Action, e.Detail)
+}
+
+// EventLog is an append-only, concurrency-safe record of host mutations.
+// The reactive-protection monitors consume it to detect drift at runtime.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewEventLog returns an empty log.
+func NewEventLog() *EventLog { return &EventLog{} }
+
+// Append records an event and returns its sequence number.
+func (l *EventLog) Append(action, detail string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := len(l.events)
+	l.events = append(l.events, Event{Seq: seq, At: time.Now(), Action: action, Detail: detail})
+	return seq
+}
+
+// Len returns the number of recorded events.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Since returns a copy of the events with sequence >= seq.
+func (l *EventLog) Since(seq int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < 0 {
+		seq = 0
+	}
+	if seq >= len(l.events) {
+		return nil
+	}
+	out := make([]Event, len(l.events)-seq)
+	copy(out, l.events[seq:])
+	return out
+}

@@ -1,0 +1,232 @@
+// Package host simulates the hosting environments that RQCODE requirements
+// check and enforce: an Ubuntu-like Linux host (package database, services,
+// configuration files) and a Windows 10-like host (audit policy store,
+// registry). The real VeriDevOps prototype shells out to dpkg/auditpol on
+// live machines; this package reproduces the observable state those tools
+// read and write so the whole STIG catalogue is exercisable offline and in
+// tests (see DESIGN.md, substitution table).
+package host
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Package is a dpkg-style package record.
+type Package struct {
+	Name      string
+	Version   string
+	Installed bool
+}
+
+// Service is a systemd-style service record.
+type Service struct {
+	Name    string
+	Enabled bool
+	Running bool
+}
+
+// Linux is a simulated Ubuntu host. The zero value is unusable; use
+// NewLinux or NewUbuntu1804. All methods are safe for concurrent use.
+type Linux struct {
+	mu       sync.Mutex
+	packages map[string]*Package
+	services map[string]*Service
+	// config maps file path -> key -> value, modelling the key-value style
+	// configuration files STIG checks grep (sshd_config, login.defs, ...).
+	config map[string]map[string]string
+	log    *EventLog
+	// readOnly makes every mutation a logged no-op, modelling hosts where
+	// the enforcement agent lacks privileges — the failure-injection hook
+	// for testing EnforcementStatus FAILURE paths.
+	readOnly bool
+}
+
+// SetReadOnly toggles mutation denial. While read-only, Install, Remove,
+// service and config changes are logged as denied and have no effect.
+func (l *Linux) SetReadOnly(ro bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.readOnly = ro
+}
+
+// denied logs and reports a blocked mutation; callers hold l.mu.
+func (l *Linux) denied(action, detail string) bool {
+	if !l.readOnly {
+		return false
+	}
+	l.log.Append(action+".denied", detail)
+	return true
+}
+
+// NewLinux returns an empty Linux host.
+func NewLinux() *Linux {
+	return &Linux{
+		packages: map[string]*Package{},
+		services: map[string]*Service{},
+		config:   map[string]map[string]string{},
+		log:      NewEventLog(),
+	}
+}
+
+// NewUbuntu1804 returns a host resembling a default Ubuntu 18.04 server
+// install: the compliance-relevant hardening packages are absent and no
+// banned legacy service is installed, i.e. the host starts in the state the
+// STIG audit typically finds in the field.
+func NewUbuntu1804() *Linux {
+	l := NewLinux()
+	for _, p := range []string{"openssh-server", "sudo", "apt", "systemd"} {
+		l.Install(p, "1.0")
+	}
+	l.SetConfig("/etc/login.defs", "ENCRYPT_METHOD", "SHA512")
+	l.SetConfig("/etc/ssh/sshd_config", "PermitEmptyPasswords", "no")
+	return l
+}
+
+// Log returns the host event log.
+func (l *Linux) Log() *EventLog { return l.log }
+
+// Install marks a package installed (apt-get install).
+func (l *Linux) Install(name, version string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.denied("apt.install", name) {
+		return
+	}
+	p, ok := l.packages[name]
+	if !ok {
+		p = &Package{Name: name}
+		l.packages[name] = p
+	}
+	p.Version = version
+	p.Installed = true
+	l.log.Append("apt.install", name)
+}
+
+// Remove marks a package uninstalled (apt-get remove). Removing an unknown
+// package is a no-op, matching apt semantics with --ignore-missing.
+func (l *Linux) Remove(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.denied("apt.remove", name) {
+		return
+	}
+	if p, ok := l.packages[name]; ok {
+		p.Installed = false
+	}
+	l.log.Append("apt.remove", name)
+}
+
+// Version returns the installed version of the named package, empty when
+// the package is absent.
+func (l *Linux) Version(name string) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p, ok := l.packages[name]; ok && p.Installed {
+		return p.Version
+	}
+	return ""
+}
+
+// Installed reports whether the named package is installed (dpkg -l).
+func (l *Linux) Installed(name string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p, ok := l.packages[name]
+	return ok && p.Installed
+}
+
+// Packages returns the installed package names, sorted.
+func (l *Linux) Packages() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for _, p := range l.packages {
+		if p.Installed {
+			out = append(out, p.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EnableService enables and starts a service (systemctl enable --now).
+func (l *Linux) EnableService(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.denied("systemctl.enable", name) {
+		return
+	}
+	s, ok := l.services[name]
+	if !ok {
+		s = &Service{Name: name}
+		l.services[name] = s
+	}
+	s.Enabled = true
+	s.Running = true
+	l.log.Append("systemctl.enable", name)
+}
+
+// DisableService disables and stops a service.
+func (l *Linux) DisableService(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.denied("systemctl.disable", name) {
+		return
+	}
+	if s, ok := l.services[name]; ok {
+		s.Enabled = false
+		s.Running = false
+	}
+	l.log.Append("systemctl.disable", name)
+}
+
+// ServiceActive reports whether the service is enabled and running.
+func (l *Linux) ServiceActive(name string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s, ok := l.services[name]
+	return ok && s.Enabled && s.Running
+}
+
+// SetConfig sets key=value in the given configuration file.
+func (l *Linux) SetConfig(file, key, value string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.denied("config.set", file+":"+key) {
+		return
+	}
+	f, ok := l.config[file]
+	if !ok {
+		f = map[string]string{}
+		l.config[file] = f
+	}
+	f[key] = value
+	l.log.Append("config.set", fmt.Sprintf("%s:%s=%s", file, key, value))
+}
+
+// Config returns the value of key in file, with ok=false when unset.
+func (l *Linux) Config(file, key string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, ok := l.config[file]
+	if !ok {
+		return "", false
+	}
+	v, ok := f[key]
+	return v, ok
+}
+
+// UnsetConfig removes a key from a configuration file.
+func (l *Linux) UnsetConfig(file, key string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.denied("config.unset", file+":"+key) {
+		return
+	}
+	if f, ok := l.config[file]; ok {
+		delete(f, key)
+	}
+	l.log.Append("config.unset", file+":"+key)
+}

@@ -1,0 +1,141 @@
+package host
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State snapshots and forensic diffing: protection reports say *that* a
+// host drifted; the diff says *what* changed, the evidence operators need
+// to trace an alarm back to a change.
+
+// Snapshot is an immutable capture of a Linux host's observable state.
+type Snapshot struct {
+	// Packages maps installed package name -> version.
+	Packages map[string]string
+	// Services maps service name -> active.
+	Services map[string]bool
+	// Config maps "file:key" -> value.
+	Config map[string]string
+}
+
+// Snapshot captures the current state.
+func (l *Linux) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Snapshot{
+		Packages: map[string]string{},
+		Services: map[string]bool{},
+		Config:   map[string]string{},
+	}
+	for name, p := range l.packages {
+		if p.Installed {
+			s.Packages[name] = p.Version
+		}
+	}
+	for name, sv := range l.services {
+		s.Services[name] = sv.Enabled && sv.Running
+	}
+	for file, kv := range l.config {
+		for k, v := range kv {
+			s.Config[file+":"+k] = v
+		}
+	}
+	return s
+}
+
+// Change is one difference between two snapshots.
+type Change struct {
+	// Kind is "package", "service" or "config".
+	Kind string
+	// Item names the changed entity (package name, service name or
+	// "file:key").
+	Item string
+	// Before and After are the values on each side; "" / "absent" marks
+	// non-existence.
+	Before, After string
+}
+
+func (c Change) String() string {
+	return fmt.Sprintf("%-8s %-40s %q -> %q", c.Kind, c.Item, c.Before, c.After)
+}
+
+// Diff lists the changes from old to new, sorted by kind then item.
+func Diff(old, new Snapshot) []Change {
+	var out []Change
+	diffMap := func(kind string, a, b map[string]string) {
+		keys := map[string]struct{}{}
+		for k := range a {
+			keys[k] = struct{}{}
+		}
+		for k := range b {
+			keys[k] = struct{}{}
+		}
+		for k := range keys {
+			av, aok := a[k]
+			bv, bok := b[k]
+			switch {
+			case aok && !bok:
+				out = append(out, Change{Kind: kind, Item: k, Before: av, After: "absent"})
+			case !aok && bok:
+				out = append(out, Change{Kind: kind, Item: k, Before: "absent", After: bv})
+			case av != bv:
+				out = append(out, Change{Kind: kind, Item: k, Before: av, After: bv})
+			}
+		}
+	}
+	diffMap("package", old.Packages, new.Packages)
+	diffMap("config", old.Config, new.Config)
+
+	svc := map[string]struct{}{}
+	for k := range old.Services {
+		svc[k] = struct{}{}
+	}
+	for k := range new.Services {
+		svc[k] = struct{}{}
+	}
+	for k := range svc {
+		a, aok := old.Services[k]
+		b, bok := new.Services[k]
+		if aok == bok && a == b {
+			continue
+		}
+		out = append(out, Change{
+			Kind: "service", Item: k,
+			Before: activeString(a, aok), After: activeString(b, bok),
+		})
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+func activeString(active, known bool) string {
+	switch {
+	case !known:
+		return "absent"
+	case active:
+		return "active"
+	default:
+		return "inactive"
+	}
+}
+
+// RenderDiff formats a change list.
+func RenderDiff(changes []Change) string {
+	if len(changes) == 0 {
+		return "no changes\n"
+	}
+	var b strings.Builder
+	for _, c := range changes {
+		fmt.Fprintln(&b, c)
+	}
+	fmt.Fprintf(&b, "%d changes\n", len(changes))
+	return b.String()
+}

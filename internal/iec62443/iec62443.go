@@ -1,0 +1,266 @@
+// Package iec62443 models the IEC 62443-3-3 assessment scheme that
+// VeriDevOps cites as a driving standard: system requirements are grouped
+// under seven foundational requirement (FR) classes, each demanded at a
+// target security level (SL-T 1..4). The package maps RQCODE findings to
+// FR/SL tags, evaluates a compliance report against a target profile, and
+// reports the achieved security level per class with the gap list —
+// turning the catalogue runner's PASS/FAIL rows into a standards-facing
+// verdict.
+package iec62443
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"veridevops/internal/core"
+)
+
+// FR identifies one of the seven foundational requirement classes of
+// IEC 62443.
+type FR int
+
+// The foundational requirement classes.
+const (
+	IAC FR = iota + 1 // FR1: identification and authentication control
+	UC                // FR2: use control
+	SI                // FR3: system integrity
+	DC                // FR4: data confidentiality
+	RDF               // FR5: restricted data flow
+	TRE               // FR6: timely response to events
+	RA                // FR7: resource availability
+)
+
+// AllFRs lists the classes in standard order.
+var AllFRs = []FR{IAC, UC, SI, DC, RDF, TRE, RA}
+
+func (f FR) String() string {
+	switch f {
+	case IAC:
+		return "FR1-IAC"
+	case UC:
+		return "FR2-UC"
+	case SI:
+		return "FR3-SI"
+	case DC:
+		return "FR4-DC"
+	case RDF:
+		return "FR5-RDF"
+	case TRE:
+		return "FR6-TRE"
+	case RA:
+		return "FR7-RA"
+	default:
+		return fmt.Sprintf("FR(%d)", int(f))
+	}
+}
+
+// Name returns the long name of the class.
+func (f FR) Name() string {
+	switch f {
+	case IAC:
+		return "Identification and authentication control"
+	case UC:
+		return "Use control"
+	case SI:
+		return "System integrity"
+	case DC:
+		return "Data confidentiality"
+	case RDF:
+		return "Restricted data flow"
+	case TRE:
+		return "Timely response to events"
+	case RA:
+		return "Resource availability"
+	default:
+		return "Unknown"
+	}
+}
+
+// SL is a security level, 0 (none) through 4.
+type SL int
+
+// Valid reports whether the level is in range.
+func (s SL) Valid() bool { return s >= 0 && s <= 4 }
+
+// Tag assigns a finding to a foundational requirement at a level: the
+// finding must pass for the level (and everything above it) to be
+// achieved.
+type Tag struct {
+	FR FR
+	SL SL
+}
+
+// TagMap maps finding IDs to their FR/SL tags (a finding may support
+// several classes).
+type TagMap map[string][]Tag
+
+// Validate checks every tag is well-formed.
+func (tm TagMap) Validate() error {
+	for id, tags := range tm {
+		if len(tags) == 0 {
+			return fmt.Errorf("iec62443: finding %s has no tags", id)
+		}
+		for _, t := range tags {
+			if t.FR < IAC || t.FR > RA {
+				return fmt.Errorf("iec62443: finding %s: bad FR %d", id, int(t.FR))
+			}
+			if !t.SL.Valid() || t.SL == 0 {
+				return fmt.Errorf("iec62443: finding %s: bad SL %d", id, int(t.SL))
+			}
+		}
+	}
+	return nil
+}
+
+// BuiltinTags maps the findings implemented in internal/stig to FR/SL
+// tags, following the 62443-3-3 system-requirement families each finding
+// supports (authentication findings under FR1, audit-event findings under
+// FR6, integrity tooling under FR3, confidentiality hardening under FR4).
+func BuiltinTags() TagMap {
+	return TagMap{
+		// Ubuntu 18.04.
+		"V-219157": {{SI, 1}},           // NIS removal: system integrity hygiene
+		"V-219158": {{DC, 1}, {IAC, 1}}, // rsh-server: cleartext credentials
+		"V-219161": {{RDF, 1}, {UC, 1}}, // controlled remote access
+		"V-219177": {{DC, 2}},           // password hashing strength
+		"V-219304": {{UC, 1}},           // session lock
+		"V-219318": {{IAC, 3}},          // multifactor authentication
+		"V-219319": {{IAC, 2}},          // PIV credentials
+		"V-219343": {{SI, 2}},           // security function verification (AIDE)
+		// Windows 10 audit policies: timely response to events.
+		"V-63447": {{TRE, 1}, {UC, 2}},
+		"V-63449": {{TRE, 1}},
+		"V-63463": {{TRE, 1}, {IAC, 1}},
+		"V-63467": {{TRE, 1}},
+		"V-63483": {{TRE, 2}},
+		"V-63487": {{TRE, 2}},
+	}
+}
+
+// Profile is a target security level per foundational requirement (SL-T).
+// Classes absent from the map have target 0 (no requirement).
+type Profile map[FR]SL
+
+// TypicalTarget returns a representative SL-T profile for an industrial
+// control zone requiring strong authentication and auditing.
+func TypicalTarget() Profile {
+	return Profile{IAC: 2, UC: 1, SI: 2, DC: 2, RDF: 1, TRE: 2}
+}
+
+// ClassResult is the assessment outcome for one FR class.
+type ClassResult struct {
+	FR FR
+	// Target is the demanded level, Achieved the level supported by the
+	// passing findings.
+	Target, Achieved SL
+	// Blocking lists the failing finding IDs that cap the achieved level,
+	// sorted.
+	Blocking []string
+	// Untagged is true when no finding in the report supports this class
+	// at any level (the achieved level is then 0 by absence of evidence).
+	Untagged bool
+}
+
+// Met reports whether the class meets its target.
+func (c ClassResult) Met() bool { return c.Achieved >= c.Target }
+
+// Assessment is the whole-profile outcome.
+type Assessment struct {
+	Classes []ClassResult
+}
+
+// Met reports whether every class meets its target.
+func (a Assessment) Met() bool {
+	for _, c := range a.Classes {
+		if !c.Met() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the assessment table.
+func (a Assessment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-44s %-7s %-9s %-5s %s\n", "CLASS", "NAME", "TARGET", "ACHIEVED", "MET", "BLOCKING")
+	for _, c := range a.Classes {
+		fmt.Fprintf(&b, "%-10s %-44s SL-%d    SL-%d      %-5v %s\n",
+			c.FR, c.FR.Name(), c.Target, c.Achieved, c.Met(), strings.Join(c.Blocking, ","))
+	}
+	fmt.Fprintf(&b, "profile met: %v\n", a.Met())
+	return b.String()
+}
+
+// Assess evaluates a compliance report against the target profile using
+// the tag map. The achieved level of a class is the highest L such that
+// every tagged finding with SL <= L passes; findings absent from the
+// report are ignored (they were not assessed).
+func Assess(rep core.Report, tags TagMap, target Profile) (Assessment, error) {
+	if err := tags.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	// status per assessed finding.
+	status := map[string]core.CheckStatus{}
+	for _, res := range rep.Results {
+		status[res.FindingID] = res.After
+	}
+
+	// Per class: the failing findings per level and whether any evidence
+	// exists.
+	type classAcc struct {
+		failAt   [5][]string
+		anyTag   bool
+		maxLevel SL
+	}
+	acc := map[FR]*classAcc{}
+	for _, fr := range AllFRs {
+		acc[fr] = &classAcc{}
+	}
+	for id, ts := range tags {
+		st, assessed := status[id]
+		if !assessed {
+			continue
+		}
+		for _, t := range ts {
+			a := acc[t.FR]
+			a.anyTag = true
+			if t.SL > a.maxLevel {
+				a.maxLevel = t.SL
+			}
+			if st != core.CheckPass {
+				a.failAt[t.SL] = append(a.failAt[t.SL], id)
+			}
+		}
+	}
+
+	var out Assessment
+	for _, fr := range AllFRs {
+		tgt := target[fr]
+		if !tgt.Valid() {
+			return Assessment{}, fmt.Errorf("iec62443: target SL %d out of range for %s", int(tgt), fr)
+		}
+		a := acc[fr]
+		c := ClassResult{FR: fr, Target: tgt, Untagged: !a.anyTag}
+		if a.anyTag {
+			achieved := SL(0)
+			var blocking []string
+			for l := SL(1); l <= 4; l++ {
+				if len(a.failAt[l]) > 0 {
+					blocking = a.failAt[l]
+					break
+				}
+				if l <= a.maxLevel {
+					achieved = l
+				}
+			}
+			// Evidence only reaches maxLevel; levels above are unassessed
+			// and capped there.
+			c.Achieved = achieved
+			sort.Strings(blocking)
+			c.Blocking = blocking
+		}
+		out.Classes = append(out.Classes, c)
+	}
+	return out, nil
+}

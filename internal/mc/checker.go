@@ -1,0 +1,300 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+
+	"veridevops/internal/automata"
+)
+
+// Stats reports the work a verification run performed.
+type Stats struct {
+	// StatesExplored counts symbolic states popped from the waiting list.
+	StatesExplored int
+	// ZonesStored counts zones retained in the passed list.
+	ZonesStored int
+	// Transitions counts successor computations that produced a non-empty
+	// zone.
+	Transitions int
+}
+
+// Result is the outcome of a reachability query.
+type Result struct {
+	// Reachable reports whether a goal state was found.
+	Reachable bool
+	// Witness is the sequence of transition labels leading to the goal
+	// (internal steps render as "tau"), empty when unreachable.
+	Witness []string
+	Stats   Stats
+}
+
+// Checker verifies properties of a timed-automata network.
+type Checker struct {
+	net      *automata.Network
+	clocks   []string
+	clockIdx map[string]int // clock name -> DBM index (1-based)
+	k        int64
+
+	// MaxStates bounds exploration; 0 means unlimited. When exceeded,
+	// CheckReachable returns an error.
+	MaxStates int
+}
+
+// NewChecker prepares a checker for the network.
+func NewChecker(net *automata.Network) *Checker {
+	clocks := net.Clocks()
+	idx := make(map[string]int, len(clocks))
+	for i, c := range clocks {
+		idx[c] = i + 1
+	}
+	return &Checker{net: net, clocks: clocks, clockIdx: idx, k: net.MaxConstant()}
+}
+
+// node is a symbolic state in the zone graph.
+type node struct {
+	locs   []int
+	zone   *DBM
+	parent *node
+	via    string
+}
+
+func (c *Checker) locKey(locs []int) string {
+	var b strings.Builder
+	for i, l := range locs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", l)
+	}
+	return b.String()
+}
+
+// applyGuard intersects the zone with a guard; returns false when the
+// result is empty.
+func (c *Checker) applyGuard(z *DBM, g automata.Guard) bool {
+	for _, con := range g {
+		x, ok := c.clockIdx[con.Clock]
+		if !ok {
+			// Unknown clock: treated as a modelling error surfaced loudly.
+			panic(fmt.Sprintf("mc: guard references unknown clock %q", con.Clock))
+		}
+		z.constrain(x, con.Op, con.Bound)
+	}
+	z.close()
+	return !z.empty()
+}
+
+// invariants returns the conjunction of location invariants for a location
+// vector.
+func (c *Checker) invariants(locs []int) automata.Guard {
+	var g automata.Guard
+	for ai, a := range c.net.Automata {
+		g = append(g, a.Locations[locs[ai]].Invariant...)
+	}
+	return g
+}
+
+// initial returns the initial symbolic state: all components at their
+// initial locations, clocks at zero, time-elapsed under the invariants.
+func (c *Checker) initial() *node {
+	locs := make([]int, len(c.net.Automata))
+	for i, a := range c.net.Automata {
+		li, _ := a.LocIndex(a.Initial)
+		locs[i] = li
+	}
+	z := newDBM(len(c.clocks))
+	z.up()
+	if !c.applyGuard(z, c.invariants(locs)) {
+		// Inconsistent initial invariants yield an empty initial zone.
+		return nil
+	}
+	z.extrapolate(c.k)
+	return &node{locs: locs, zone: z}
+}
+
+// participant is one component's edge taking part in a transition.
+type participant struct {
+	automaton int
+	edge      automata.Edge
+}
+
+// successors enumerates the transitions enabled from n.
+func (c *Checker) successors(n *node) []*node {
+	var out []*node
+	for ai, a := range c.net.Automata {
+		for _, e := range a.Edges {
+			from, _ := a.LocIndex(e.From)
+			if from != n.locs[ai] {
+				continue
+			}
+			if e.Label == "" {
+				if s := c.fire(n, []participant{{ai, e}}, "tau"); s != nil {
+					out = append(out, s)
+				}
+				continue
+			}
+			if a.Observer {
+				continue // receive-only: labeled edges never emit
+			}
+			// Broadcast: ai emits e.Label; every other component that has
+			// an enabled receiving edge participates. Receiver choices are
+			// enumerated combinatorially (observers are deterministic, so
+			// the fan-out is small in practice).
+			combos := [][]participant{{{ai, e}}}
+			for bi, b := range c.net.Automata {
+				if bi == ai {
+					continue
+				}
+				var recv []automata.Edge
+				for _, be := range b.Edges {
+					bf, _ := b.LocIndex(be.From)
+					if bf == n.locs[bi] && be.Label == e.Label {
+						recv = append(recv, be)
+					}
+				}
+				if len(recv) == 0 {
+					continue // component does not listen; stays put
+				}
+				var next [][]participant
+				for _, combo := range combos {
+					for _, be := range recv {
+						withBe := append(append([]participant{}, combo...), participant{bi, be})
+						next = append(next, withBe)
+					}
+				}
+				combos = next
+			}
+			for _, combo := range combos {
+				if s := c.fire(n, combo, e.Label); s != nil {
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fire computes the successor of n under the joint transition, or nil when
+// the transition is disabled.
+func (c *Checker) fire(n *node, parts []participant, label string) *node {
+	z := n.zone.clone()
+	for _, p := range parts {
+		if !c.applyGuard(z, p.edge.Guard) {
+			return nil
+		}
+	}
+	locs := append([]int{}, n.locs...)
+	for _, p := range parts {
+		to, _ := c.net.Automata[p.automaton].LocIndex(p.edge.To)
+		locs[p.automaton] = to
+		for _, r := range p.edge.Resets {
+			x, ok := c.clockIdx[r]
+			if !ok {
+				panic(fmt.Sprintf("mc: reset of unknown clock %q", r))
+			}
+			z.reset(x)
+		}
+	}
+	if !c.applyGuard(z, c.invariants(locs)) {
+		return nil
+	}
+	z.up()
+	if !c.applyGuard(z, c.invariants(locs)) {
+		return nil
+	}
+	z.extrapolate(c.k)
+	return &node{locs: locs, zone: z, parent: n, via: label}
+}
+
+// CheckReachable explores the zone graph breadth-first and reports whether
+// a state satisfying goal is reachable.
+func (c *Checker) CheckReachable(goal func(locs []int) bool) (Result, error) {
+	var res Result
+	init := c.initial()
+	if init == nil {
+		return res, nil
+	}
+	passed := map[string][]*DBM{}
+	store := func(n *node) bool {
+		k := c.locKey(n.locs)
+		for _, z := range passed[k] {
+			if z.includes(n.zone) {
+				return false
+			}
+		}
+		passed[k] = append(passed[k], n.zone)
+		res.Stats.ZonesStored++
+		return true
+	}
+	queue := []*node{init}
+	store(init)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		res.Stats.StatesExplored++
+		if c.MaxStates > 0 && res.Stats.StatesExplored > c.MaxStates {
+			return res, fmt.Errorf("mc: state budget %d exceeded", c.MaxStates)
+		}
+		if goal(n.locs) {
+			res.Reachable = true
+			res.Witness = witness(n)
+			return res, nil
+		}
+		for _, s := range c.successors(n) {
+			res.Stats.Transitions++
+			if store(s) {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return res, nil
+}
+
+// CheckErrorFree verifies the invariant "no component is in an error
+// location" (A[] !err), the verdict PROPAS derives for pattern observers.
+// It returns holds=false with the violating witness when an error location
+// is reachable.
+func (c *Checker) CheckErrorFree() (holds bool, witness []string, stats Stats, err error) {
+	goal := func(locs []int) bool {
+		for ai, a := range c.net.Automata {
+			if a.Locations[locs[ai]].Error {
+				return true
+			}
+		}
+		return false
+	}
+	res, err := c.CheckReachable(goal)
+	return !res.Reachable, res.Witness, res.Stats, err
+}
+
+// LocationReachable reports whether the named component can reach the
+// named location.
+func (c *Checker) LocationReachable(component, location string) (Result, error) {
+	ci := -1
+	for i, a := range c.net.Automata {
+		if a.Name == component {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return Result{}, fmt.Errorf("mc: unknown component %q", component)
+	}
+	li, ok := c.net.Automata[ci].LocIndex(location)
+	if !ok {
+		return Result{}, fmt.Errorf("mc: unknown location %q in %q", location, component)
+	}
+	return c.CheckReachable(func(locs []int) bool { return locs[ci] == li })
+}
+
+func witness(n *node) []string {
+	var rev []string
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.via)
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}

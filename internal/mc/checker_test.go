@@ -1,0 +1,261 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+
+	"veridevops/internal/automata"
+)
+
+// respNet builds plant || response-observer: a 4-step cyclic plant emitting
+// a,b,c,d every `period`, observed for "every a is followed by c within d".
+// Ground truth: c occurs exactly 2*period after a.
+func respNet(period, deadline int64) *automata.Network {
+	plant := automata.CyclicPlant("plant", 4, []string{"a", "b", "c", "d"}, period)
+	obs := automata.ResponseTimedObserver("a", "c", deadline)
+	return automata.MustNetwork(plant, obs)
+}
+
+func TestResponseObserverSatisfied(t *testing.T) {
+	// Latency is exactly 20; deadline 20 is met.
+	holds, wit, stats, err := NewChecker(respNet(10, 20)).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds {
+		t.Errorf("deadline 20 must hold (latency 20); witness %v", wit)
+	}
+	if stats.StatesExplored == 0 {
+		t.Error("no states explored")
+	}
+}
+
+func TestResponseObserverViolated(t *testing.T) {
+	holds, wit, _, err := NewChecker(respNet(10, 19)).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("deadline 19 must be violated (latency 20)")
+	}
+	if len(wit) == 0 {
+		t.Error("violation must come with a witness")
+	}
+	// The witness must contain the trigger event.
+	found := false
+	for _, l := range wit {
+		if l == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("witness %v should contain the trigger 'a'", wit)
+	}
+}
+
+func TestAbsenceObserver(t *testing.T) {
+	plant := automata.CyclicPlant("plant", 3, []string{"a", "b", "c"}, 5)
+	net := automata.MustNetwork(plant, automata.AbsenceObserver("c"))
+	holds, _, _, err := NewChecker(net).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("plant emits c; absence must be violated")
+	}
+
+	net2 := automata.MustNetwork(
+		automata.CyclicPlant("plant", 3, []string{"a", "b", "x"}, 5),
+		automata.AbsenceObserver("c"))
+	holds2, _, _, err := NewChecker(net2).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds2 {
+		t.Error("plant never emits c; absence must hold")
+	}
+}
+
+func TestPrecedenceObserver(t *testing.T) {
+	// Plant emits auth then access: precedence holds.
+	ok := automata.CyclicPlant("plant", 2, []string{"auth", "access"}, 5)
+	net := automata.MustNetwork(ok, automata.PrecedenceObserver("access", "auth"))
+	holds, _, _, err := NewChecker(net).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds {
+		t.Error("auth precedes access; precedence must hold")
+	}
+
+	// Plant emits access first: violated.
+	bad := automata.CyclicPlant("plant", 2, []string{"access", "auth"}, 5)
+	net2 := automata.MustNetwork(bad, automata.PrecedenceObserver("access", "auth"))
+	holds2, _, _, err := NewChecker(net2).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds2 {
+		t.Error("access before auth; precedence must fail")
+	}
+}
+
+func TestExistenceBoundedObserver(t *testing.T) {
+	// c first occurs at 3*period = 15.
+	plant := automata.CyclicPlant("plant", 3, []string{"a", "b", "c"}, 5)
+	net := automata.MustNetwork(plant, automata.ExistenceBoundedObserver("c", 15))
+	holds, _, _, err := NewChecker(net).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds {
+		t.Error("c occurs at 15; existence within 15 must hold")
+	}
+
+	net2 := automata.MustNetwork(
+		automata.CyclicPlant("plant", 3, []string{"a", "b", "c"}, 5),
+		automata.ExistenceBoundedObserver("c", 14))
+	holds2, _, _, err := NewChecker(net2).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds2 {
+		t.Error("c cannot occur before 15; existence within 14 must fail")
+	}
+}
+
+func TestMinSeparationObserver(t *testing.T) {
+	// a occurs every 2*period = 20 ticks in a 2-ring.
+	plant := automata.CyclicPlant("plant", 2, []string{"a", "b"}, 10)
+	net := automata.MustNetwork(plant, automata.MinSeparationObserver("a", 20))
+	holds, _, _, err := NewChecker(net).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds {
+		t.Error("separation is exactly 20; min-sep 20 must hold")
+	}
+
+	net2 := automata.MustNetwork(
+		automata.CyclicPlant("plant", 2, []string{"a", "b"}, 10),
+		automata.MinSeparationObserver("a", 21))
+	holds2, _, _, err := NewChecker(net2).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds2 {
+		t.Error("separation 20 < 21; min-sep 21 must fail")
+	}
+}
+
+func TestAfterUntilAbsenceObserver(t *testing.T) {
+	// Ring q, p, r: p occurs between q and r — violation.
+	plant := automata.CyclicPlant("plant", 3, []string{"q", "p", "r"}, 5)
+	net := automata.MustNetwork(plant, automata.AfterUntilAbsenceObserver("q", "p", "r"))
+	holds, _, _, err := NewChecker(net).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("p inside [q,r): scoped absence must fail")
+	}
+
+	// Ring q, r, p: p occurs only outside the scope — holds.
+	plant2 := automata.CyclicPlant("plant", 3, []string{"q", "r", "p"}, 5)
+	net2 := automata.MustNetwork(plant2, automata.AfterUntilAbsenceObserver("q", "p", "r"))
+	holds2, _, _, err := NewChecker(net2).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds2 {
+		t.Error("p outside [q,r): scoped absence must hold")
+	}
+}
+
+func TestLocationReachable(t *testing.T) {
+	plant := automata.CyclicPlant("plant", 3, []string{"a", "b", "c"}, 5)
+	c := NewChecker(automata.MustNetwork(plant))
+	res, err := c.LocationReachable("plant", "l2")
+	if err != nil || !res.Reachable {
+		t.Errorf("l2 must be reachable: %v %v", res.Reachable, err)
+	}
+	if _, err := c.LocationReachable("ghost", "l0"); err == nil {
+		t.Error("unknown component must error")
+	}
+	if _, err := c.LocationReachable("plant", "ghost"); err == nil {
+		t.Error("unknown location must error")
+	}
+}
+
+func TestMaxStatesBudget(t *testing.T) {
+	plant := automata.CyclicPlant("plant", 8, []string{"a"}, 5)
+	c := NewChecker(automata.MustNetwork(plant))
+	c.MaxStates = 2
+	_, err := c.CheckReachable(func([]int) bool { return false })
+	if err == nil {
+		t.Error("exceeding the state budget must error")
+	}
+}
+
+func TestDiscreteCheckerAgreesWithZones(t *testing.T) {
+	// Cross-validate the two engines on deterministic deadline queries.
+	for _, deadline := range []int64{18, 19, 20, 21, 25} {
+		net := respNet(10, deadline)
+		zHolds, _, _, err := NewChecker(net).CheckErrorFree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net2 := respNet(10, deadline)
+		dHolds, _, _, err := NewDiscreteChecker(net2).CheckErrorFree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zHolds != dHolds {
+			t.Errorf("deadline %d: zone=%v discrete=%v", deadline, zHolds, dHolds)
+		}
+		if want := deadline >= 20; zHolds != want {
+			t.Errorf("deadline %d: holds=%v, want %v", deadline, zHolds, want)
+		}
+	}
+}
+
+// Property-style cross-validation on random plants: zone-based and
+// discrete-time reachability of observer error locations must agree.
+func TestEnginesAgreeOnRandomPlants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 10; iter++ {
+		plant := automata.RandomPlant("plant", 3+rng.Intn(3), []string{"a", "b", "c"}, 3, 2, rng)
+		deadline := 1 + rng.Int63n(8)
+		mk := func() *automata.Network {
+			cp := *plant // shallow copy is fine: checkers do not mutate
+			return automata.MustNetwork(&cp, automata.ResponseTimedObserver("a", "b", deadline))
+		}
+		zHolds, _, _, err := NewChecker(mk()).CheckErrorFree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dHolds, _, _, err := NewDiscreteChecker(mk()).CheckErrorFree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zHolds != dHolds {
+			t.Fatalf("iter %d deadline %d: zone=%v discrete=%v", iter, deadline, zHolds, dHolds)
+		}
+	}
+}
+
+func TestZoneCheckerExploresFewerStatesThanDiscrete(t *testing.T) {
+	net := respNet(10, 20)
+	_, _, zStats, err := NewChecker(net).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, dStats, err := NewDiscreteChecker(respNet(10, 20)).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zStats.StatesExplored >= dStats.StatesExplored {
+		t.Errorf("zone abstraction should explore fewer states: zone=%d discrete=%d",
+			zStats.StatesExplored, dStats.StatesExplored)
+	}
+}

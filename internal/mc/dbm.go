@@ -1,0 +1,205 @@
+// Package mc is a zone-based model checker for the timed-automata networks
+// of internal/automata: the stand-in for UPPAAL in the VeriDevOps
+// reproduction. It decides reachability of observer error locations (and
+// dually A[] invariants) using difference-bound matrices with
+// k-extrapolation, plus an explicit discrete-time checker used as an
+// ablation baseline.
+package mc
+
+import (
+	"fmt"
+	"math"
+
+	"veridevops/internal/automata"
+)
+
+// bound encodes a DBM entry (v, strictness) as 2v+1 for "<= v" and 2v for
+// "< v"; smaller encodings are tighter constraints. infinity is the absent
+// constraint.
+type bound = int64
+
+const infinity bound = math.MaxInt64 / 4
+
+func ltBound(v int64) bound { return 2 * v }
+func leBound(v int64) bound { return 2*v + 1 }
+
+// addBounds is the tropical addition of two bounds.
+func addBounds(a, b bound) bound {
+	if a == infinity || b == infinity {
+		return infinity
+	}
+	// sum of values, strict unless both non-strict
+	return (a &^ 1) + (b &^ 1) + (a & 1 & b)
+}
+
+func boundString(b bound) string {
+	if b == infinity {
+		return "inf"
+	}
+	op := "<"
+	if b&1 == 1 {
+		op = "<="
+	}
+	return fmt.Sprintf("%s%d", op, b>>1)
+}
+
+// DBM is a difference-bound matrix over n clocks plus the reference clock
+// at index 0: entry (i,j) bounds x_i - x_j. A DBM in canonical form is
+// obtained with close().
+type DBM struct {
+	n int // clocks + 1
+	m []bound
+}
+
+// newDBM returns the zero zone (all clocks exactly 0) over n real clocks.
+func newDBM(n int) *DBM {
+	d := &DBM{n: n + 1, m: make([]bound, (n+1)*(n+1))}
+	for i := range d.m {
+		d.m[i] = leBound(0)
+	}
+	return d
+}
+
+func (d *DBM) at(i, j int) bound     { return d.m[i*d.n+j] }
+func (d *DBM) set(i, j int, b bound) { d.m[i*d.n+j] = b }
+
+// clone returns a deep copy.
+func (d *DBM) clone() *DBM {
+	c := &DBM{n: d.n, m: make([]bound, len(d.m))}
+	copy(c.m, d.m)
+	return c
+}
+
+// close canonicalises the matrix with Floyd-Warshall.
+func (d *DBM) close() {
+	n := d.n
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d.at(i, k)
+			if dik == infinity {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if s := addBounds(dik, d.at(k, j)); s < d.at(i, j) {
+					d.set(i, j, s)
+				}
+			}
+		}
+	}
+}
+
+// empty reports whether the (canonical) zone is empty.
+func (d *DBM) empty() bool { return d.at(0, 0) < leBound(0) }
+
+// up removes the upper bounds on all clocks: time elapse.
+func (d *DBM) up() {
+	for i := 1; i < d.n; i++ {
+		d.set(i, 0, infinity)
+	}
+}
+
+// constrain intersects the zone with an atomic constraint on clock index x
+// (1-based; index into the DBM). It leaves the matrix non-canonical.
+func (d *DBM) constrain(x int, op automata.Op, c int64) {
+	apply := func(i, j int, b bound) {
+		if b < d.at(i, j) {
+			d.set(i, j, b)
+		}
+	}
+	switch op {
+	case automata.OpLt:
+		apply(x, 0, ltBound(c))
+	case automata.OpLe:
+		apply(x, 0, leBound(c))
+	case automata.OpGt:
+		apply(0, x, ltBound(-c))
+	case automata.OpGe:
+		apply(0, x, leBound(-c))
+	case automata.OpEq:
+		apply(x, 0, leBound(c))
+		apply(0, x, leBound(-c))
+	}
+}
+
+// reset sets clock index x to zero (assumes canonical input, keeps
+// canonical form).
+func (d *DBM) reset(x int) {
+	for j := 0; j < d.n; j++ {
+		d.set(x, j, d.at(0, j))
+		d.set(j, x, d.at(j, 0))
+	}
+	d.set(x, x, leBound(0))
+}
+
+// extrapolate applies k-normalisation: bounds beyond the maximal constant k
+// are abstracted away, guaranteeing a finite zone graph.
+func (d *DBM) extrapolate(k int64) {
+	up := leBound(k)
+	low := ltBound(-k)
+	changed := false
+	for i := 0; i < d.n; i++ {
+		for j := 0; j < d.n; j++ {
+			if i == j {
+				continue
+			}
+			b := d.at(i, j)
+			if b == infinity {
+				continue
+			}
+			if b > up {
+				d.set(i, j, infinity)
+				changed = true
+			} else if b < low {
+				d.set(i, j, low)
+				changed = true
+			}
+		}
+	}
+	if changed {
+		d.close()
+	}
+}
+
+// includes reports whether d contains other (every bound of d is at least
+// as loose). Both must be canonical.
+func (d *DBM) includes(other *DBM) bool {
+	for i := range d.m {
+		if other.m[i] > d.m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// key returns a hashable representation of the canonical matrix.
+func (d *DBM) key() string {
+	buf := make([]byte, 0, len(d.m)*8)
+	for _, b := range d.m {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(b>>s))
+		}
+	}
+	return string(buf)
+}
+
+// String renders the non-trivial bounds, for debugging and witnesses.
+func (d *DBM) String() string {
+	s := "{"
+	first := true
+	for i := 0; i < d.n; i++ {
+		for j := 0; j < d.n; j++ {
+			if i == j || d.at(i, j) == infinity {
+				continue
+			}
+			if i == 0 && j == 0 {
+				continue
+			}
+			if !first {
+				s += ", "
+			}
+			first = false
+			s += fmt.Sprintf("x%d-x%d %s", i, j, boundString(d.at(i, j)))
+		}
+	}
+	return s + "}"
+}

@@ -1,0 +1,115 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+
+	"veridevops/internal/automata"
+)
+
+// Property-based tests over random constraint sequences, exercising the
+// DBM invariants the checker relies on.
+
+func randomZone(rng *rand.Rand, clocks, ops int) *DBM {
+	d := newDBM(clocks)
+	d.up()
+	for i := 0; i < ops; i++ {
+		x := 1 + rng.Intn(clocks)
+		op := []automata.Op{automata.OpLt, automata.OpLe, automata.OpGe, automata.OpGt}[rng.Intn(4)]
+		d.constrain(x, op, rng.Int63n(20))
+		if rng.Intn(3) == 0 {
+			d.close()
+			if !d.empty() && rng.Intn(2) == 0 {
+				d.reset(1 + rng.Intn(clocks))
+			}
+		}
+	}
+	d.close()
+	return d
+}
+
+func TestDBMIncludesReflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		z := randomZone(rng, 1+rng.Intn(3), rng.Intn(6))
+		if !z.includes(z) {
+			t.Fatal("a zone must include itself")
+		}
+		if !z.includes(z.clone()) {
+			t.Fatal("a zone must include its clone")
+		}
+	}
+}
+
+func TestDBMConstrainShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		clocks := 1 + rng.Intn(3)
+		z := randomZone(rng, clocks, rng.Intn(5))
+		if z.empty() {
+			continue
+		}
+		smaller := z.clone()
+		smaller.constrain(1+rng.Intn(clocks), automata.OpLe, rng.Int63n(20))
+		smaller.close()
+		if !z.includes(smaller) {
+			t.Fatalf("constraining must shrink the zone (iteration %d)", i)
+		}
+	}
+}
+
+func TestDBMUpGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		z := randomZone(rng, 1+rng.Intn(3), rng.Intn(6))
+		if z.empty() {
+			continue
+		}
+		delayed := z.clone()
+		delayed.up()
+		delayed.close()
+		if !delayed.includes(z) {
+			t.Fatal("time elapse must grow the zone")
+		}
+	}
+}
+
+func TestDBMExtrapolationGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		z := randomZone(rng, 1+rng.Intn(3), rng.Intn(6))
+		if z.empty() {
+			continue
+		}
+		ex := z.clone()
+		ex.extrapolate(5)
+		if !ex.includes(z) {
+			t.Fatalf("extrapolation must over-approximate (iteration %d):\n  z=%s\n  ex=%s", i, z, ex)
+		}
+		// Idempotence.
+		again := ex.clone()
+		again.extrapolate(5)
+		if ex.key() != again.key() {
+			t.Fatal("extrapolation must be idempotent")
+		}
+	}
+}
+
+func TestDBMResetPins(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		clocks := 2 + rng.Intn(2)
+		z := randomZone(rng, clocks, rng.Intn(6))
+		if z.empty() {
+			continue
+		}
+		x := 1 + rng.Intn(clocks)
+		z.reset(x)
+		if z.at(x, 0) != leBound(0) || z.at(0, x) != leBound(0) {
+			t.Fatal("reset clock must be exactly 0")
+		}
+		if z.empty() {
+			t.Fatal("reset must not empty a non-empty zone")
+		}
+	}
+}

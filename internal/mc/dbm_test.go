@@ -1,0 +1,153 @@
+package mc
+
+import (
+	"testing"
+
+	"veridevops/internal/automata"
+)
+
+func TestBoundEncoding(t *testing.T) {
+	if !(ltBound(5) < leBound(5)) {
+		t.Error("x<5 must be tighter than x<=5")
+	}
+	if !(leBound(4) < ltBound(5)) {
+		t.Error("x<=4 must be tighter than x<5")
+	}
+	if got := addBounds(leBound(3), leBound(4)); got != leBound(7) {
+		t.Errorf("<=3 + <=4 = %s, want <=7", boundString(got))
+	}
+	if got := addBounds(ltBound(3), leBound(4)); got != ltBound(7) {
+		t.Errorf("<3 + <=4 = %s, want <7", boundString(got))
+	}
+	if got := addBounds(infinity, leBound(1)); got != infinity {
+		t.Error("inf + b must be inf")
+	}
+	if boundString(infinity) != "inf" || boundString(leBound(2)) != "<=2" || boundString(ltBound(2)) != "<2" {
+		t.Error("boundString formatting wrong")
+	}
+}
+
+func TestZeroZone(t *testing.T) {
+	d := newDBM(2)
+	d.close()
+	if d.empty() {
+		t.Fatal("zero zone must be non-empty")
+	}
+	// x1 == 0 in the zero zone: x1 - 0 <= 0 and 0 - x1 <= 0.
+	if d.at(1, 0) != leBound(0) || d.at(0, 1) != leBound(0) {
+		t.Error("zero zone does not pin clocks to 0")
+	}
+}
+
+func TestUpAndConstrain(t *testing.T) {
+	d := newDBM(1)
+	d.up() // x in [0, inf)
+	d.constrain(1, automata.OpGe, 5)
+	d.constrain(1, automata.OpLe, 10)
+	d.close()
+	if d.empty() {
+		t.Fatal("5 <= x <= 10 must be non-empty")
+	}
+	d.constrain(1, automata.OpLt, 5)
+	d.close()
+	if !d.empty() {
+		t.Error("x >= 5 && x < 5 must be empty")
+	}
+}
+
+func TestConstrainEq(t *testing.T) {
+	d := newDBM(1)
+	d.up()
+	d.constrain(1, automata.OpEq, 7)
+	d.close()
+	if d.empty() {
+		t.Fatal("x == 7 after delay must be non-empty")
+	}
+	if d.at(1, 0) != leBound(7) || d.at(0, 1) != leBound(-7) {
+		t.Error("equality constraint not pinned")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := newDBM(2)
+	d.up()
+	d.constrain(1, automata.OpGe, 3)
+	d.close()
+	d.reset(2) // x2 := 0 while x1 >= 3
+	if d.empty() {
+		t.Fatal("reset zone must be non-empty")
+	}
+	// x2 is exactly 0.
+	if d.at(2, 0) != leBound(0) || d.at(0, 2) != leBound(0) {
+		t.Error("reset did not pin clock to 0")
+	}
+	// Difference x1 - x2 >= 3 preserved.
+	if d.at(0, 1) > leBound(-3) {
+		t.Errorf("lower bound on x1 lost: %s", boundString(d.at(0, 1)))
+	}
+}
+
+func TestIncludes(t *testing.T) {
+	big := newDBM(1)
+	big.up()
+	big.close()
+
+	small := newDBM(1)
+	small.up()
+	small.constrain(1, automata.OpLe, 5)
+	small.close()
+
+	if !big.includes(small) {
+		t.Error("unbounded zone must include bounded one")
+	}
+	if small.includes(big) {
+		t.Error("bounded zone must not include unbounded one")
+	}
+	if !big.includes(big.clone()) {
+		t.Error("zone must include its clone")
+	}
+}
+
+func TestExtrapolation(t *testing.T) {
+	d := newDBM(1)
+	d.up()
+	d.constrain(1, automata.OpGe, 100)
+	d.close()
+	d.extrapolate(10) // k = 10: lower bound beyond k is relaxed
+	if d.empty() {
+		t.Fatal("extrapolated zone must stay non-empty")
+	}
+	// After extrapolation the zone must include everything x > 10.
+	probe := newDBM(1)
+	probe.up()
+	probe.constrain(1, automata.OpGe, 11)
+	probe.close()
+	if !d.includes(probe) {
+		t.Error("extrapolation must relax bounds beyond k")
+	}
+}
+
+func TestKeyStableAndDistinct(t *testing.T) {
+	a := newDBM(1)
+	a.up()
+	a.close()
+	b := newDBM(1)
+	b.up()
+	b.close()
+	if a.key() != b.key() {
+		t.Error("equal zones must share a key")
+	}
+	b.constrain(1, automata.OpLe, 3)
+	b.close()
+	if a.key() == b.key() {
+		t.Error("different zones must have different keys")
+	}
+}
+
+func TestDBMString(t *testing.T) {
+	d := newDBM(1)
+	d.close()
+	if d.String() == "" {
+		t.Error("String must render something")
+	}
+}

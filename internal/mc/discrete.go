@@ -1,0 +1,234 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+
+	"veridevops/internal/automata"
+)
+
+// DiscreteChecker is the ablation baseline for the zone-based checker: it
+// explores the explicit discrete-time semantics where clocks advance in
+// unit steps and are capped at k+1 (values beyond the maximal constant are
+// indistinguishable). It decides the same reachability queries; the E4
+// ablation benchmark compares its state counts and run time against DBMs.
+type DiscreteChecker struct {
+	net      *automata.Network
+	clocks   []string
+	clockIdx map[string]int // clock name -> slot (0-based)
+	cap      int64
+
+	MaxStates int
+}
+
+// NewDiscreteChecker prepares a discrete-time checker for the network.
+func NewDiscreteChecker(net *automata.Network) *DiscreteChecker {
+	clocks := net.Clocks()
+	idx := make(map[string]int, len(clocks))
+	for i, c := range clocks {
+		idx[c] = i
+	}
+	return &DiscreteChecker{net: net, clocks: clocks, clockIdx: idx, cap: net.MaxConstant() + 1}
+}
+
+type dnode struct {
+	locs   []int
+	vals   []int64
+	parent *dnode
+	via    string
+}
+
+func (c *DiscreteChecker) key(n *dnode) string {
+	var b strings.Builder
+	for _, l := range n.locs {
+		fmt.Fprintf(&b, "%d,", l)
+	}
+	b.WriteByte('|')
+	for _, v := range n.vals {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+func (c *DiscreteChecker) sat(vals []int64, g automata.Guard) bool {
+	for _, con := range g {
+		v := vals[c.clockIdx[con.Clock]]
+		// A capped clock satisfies any lower-bound comparison with
+		// constants <= k and violates upper bounds below the cap, which is
+		// exact because guards never exceed the maximal constant.
+		ok := false
+		switch con.Op {
+		case automata.OpLt:
+			ok = v < con.Bound
+		case automata.OpLe:
+			ok = v <= con.Bound
+		case automata.OpGt:
+			ok = v > con.Bound
+		case automata.OpGe:
+			ok = v >= con.Bound
+		case automata.OpEq:
+			ok = v == con.Bound
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *DiscreteChecker) invariantsHold(locs []int, vals []int64) bool {
+	for ai, a := range c.net.Automata {
+		if !c.sat(vals, a.Locations[locs[ai]].Invariant) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckReachable explores the discrete-time state graph breadth-first.
+func (c *DiscreteChecker) CheckReachable(goal func(locs []int) bool) (Result, error) {
+	var res Result
+	locs := make([]int, len(c.net.Automata))
+	for i, a := range c.net.Automata {
+		li, _ := a.LocIndex(a.Initial)
+		locs[i] = li
+	}
+	init := &dnode{locs: locs, vals: make([]int64, len(c.clocks))}
+	if !c.invariantsHold(init.locs, init.vals) {
+		return res, nil
+	}
+	seen := map[string]struct{}{c.key(init): {}}
+	queue := []*dnode{init}
+	push := func(n *dnode) {
+		k := c.key(n)
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		res.Stats.ZonesStored++
+		queue = append(queue, n)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		res.Stats.StatesExplored++
+		if c.MaxStates > 0 && res.Stats.StatesExplored > c.MaxStates {
+			return res, fmt.Errorf("mc: discrete state budget %d exceeded", c.MaxStates)
+		}
+		if goal(n.locs) {
+			res.Reachable = true
+			res.Witness = dwitness(n)
+			return res, nil
+		}
+		// Delay step.
+		vals := make([]int64, len(n.vals))
+		for i, v := range n.vals {
+			if v < c.cap {
+				v++
+			}
+			vals[i] = v
+		}
+		if c.invariantsHold(n.locs, vals) {
+			res.Stats.Transitions++
+			push(&dnode{locs: n.locs, vals: vals, parent: n, via: "delay"})
+		}
+		// Action steps.
+		for _, s := range c.dsuccessors(n) {
+			res.Stats.Transitions++
+			push(s)
+		}
+	}
+	return res, nil
+}
+
+func (c *DiscreteChecker) dsuccessors(n *dnode) []*dnode {
+	var out []*dnode
+	for ai, a := range c.net.Automata {
+		for _, e := range a.Edges {
+			from, _ := a.LocIndex(e.From)
+			if from != n.locs[ai] || !c.sat(n.vals, e.Guard) {
+				continue
+			}
+			if e.Label == "" {
+				out = append(out, c.dfire(n, []participant{{ai, e}}, "tau"))
+				continue
+			}
+			if a.Observer {
+				continue // receive-only: labeled edges never emit
+			}
+			combos := [][]participant{{{ai, e}}}
+			for bi, b := range c.net.Automata {
+				if bi == ai {
+					continue
+				}
+				var recv []automata.Edge
+				for _, be := range b.Edges {
+					bf, _ := b.LocIndex(be.From)
+					if bf == n.locs[bi] && be.Label == e.Label && c.sat(n.vals, be.Guard) {
+						recv = append(recv, be)
+					}
+				}
+				if len(recv) == 0 {
+					continue
+				}
+				var next [][]participant
+				for _, combo := range combos {
+					for _, be := range recv {
+						next = append(next, append(append([]participant{}, combo...), participant{bi, be}))
+					}
+				}
+				combos = next
+			}
+			for _, combo := range combos {
+				out = append(out, c.dfire(n, combo, e.Label))
+			}
+		}
+	}
+	// Filter successors whose target invariants fail.
+	valid := out[:0]
+	for _, s := range out {
+		if s != nil && c.invariantsHold(s.locs, s.vals) {
+			valid = append(valid, s)
+		}
+	}
+	return valid
+}
+
+func (c *DiscreteChecker) dfire(n *dnode, parts []participant, label string) *dnode {
+	locs := append([]int{}, n.locs...)
+	vals := append([]int64{}, n.vals...)
+	for _, p := range parts {
+		to, _ := c.net.Automata[p.automaton].LocIndex(p.edge.To)
+		locs[p.automaton] = to
+		for _, r := range p.edge.Resets {
+			vals[c.clockIdx[r]] = 0
+		}
+	}
+	return &dnode{locs: locs, vals: vals, parent: n, via: label}
+}
+
+// CheckErrorFree mirrors Checker.CheckErrorFree for the discrete semantics.
+func (c *DiscreteChecker) CheckErrorFree() (holds bool, witness []string, stats Stats, err error) {
+	goal := func(locs []int) bool {
+		for ai, a := range c.net.Automata {
+			if a.Locations[locs[ai]].Error {
+				return true
+			}
+		}
+		return false
+	}
+	res, err := c.CheckReachable(goal)
+	return !res.Reachable, res.Witness, res.Stats, err
+}
+
+func dwitness(n *dnode) []string {
+	var rev []string
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.via)
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package mc
+
+import (
+	"fmt"
+
+	"veridevops/internal/automata"
+)
+
+// Unbounded response ("p --> q") checking on the discrete-time semantics.
+// The bounded patterns reduce to error-location reachability (observers),
+// but the unbounded leads-to needs liveness: the property fails exactly
+// when the system can reach a *pending lasso* — a state where p has
+// occurred without a subsequent q, from which a cycle exists that never
+// emits q. On the finite discrete-time graph (clocks capped beyond the
+// maximal constant) this is decidable by cycle detection in the
+// pending-restricted subgraph.
+//
+// Time-divergence note: states whose invariants permit unbounded delay
+// have a delay self-loop in the capped graph; a pending such state is a
+// genuine counterexample under the usual assumption that the environment
+// may idle (matching the strong finite-trace semantics of internal/tctl).
+
+// lnode is a liveness-graph node: discrete state + pending flag.
+type lnode struct {
+	locs    []int
+	vals    []int64
+	pending bool
+}
+
+// CheckLeadsTo verifies that every occurrence of event p is inevitably
+// followed by an occurrence of event q. It returns holds=false when a
+// pending lasso is reachable.
+func (c *DiscreteChecker) CheckLeadsTo(p, q string) (holds bool, stats Stats, err error) {
+	if p == q {
+		return true, stats, nil // trivially served by the same event
+	}
+	// Phase 1: enumerate the reachable pending-annotated graph.
+	locs := make([]int, len(c.net.Automata))
+	for i, a := range c.net.Automata {
+		li, _ := a.LocIndex(a.Initial)
+		locs[i] = li
+	}
+	init := &lnode{locs: locs, vals: make([]int64, len(c.clocks))}
+	if !c.invariantsHold(init.locs, init.vals) {
+		return true, stats, nil
+	}
+	key := func(n *lnode) string {
+		k := c.key(&dnode{locs: n.locs, vals: n.vals})
+		if n.pending {
+			return k + "P"
+		}
+		return k
+	}
+	index := map[string]int{key(init): 0}
+	nodes := []*lnode{init}
+	// adjacency within the pending subgraph (edges that keep pending).
+	pendingAdj := map[int][]int{}
+	queue := []int{0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		n := nodes[cur]
+		stats.StatesExplored++
+		if c.MaxStates > 0 && stats.StatesExplored > c.MaxStates {
+			return false, stats, fmt.Errorf("mc: liveness state budget %d exceeded", c.MaxStates)
+		}
+		push := func(succ *lnode) int {
+			k := key(succ)
+			id, ok := index[k]
+			if !ok {
+				id = len(nodes)
+				index[k] = id
+				nodes = append(nodes, succ)
+				stats.ZonesStored++
+				queue = append(queue, id)
+			}
+			return id
+		}
+		// Delay step.
+		vals := make([]int64, len(n.vals))
+		for i, v := range n.vals {
+			if v < c.cap {
+				v++
+			}
+			vals[i] = v
+		}
+		if c.invariantsHold(n.locs, vals) {
+			stats.Transitions++
+			id := push(&lnode{locs: n.locs, vals: vals, pending: n.pending})
+			if n.pending {
+				pendingAdj[cur] = append(pendingAdj[cur], id)
+			}
+		}
+		// Action steps.
+		for _, s := range c.dsuccessors(&dnode{locs: n.locs, vals: n.vals}) {
+			stats.Transitions++
+			label := s.via
+			pending := n.pending
+			switch label {
+			case q:
+				pending = false
+			case p:
+				pending = true
+			}
+			id := push(&lnode{locs: s.locs, vals: s.vals, pending: pending})
+			if n.pending && pending {
+				pendingAdj[cur] = append(pendingAdj[cur], id)
+			}
+		}
+	}
+
+	// Phase 2: cycle detection within the pending subgraph.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int8, len(nodes))
+	for start := range nodes {
+		if !nodes[start].pending || color[start] != white {
+			continue
+		}
+		// Iterative DFS with explicit post-processing.
+		type frame struct {
+			node int
+			next int
+		}
+		frames := []frame{{node: start}}
+		color[start] = grey
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			adj := pendingAdj[f.node]
+			if f.next < len(adj) {
+				succ := adj[f.next]
+				f.next++
+				switch color[succ] {
+				case grey:
+					return false, stats, nil // pending lasso found
+				case white:
+					color[succ] = grey
+					frames = append(frames, frame{node: succ})
+				}
+				continue
+			}
+			color[f.node] = black
+			frames = frames[:len(frames)-1]
+		}
+	}
+	return true, stats, nil
+}
+
+// CheckLeadsToNetwork is a convenience wrapper building a discrete checker
+// for the network and running CheckLeadsTo.
+func CheckLeadsToNetwork(net *automata.Network, p, q string) (bool, Stats, error) {
+	return NewDiscreteChecker(net).CheckLeadsTo(p, q)
+}

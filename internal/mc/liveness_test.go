@@ -1,0 +1,135 @@
+package mc
+
+import (
+	"testing"
+
+	"veridevops/internal/automata"
+)
+
+func TestLeadsToHoldsOnRing(t *testing.T) {
+	// Ring a,b,c,d: every a is inevitably followed by c.
+	plant := automata.CyclicPlant("plant", 4, []string{"a", "b", "c", "d"}, 5)
+	holds, stats, err := CheckLeadsToNetwork(automata.MustNetwork(plant), "a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds {
+		t.Error("a --> c must hold on the ring")
+	}
+	if stats.StatesExplored == 0 {
+		t.Error("no states explored")
+	}
+}
+
+func TestLeadsToFailsWhenResponseMissing(t *testing.T) {
+	plant := automata.CyclicPlant("plant", 4, []string{"a", "b", "c", "d"}, 5)
+	holds, _, err := CheckLeadsToNetwork(automata.MustNetwork(plant), "a", "zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("a --> zz must fail: zz is never emitted")
+	}
+}
+
+func TestLeadsToFailsOnAvoidingBranch(t *testing.T) {
+	// After a, the plant may loop on b forever, avoiding c.
+	a := automata.New("plant")
+	x := "x_p"
+	inv := automata.Guard{{Clock: x, Op: automata.OpLe, Bound: 5}}
+	a.AddLocation(automata.Location{Name: "s0", Invariant: inv})
+	a.AddLocation(automata.Location{Name: "s1", Invariant: inv})
+	step := func(from, to, label string) {
+		a.AddEdge(automata.Edge{From: from, To: to, Label: label,
+			Guard:  automata.Guard{{Clock: x, Op: automata.OpGe, Bound: 5}},
+			Resets: []string{x}})
+	}
+	step("s0", "s1", "a")
+	step("s1", "s1", "b") // may loop forever
+	step("s1", "s0", "c") // or respond
+	holds, _, err := CheckLeadsToNetwork(automata.MustNetwork(a), "a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("a --> c must fail: the b self-loop avoids c forever")
+	}
+}
+
+func TestLeadsToHoldsWhenBranchForcedToRespond(t *testing.T) {
+	// Same shape, but the b-loop is removed: the only continuation is c.
+	a := automata.New("plant")
+	x := "x_p"
+	inv := automata.Guard{{Clock: x, Op: automata.OpLe, Bound: 5}}
+	a.AddLocation(automata.Location{Name: "s0", Invariant: inv})
+	a.AddLocation(automata.Location{Name: "s1", Invariant: inv})
+	step := func(from, to, label string) {
+		a.AddEdge(automata.Edge{From: from, To: to, Label: label,
+			Guard:  automata.Guard{{Clock: x, Op: automata.OpGe, Bound: 5}},
+			Resets: []string{x}})
+	}
+	step("s0", "s1", "a")
+	step("s1", "s0", "c")
+	holds, _, err := CheckLeadsToNetwork(automata.MustNetwork(a), "a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds {
+		t.Error("a --> c must hold: c is the only continuation")
+	}
+}
+
+func TestLeadsToIdleStateIsCounterexample(t *testing.T) {
+	// No invariant on s1: the system may idle forever after a, so the
+	// response is not inevitable.
+	a := automata.New("plant")
+	x := "x_p"
+	a.AddLocation(automata.Location{Name: "s0", Invariant: automata.Guard{{Clock: x, Op: automata.OpLe, Bound: 5}}})
+	a.AddLocation(automata.Location{Name: "s1"}) // unbounded idling allowed
+	a.AddEdge(automata.Edge{From: "s0", To: "s1", Label: "a",
+		Guard: automata.Guard{{Clock: x, Op: automata.OpGe, Bound: 5}}, Resets: []string{x}})
+	a.AddEdge(automata.Edge{From: "s1", To: "s0", Label: "c", Resets: []string{x}})
+	holds, _, err := CheckLeadsToNetwork(automata.MustNetwork(a), "a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Error("a --> c must fail: the system may idle in s1 forever")
+	}
+}
+
+func TestLeadsToSameEvent(t *testing.T) {
+	plant := automata.CyclicPlant("plant", 2, []string{"a", "b"}, 5)
+	holds, _, err := CheckLeadsToNetwork(automata.MustNetwork(plant), "a", "a")
+	if err != nil || !holds {
+		t.Errorf("p --> p is trivially true: %v %v", holds, err)
+	}
+}
+
+func TestLeadsToBudget(t *testing.T) {
+	plant := automata.CyclicPlant("plant", 8, []string{"a", "b"}, 50)
+	c := NewDiscreteChecker(automata.MustNetwork(plant))
+	c.MaxStates = 3
+	if _, _, err := c.CheckLeadsTo("a", "b"); err == nil {
+		t.Error("budget exhaustion must error")
+	}
+}
+
+// Cross-validation against the bounded observer: when the bounded response
+// holds for some deadline, the unbounded leads-to must hold too.
+func TestLeadsToConsistentWithBoundedObserver(t *testing.T) {
+	plant := automata.CyclicPlant("plant", 4, []string{"a", "b", "c", "d"}, 10)
+	net := automata.MustNetwork(plant, automata.ResponseTimedObserver("a", "c", 20))
+	bounded, _, _, err := NewChecker(net).CheckErrorFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plant2 := automata.CyclicPlant("plant", 4, []string{"a", "b", "c", "d"}, 10)
+	unbounded, _, err := CheckLeadsToNetwork(automata.MustNetwork(plant2), "a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded && !unbounded {
+		t.Error("bounded response implies unbounded leads-to")
+	}
+}

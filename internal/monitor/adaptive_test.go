@@ -1,0 +1,91 @@
+package monitor
+
+import (
+	"testing"
+
+	"veridevops/internal/host"
+	"veridevops/internal/stig"
+	"veridevops/internal/trace"
+)
+
+func TestAdaptiveBacksOffWhenHealthy(t *testing.T) {
+	mk := func(adaptive bool) *Scheduler {
+		h := host.NewUbuntu1804()
+		s := NewScheduler(10)
+		if adaptive {
+			s.Adaptive = &AdaptivePolicy{}
+		}
+		s.Watch("V-219157", stig.NewV219157(h))
+		s.Run(5000, nil)
+		return s
+	}
+	fixed := mk(false)
+	adaptive := mk(true)
+	if adaptive.Polls >= fixed.Polls {
+		t.Errorf("adaptive should poll less on a healthy host: %d vs %d",
+			adaptive.Polls, fixed.Polls)
+	}
+	// Fixed polling: one poll per period across the horizon.
+	if fixed.Polls < 490 || fixed.Polls > 510 {
+		t.Errorf("fixed polls = %d, want ~500", fixed.Polls)
+	}
+	// Backoff caps at 8x: at steady state ~one poll per 80 ticks.
+	if adaptive.Polls > 120 {
+		t.Errorf("adaptive polls = %d, want well under fixed", adaptive.Polls)
+	}
+}
+
+func TestAdaptiveStillDetects(t *testing.T) {
+	h := host.NewUbuntu1804()
+	s := NewScheduler(10)
+	s.Adaptive = &AdaptivePolicy{MaxPeriod: 80, CleanStreak: 2}
+	s.Watch("V-219157", stig.NewV219157(h))
+	inject := trace.Time(1000)
+	s.Run(2000, []TimedAction{{At: inject, Do: func() { h.Install("nis", "1") }}})
+	alarms := s.Alarms()
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1", len(alarms))
+	}
+	// Detection latency is bounded by the max period.
+	if lat := alarms[0].At - inject; lat < 0 || lat > 80 {
+		t.Errorf("latency = %d, want within the 80-tick max period", lat)
+	}
+}
+
+func TestAdaptiveSnapsBackAfterViolation(t *testing.T) {
+	h := host.NewUbuntu1804()
+	s := NewScheduler(10)
+	s.AutoEnforce = true
+	s.Adaptive = &AdaptivePolicy{MaxPeriod: 160, CleanStreak: 2}
+	s.WatchEnforceable("V-219157", stig.NewV219157(h))
+
+	// Two injections: the second lands while the monitor would be backed
+	// off had the first alarm not reset the period.
+	s.Run(4000, []TimedAction{
+		{At: 2000, Do: func() { h.Install("nis", "1") }},
+		{At: 2100, Do: func() { h.Install("nis", "1") }},
+	})
+	alarms := s.Alarms()
+	if len(alarms) != 2 {
+		t.Fatalf("alarms = %d, want 2", len(alarms))
+	}
+	// After the first alarm the period snapped back to 10, so the second
+	// detection is tight.
+	if lat := alarms[1].At - 2100; lat > 40 {
+		t.Errorf("post-reset latency = %d, want tight (<=40)", lat)
+	}
+}
+
+func TestAdaptiveDefaults(t *testing.T) {
+	s := NewScheduler(10)
+	s.Adaptive = &AdaptivePolicy{}
+	maxP, streak := s.adaptiveParams()
+	if maxP != 80 || streak != 4 {
+		t.Errorf("defaults = %d/%d, want 80/4", maxP, streak)
+	}
+	s.Adaptive = nil
+	maxP, streak = s.adaptiveParams()
+	if maxP != 10 || streak != 0 {
+		t.Errorf("non-adaptive params = %d/%d", maxP, streak)
+	}
+}

@@ -1,0 +1,235 @@
+// Package monitor implements Reactive Protection at Operations (WP3 of the
+// VeriDevOps framework): a scheduler that polls RQCODE requirements against
+// the live environment, raises alarms on violations, optionally auto-
+// remediates through the requirements' Enforce operation, and accounts
+// detection/repair latencies — the measurements behind the E3 and E6
+// experiments.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"veridevops/internal/core"
+	"veridevops/internal/temporal"
+	"veridevops/internal/trace"
+)
+
+// Alarm is one detected violation.
+type Alarm struct {
+	At          trace.Time
+	Requirement string
+	// Enforced reports whether auto-remediation ran.
+	Enforced    bool
+	Enforcement core.EnforcementStatus
+	// RepairedAt is when a subsequent check passed again (only meaningful
+	// when Enforced and the repair succeeded); -1 otherwise.
+	RepairedAt trace.Time
+}
+
+func (a Alarm) String() string {
+	s := fmt.Sprintf("t=%d %s VIOLATION", a.At, a.Requirement)
+	if a.Enforced {
+		s += fmt.Sprintf(" enforced=%s repaired_at=%d", a.Enforcement, a.RepairedAt)
+	}
+	return s
+}
+
+// entry is one monitored requirement.
+type entry struct {
+	name string
+	c    core.Checkable
+	e    core.Enforceable // nil when not auto-remediable
+	// inViolation dedupes alarms: one alarm per violation episode.
+	inViolation bool
+}
+
+// TimedAction is an environment mutation scheduled at a virtual instant,
+// used to inject violations during simulated runs.
+type TimedAction struct {
+	At trace.Time
+	Do func()
+}
+
+// AdaptivePolicy backs polling off while the environment stays healthy:
+// after CleanStreak consecutive violation-free polls the period doubles
+// (capped at MaxPeriod); any violation snaps it back to the base period.
+// The E3c ablation quantifies the polls-saved / latency-paid trade.
+type AdaptivePolicy struct {
+	// MaxPeriod caps the backoff (default 8x the base period).
+	MaxPeriod trace.Time
+	// CleanStreak is how many clean polls double the period (default 4).
+	CleanStreak int
+}
+
+// Scheduler polls registered requirements at a fixed period.
+type Scheduler struct {
+	// Clock supplies time; nil defaults to a simulated clock.
+	Clock temporal.Clock
+	// Period is the polling period in ticks (default 10).
+	Period trace.Time
+	// AutoEnforce turns on remediation of failing enforceable entries.
+	AutoEnforce bool
+	// Adaptive, when non-nil, enables backoff polling.
+	Adaptive *AdaptivePolicy
+
+	entries []*entry
+	alarms  []Alarm
+	// Polls counts polling rounds performed by Run.
+	Polls int
+}
+
+// NewScheduler returns a scheduler with the given polling period over a
+// fresh simulated clock.
+func NewScheduler(period trace.Time) *Scheduler {
+	if period <= 0 {
+		period = 10
+	}
+	return &Scheduler{Clock: temporal.NewSimClock(), Period: period}
+}
+
+// Watch registers a check-only requirement.
+func (s *Scheduler) Watch(name string, c core.Checkable) {
+	s.entries = append(s.entries, &entry{name: name, c: c})
+}
+
+// WatchEnforceable registers a requirement that AutoEnforce may remediate.
+func (s *Scheduler) WatchEnforceable(name string, r core.CheckableEnforceableRequirement) {
+	s.entries = append(s.entries, &entry{name: name, c: r, e: r})
+}
+
+// WatchCatalog registers every entry of an RQCODE catalogue.
+func (s *Scheduler) WatchCatalog(c *core.Catalog) {
+	for _, r := range c.All() {
+		s.WatchEnforceable(r.FindingID(), r)
+	}
+}
+
+// Alarms returns the alarms raised so far.
+func (s *Scheduler) Alarms() []Alarm { return s.alarms }
+
+// Run polls until the clock passes `until`, executing scheduled actions as
+// their instants are reached. Actions due at or before a polling instant
+// run before that poll.
+func (s *Scheduler) Run(until trace.Time, actions []TimedAction) {
+	acts := append([]TimedAction{}, actions...)
+	sort.SliceStable(acts, func(i, j int) bool { return acts[i].At < acts[j].At })
+	next := 0
+	period := s.Period
+	streak := 0
+	maxPeriod, cleanStreak := s.adaptiveParams()
+	for s.Clock.Now() <= until {
+		now := s.Clock.Now()
+		for next < len(acts) && acts[next].At <= now {
+			acts[next].Do()
+			next++
+		}
+		violated := s.poll(now)
+		if s.Adaptive != nil {
+			if violated {
+				period = s.Period
+				streak = 0
+			} else {
+				streak++
+				if streak >= cleanStreak && period < maxPeriod {
+					period *= 2
+					if period > maxPeriod {
+						period = maxPeriod
+					}
+					streak = 0
+				}
+			}
+		}
+		s.Clock.Sleep(period)
+	}
+	// Flush any trailing actions so callers can inspect final state.
+	for next < len(acts) {
+		acts[next].Do()
+		next++
+	}
+}
+
+func (s *Scheduler) adaptiveParams() (maxPeriod trace.Time, cleanStreak int) {
+	if s.Adaptive == nil {
+		return s.Period, 0
+	}
+	maxPeriod = s.Adaptive.MaxPeriod
+	if maxPeriod <= 0 {
+		maxPeriod = 8 * s.Period
+	}
+	cleanStreak = s.Adaptive.CleanStreak
+	if cleanStreak <= 0 {
+		cleanStreak = 4
+	}
+	return
+}
+
+// poll checks every entry once, handles violations, and reports whether
+// any entry was in violation this round.
+func (s *Scheduler) poll(now trace.Time) bool {
+	s.Polls++
+	violated := false
+	for _, en := range s.entries {
+		status := en.c.Check()
+		switch {
+		case status == core.CheckPass:
+			en.inViolation = false
+		case !en.inViolation:
+			violated = true
+			en.inViolation = true
+			a := Alarm{At: now, Requirement: en.name, RepairedAt: -1}
+			if s.AutoEnforce && en.e != nil {
+				a.Enforced = true
+				a.Enforcement = en.e.Enforce()
+				if en.c.Check() == core.CheckPass {
+					a.RepairedAt = now
+					en.inViolation = false
+				}
+			}
+			s.alarms = append(s.alarms, a)
+		default:
+			violated = true
+		}
+	}
+	return violated
+}
+
+// Stats summarises a run against known injection times.
+type Stats struct {
+	Alarms   int
+	Repaired int
+	// MeanDetectionLatency averages alarm time minus matching injection
+	// time; -1 when nothing was matched.
+	MeanDetectionLatency float64
+}
+
+// LatencyStats matches alarms against the injection times of violations
+// (by requirement name) and computes detection statistics.
+func LatencyStats(alarms []Alarm, injections map[string]trace.Time) Stats {
+	st := Stats{Alarms: len(alarms), MeanDetectionLatency: -1}
+	total, matched := 0.0, 0
+	for _, a := range alarms {
+		if a.RepairedAt >= 0 {
+			st.Repaired++
+		}
+		if inj, ok := injections[a.Requirement]; ok && a.At >= inj {
+			total += float64(a.At - inj)
+			matched++
+		}
+	}
+	if matched > 0 {
+		st.MeanDetectionLatency = total / float64(matched)
+	}
+	return st
+}
+
+// Report renders the alarm list.
+func Report(alarms []Alarm) string {
+	var b strings.Builder
+	for _, a := range alarms {
+		fmt.Fprintln(&b, a)
+	}
+	fmt.Fprintf(&b, "%d alarms\n", len(alarms))
+	return b.String()
+}

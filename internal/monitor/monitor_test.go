@@ -1,0 +1,186 @@
+package monitor
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+	"veridevops/internal/stig"
+	"veridevops/internal/temporal"
+	"veridevops/internal/trace"
+)
+
+func TestSchedulerDetectsInjectedViolation(t *testing.T) {
+	h := host.NewUbuntu1804()
+	s := NewScheduler(10)
+	s.Watch("V-219157", stig.NewV219157(h)) // nis must be absent
+
+	s.Run(500, []TimedAction{
+		{At: 123, Do: func() { h.Install("nis", "3.17") }},
+	})
+	alarms := s.Alarms()
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1 (deduped episode)", len(alarms))
+	}
+	// Injection at 123; polls at 0,10,...,130: detection at 130.
+	if alarms[0].At != 130 {
+		t.Errorf("detected at %d, want 130", alarms[0].At)
+	}
+	st := LatencyStats(alarms, map[string]trace.Time{"V-219157": 123})
+	if st.MeanDetectionLatency != 7 {
+		t.Errorf("latency = %v, want 7", st.MeanDetectionLatency)
+	}
+}
+
+func TestSchedulerAutoEnforceRepairs(t *testing.T) {
+	h := host.NewUbuntu1804()
+	s := NewScheduler(10)
+	s.AutoEnforce = true
+	s.WatchEnforceable("V-219157", stig.NewV219157(h))
+
+	s.Run(300, []TimedAction{
+		{At: 50, Do: func() { h.Install("nis", "1") }},
+	})
+	alarms := s.Alarms()
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d, want 1", len(alarms))
+	}
+	a := alarms[0]
+	if !a.Enforced || a.Enforcement != core.EnforceSuccess || a.RepairedAt != a.At {
+		t.Errorf("alarm = %+v, want enforced and repaired immediately", a)
+	}
+	if h.Installed("nis") {
+		t.Error("nis should have been removed by auto-enforcement")
+	}
+	st := LatencyStats(alarms, nil)
+	if st.Repaired != 1 {
+		t.Errorf("Repaired = %d", st.Repaired)
+	}
+}
+
+func TestSchedulerReAlarmsAfterRepairAndReinjection(t *testing.T) {
+	h := host.NewUbuntu1804()
+	s := NewScheduler(10)
+	s.AutoEnforce = true
+	s.WatchEnforceable("V-219157", stig.NewV219157(h))
+
+	s.Run(500, []TimedAction{
+		{At: 50, Do: func() { h.Install("nis", "1") }},
+		{At: 200, Do: func() { h.Install("nis", "1") }},
+	})
+	if len(s.Alarms()) != 2 {
+		t.Errorf("alarms = %d, want 2 (one per episode)", len(s.Alarms()))
+	}
+}
+
+func TestSchedulerDedupesPersistentViolation(t *testing.T) {
+	h := host.NewUbuntu1804()
+	h.Install("nis", "1") // violated from the start, never repaired
+	s := NewScheduler(10)
+	s.Watch("V-219157", stig.NewV219157(h))
+	s.Run(300, nil)
+	if len(s.Alarms()) != 1 {
+		t.Errorf("alarms = %d, want 1 despite %d polls", len(s.Alarms()), 30)
+	}
+}
+
+func TestWatchCatalog(t *testing.T) {
+	h := host.NewUbuntu1804()
+	cat := stig.UbuntuCatalog(h)
+	cat.Run(core.CheckAndEnforce) // harden first
+
+	s := NewScheduler(10)
+	s.AutoEnforce = true
+	s.WatchCatalog(cat)
+	rng := rand.New(rand.NewSource(11))
+	s.Run(400, []TimedAction{
+		{At: 100, Do: func() { host.DriftLinux(h, 5, rng) }},
+	})
+	if len(s.Alarms()) == 0 {
+		t.Fatal("drift should raise alarms")
+	}
+	// After the run the host must be compliant again.
+	rep := cat.Run(core.CheckOnly)
+	if rep.Compliance() != 1 {
+		t.Errorf("post-run compliance = %.2f\n%s", rep.Compliance(), rep)
+	}
+}
+
+func TestDetectionLatencyScalesWithPeriod(t *testing.T) {
+	// E3's core claim: mean detection latency grows with the polling
+	// period. Inject at a fixed phase and compare two periods.
+	latency := func(period trace.Time) float64 {
+		h := host.NewUbuntu1804()
+		s := NewScheduler(period)
+		s.Watch("V-219157", stig.NewV219157(h))
+		inject := trace.Time(101)
+		s.Run(inject+10*period, []TimedAction{{At: inject, Do: func() { h.Install("nis", "1") }}})
+		st := LatencyStats(s.Alarms(), map[string]trace.Time{"V-219157": inject})
+		return st.MeanDetectionLatency
+	}
+	fast, slow := latency(5), latency(100)
+	if fast < 0 || slow < 0 {
+		t.Fatal("violation not detected")
+	}
+	if fast >= slow {
+		t.Errorf("latency(period=5)=%v should be below latency(period=100)=%v", fast, slow)
+	}
+}
+
+func TestLatencyStatsUnmatched(t *testing.T) {
+	st := LatencyStats([]Alarm{{At: 5, Requirement: "X", RepairedAt: -1}}, nil)
+	if st.MeanDetectionLatency != -1 || st.Alarms != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	out := Report([]Alarm{
+		{At: 10, Requirement: "V-1", RepairedAt: -1},
+		{At: 20, Requirement: "V-2", Enforced: true, Enforcement: core.EnforceSuccess, RepairedAt: 20},
+	})
+	for _, want := range []string{"t=10 V-1 VIOLATION", "enforced=SUCCESS", "2 alarms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSchedulerWithTemporalPatternProbe(t *testing.T) {
+	// A temporal monitor's probe can watch host state: "nis is absent"
+	// globally, replayed in virtual time through the same clock.
+	h := host.NewUbuntu1804()
+	clk := temporal.NewSimClock()
+	opt := temporal.Options{Clock: clk, Period: 10, Boundary: 30}
+	g := temporal.NewGlobalUniversality(
+		temporal.BoolProbe("nis_absent", func() bool { return !h.Installed("nis") }), opt)
+
+	// Install nis when virtual time crosses 100 (driven by the monitor's
+	// own polling through OnAdvance).
+	clk.OnAdvance(func(now trace.Time) {
+		if now >= 100 && !h.Installed("nis") {
+			h.Install("nis", "1")
+		}
+	})
+	if got := g.Check(); got != core.CheckFail {
+		t.Errorf("Check = %v, want FAIL once the package appears", got)
+	}
+}
+
+func TestDefaultPeriod(t *testing.T) {
+	s := NewScheduler(0)
+	if s.Period != 10 {
+		t.Errorf("Period = %d, want default 10", s.Period)
+	}
+}
+
+func TestTrailingActionsFlushed(t *testing.T) {
+	ran := false
+	s := NewScheduler(10)
+	s.Run(5, []TimedAction{{At: 1000, Do: func() { ran = true }}})
+	if !ran {
+		t.Error("actions after the horizon must still be flushed")
+	}
+}

@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"veridevops/internal/trace"
+)
+
+// Per-requirement alarm summaries and alarm-trace export: operations teams
+// consume protection results both as aggregate dashboards and as signal
+// logs that the offline evaluators (tctl, tears) can audit.
+
+// RequirementStats summarises alarms for one requirement.
+type RequirementStats struct {
+	Requirement string
+	Alarms      int
+	Repaired    int
+	FirstAt     trace.Time
+	LastAt      trace.Time
+}
+
+// PerRequirement groups alarms by requirement, sorted by requirement name.
+func PerRequirement(alarms []Alarm) []RequirementStats {
+	byReq := map[string]*RequirementStats{}
+	for _, a := range alarms {
+		st, ok := byReq[a.Requirement]
+		if !ok {
+			st = &RequirementStats{Requirement: a.Requirement, FirstAt: a.At}
+			byReq[a.Requirement] = st
+		}
+		st.Alarms++
+		if a.RepairedAt >= 0 {
+			st.Repaired++
+		}
+		if a.At < st.FirstAt {
+			st.FirstAt = a.At
+		}
+		if a.At > st.LastAt {
+			st.LastAt = a.At
+		}
+	}
+	out := make([]RequirementStats, 0, len(byReq))
+	for _, st := range byReq {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Requirement < out[j].Requirement })
+	return out
+}
+
+// Summary renders the per-requirement dashboard.
+func Summary(alarms []Alarm) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-8s %-10s %-10s %-10s\n", "REQUIREMENT", "ALARMS", "REPAIRED", "FIRST", "LAST")
+	for _, st := range PerRequirement(alarms) {
+		fmt.Fprintf(&b, "%-14s %-8d %-10d %-10d %-10d\n",
+			st.Requirement, st.Alarms, st.Repaired, st.FirstAt, st.LastAt)
+	}
+	return b.String()
+}
+
+// AlarmTrace exports the alarm stream as a trace: one boolean pulse per
+// alarm on the signal "alarm_<requirement>", plus an aggregated "alarm"
+// signal. Requirement names are slugged into identifier-safe signal names
+// ("V-219157" -> "V_219157") so the resulting trace feeds the offline
+// evaluators directly, closing the loop between live protection and
+// after-the-fact audit.
+func AlarmTrace(alarms []Alarm, end trace.Time) *trace.Trace {
+	tr := trace.New()
+	tr.SetBool("alarm", 0, false)
+	for _, a := range alarms {
+		slug := signalSlug(a.Requirement)
+		trace.GenPulse(tr, "alarm", a.At, 1)
+		trace.GenPulse(tr, "alarm_"+slug, a.At, 1)
+		if a.RepairedAt >= 0 {
+			trace.GenPulse(tr, "repaired_"+slug, a.RepairedAt, 1)
+		}
+	}
+	tr.SetEnd(end)
+	return tr
+}
+
+// signalSlug maps a requirement name to an identifier-safe signal name.
+func signalSlug(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,77 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"veridevops/internal/core"
+	"veridevops/internal/tctl"
+	"veridevops/internal/tears"
+)
+
+func sampleAlarms() []Alarm {
+	return []Alarm{
+		{At: 10, Requirement: "V-1", RepairedAt: -1},
+		{At: 30, Requirement: "V-1", Enforced: true, Enforcement: core.EnforceSuccess, RepairedAt: 30},
+		{At: 20, Requirement: "V-2", RepairedAt: -1},
+	}
+}
+
+func TestPerRequirement(t *testing.T) {
+	stats := PerRequirement(sampleAlarms())
+	if len(stats) != 2 {
+		t.Fatalf("groups = %d", len(stats))
+	}
+	v1 := stats[0]
+	if v1.Requirement != "V-1" || v1.Alarms != 2 || v1.Repaired != 1 {
+		t.Errorf("V-1 stats = %+v", v1)
+	}
+	if v1.FirstAt != 10 || v1.LastAt != 30 {
+		t.Errorf("V-1 times = %+v", v1)
+	}
+	if stats[1].Requirement != "V-2" || stats[1].Alarms != 1 {
+		t.Errorf("V-2 stats = %+v", stats[1])
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	out := Summary(sampleAlarms())
+	for _, want := range []string{"REQUIREMENT", "V-1", "V-2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAlarmTraceFeedsOfflineEvaluators(t *testing.T) {
+	tr := AlarmTrace(sampleAlarms(), 100)
+
+	// tctl: "some alarm eventually occurs" holds on this log.
+	if !tctl.Holds(tr, tctl.GlobalEventually("alarm")) {
+		t.Error("A<> alarm must hold on a log with alarms")
+	}
+	// tears: every V-1 alarm is repaired within 15 ticks. The t=10 alarm
+	// is never repaired (the only repair pulse is at t=30, outside its
+	// window), so the G/A must fail; the t=30 alarm is served on time.
+	ga, err := tears.ParseGA("GA repair: when alarm_V_1 then repaired_V_1 within 15 ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tears.Evaluate(tr, ga)
+	if v.Passed() {
+		t.Error("unrepaired alarm at t=10 must violate the repair G/A")
+	}
+	if v.Activations != 2 {
+		t.Errorf("Activations = %d, want 2", v.Activations)
+	}
+}
+
+func TestAlarmTraceEmpty(t *testing.T) {
+	tr := AlarmTrace(nil, 50)
+	if tr.End() != 50 {
+		t.Errorf("End = %d", tr.End())
+	}
+	if tctl.Holds(tr, tctl.GlobalEventually("alarm")) {
+		t.Error("no alarms: A<> alarm must fail")
+	}
+}

@@ -1,0 +1,168 @@
+package nalabs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Requirement is one natural-language requirement: the (REQ ID, Text)
+// column pair the NALABS GUI asks the user to select in its Excel view.
+type Requirement struct {
+	ID   string
+	Text string
+}
+
+// Smell names reported by the analyzer.
+const (
+	SmellConjunctions  = "conjunctions"
+	SmellOptionality   = "optionality"
+	SmellSubjectivity  = "subjectivity"
+	SmellWeakness      = "weakness"
+	SmellVagueness     = "vagueness"
+	SmellReferences    = "references"
+	SmellNonImperative = "non_imperative"
+	SmellUnreadable    = "unreadable"
+	SmellOversized     = "oversized"
+)
+
+// Thresholds configures when a metric value is flagged as a smell.
+type Thresholds struct {
+	// MaxConjunctions flags compound requirements (> value).
+	MaxConjunctions float64
+	// MaxOptionality, MaxSubjectivity, MaxWeakness, MaxVagueness and
+	// MaxReferences flag dictionary hits (> value).
+	MaxOptionality  float64
+	MaxSubjectivity float64
+	MaxWeakness     float64
+	MaxVagueness    float64
+	MaxReferences   float64
+	// MinImperatives flags requirements without command words (< value).
+	MinImperatives float64
+	// MaxARI flags hard-to-read requirements (> value).
+	MaxARI float64
+	// MaxWords flags over-complex requirements (> value).
+	MaxWords float64
+}
+
+// DefaultThresholds are the analyzer defaults, tuned so a well-formed
+// single-sentence "shall" requirement passes cleanly.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MaxConjunctions: 2,
+		MaxOptionality:  0,
+		MaxSubjectivity: 0,
+		MaxWeakness:     0,
+		MaxVagueness:    0,
+		MaxReferences:   1,
+		MinImperatives:  1,
+		MaxARI:          16,
+		MaxWords:        50,
+	}
+}
+
+// Analysis is the per-requirement result.
+type Analysis struct {
+	ID string
+	// Values holds every metric value keyed by metric name.
+	Values map[string]float64
+	// Smells lists the triggered smell names, sorted.
+	Smells []string
+}
+
+// Smelly reports whether any smell triggered.
+func (a Analysis) Smelly() bool { return len(a.Smells) > 0 }
+
+// Has reports whether the named smell triggered.
+func (a Analysis) Has(smell string) bool {
+	for _, s := range a.Smells {
+		if s == smell {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer evaluates the NALABS metric suite against thresholds.
+type Analyzer struct {
+	Metrics    []Metric
+	Thresholds Thresholds
+}
+
+// NewAnalyzer returns an analyzer with the full metric suite and default
+// thresholds.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{Metrics: AllMetrics(), Thresholds: DefaultThresholds()}
+}
+
+// Analyze measures one requirement and derives its smells.
+func (an *Analyzer) Analyze(r Requirement) Analysis {
+	a := Analysis{ID: r.ID, Values: make(map[string]float64, len(an.Metrics))}
+	for _, m := range an.Metrics {
+		a.Values[m.Name()] = m.Measure(r.Text)
+	}
+	t := an.Thresholds
+	flag := func(cond bool, smell string) {
+		if cond {
+			a.Smells = append(a.Smells, smell)
+		}
+	}
+	flag(a.Values["conjunctions"] > t.MaxConjunctions, SmellConjunctions)
+	flag(a.Values["optionality"] > t.MaxOptionality, SmellOptionality)
+	flag(a.Values["subjectivity"] > t.MaxSubjectivity, SmellSubjectivity)
+	flag(a.Values["weakness"] > t.MaxWeakness, SmellWeakness)
+	flag(a.Values["vagueness"] > t.MaxVagueness, SmellVagueness)
+	flag(a.Values["references"] > t.MaxReferences, SmellReferences)
+	flag(a.Values["imperatives"] < t.MinImperatives, SmellNonImperative)
+	flag(a.Values["readability"] > t.MaxARI, SmellUnreadable)
+	flag(a.Values["size_words"] > t.MaxWords, SmellOversized)
+	sort.Strings(a.Smells)
+	return a
+}
+
+// Report is the corpus-level result.
+type Report struct {
+	Analyses []Analysis
+}
+
+// AnalyzeAll runs the analyzer over a corpus.
+func (an *Analyzer) AnalyzeAll(reqs []Requirement) Report {
+	rep := Report{Analyses: make([]Analysis, 0, len(reqs))}
+	for _, r := range reqs {
+		rep.Analyses = append(rep.Analyses, an.Analyze(r))
+	}
+	return rep
+}
+
+// SmellyCount returns how many requirements triggered at least one smell.
+func (r Report) SmellyCount() int {
+	n := 0
+	for _, a := range r.Analyses {
+		if a.Smelly() {
+			n++
+		}
+	}
+	return n
+}
+
+// SmellHistogram returns how many requirements triggered each smell.
+func (r Report) SmellHistogram() map[string]int {
+	h := map[string]int{}
+	for _, a := range r.Analyses {
+		for _, s := range a.Smells {
+			h[s]++
+		}
+	}
+	return h
+}
+
+// String renders a summary table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-8s %s\n", "REQ", "SMELLY", "SMELLS")
+	for _, a := range r.Analyses {
+		fmt.Fprintf(&b, "%-12s %-8v %s\n", a.ID, a.Smelly(), strings.Join(a.Smells, ","))
+	}
+	fmt.Fprintf(&b, "total: %d/%d smelly\n", r.SmellyCount(), len(r.Analyses))
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package nalabs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// ReadCSV loads a requirements corpus from CSV, taking the requirement ID
+// and text from the given zero-based columns — the programmatic equivalent
+// of the "choose the REQ ID and Text column" step in the NALABS settings
+// dialog. A header row is detected by a non-empty idCol cell equal to "id"
+// (case-insensitive) and skipped.
+func ReadCSV(r io.Reader, idCol, textCol int) ([]Requirement, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []Requirement
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nalabs: csv read: %w", err)
+		}
+		line++
+		if idCol >= len(rec) || textCol >= len(rec) {
+			return nil, fmt.Errorf("nalabs: line %d has %d columns, need id=%d text=%d",
+				line, len(rec), idCol, textCol)
+		}
+		if line == 1 && strings.EqualFold(strings.TrimSpace(rec[idCol]), "id") {
+			continue
+		}
+		out = append(out, Requirement{ID: rec[idCol], Text: rec[textCol]})
+	}
+}
+
+// WriteCSV stores a corpus in the two-column format ReadCSV accepts.
+func WriteCSV(w io.Writer, reqs []Requirement) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "text"}); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		if err := cw.Write([]string{r.ID, r.Text}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Seeded corpus generation for the E2 experiment: clean security
+// requirements built from templates, with smells injected at a controlled
+// rate and recorded as ground truth.
+
+var cleanTemplates = []string{
+	"The system shall encrypt stored passwords with SHA512.",
+	"The gateway shall reject login attempts after three failures.",
+	"The audit service shall record every privilege escalation.",
+	"The operating system shall lock the session after 15 minutes of inactivity.",
+	"The server shall disable the NIS service at startup.",
+	"The application shall check TLS certificates before it opens a session.",
+	"The monitor shall raise an alarm within 5 seconds of intrusion detection.",
+	"The device shall require multifactor authentication for remote access.",
+}
+
+// smellInjectors mutate a clean requirement to exhibit one named smell.
+var smellInjectors = []struct {
+	Smell  string
+	Mutate func(string) string
+}{
+	{SmellOptionality, func(s string) string {
+		return strings.Replace(s, "shall", "may, if needed,", 1)
+	}},
+	{SmellWeakness, func(s string) string {
+		return strings.TrimSuffix(s, ".") + " in a timely manner, as appropriate."
+	}},
+	{SmellVagueness, func(s string) string {
+		return strings.TrimSuffix(s, ".") + " using a suitable and efficient mechanism."
+	}},
+	{SmellSubjectivity, func(s string) string {
+		return strings.TrimSuffix(s, ".") + " which is better and easy to use."
+	}},
+	{SmellReferences, func(s string) string {
+		return strings.TrimSuffix(s, ".") + " as defined in section 4.2, in accordance with annex B, described in table 3."
+	}},
+	{SmellNonImperative, func(s string) string {
+		s = strings.Replace(s, " shall ", " ", 1)
+		return s
+	}},
+	{SmellConjunctions, func(s string) string {
+		return strings.TrimSuffix(s, ".") +
+			" and log the event and notify the operator or the administrator and archive the record."
+	}},
+}
+
+// LabelledRequirement pairs a generated requirement with its injected
+// ground-truth smell ("" for clean).
+type LabelledRequirement struct {
+	Requirement
+	InjectedSmell string
+}
+
+// GenerateCorpus produces n requirements, a fraction smellRate of which
+// have exactly one injected smell (round-robin over the smell kinds).
+// Deterministic in rng.
+func GenerateCorpus(n int, smellRate float64, rng *rand.Rand) []LabelledRequirement {
+	out := make([]LabelledRequirement, 0, n)
+	smellIdx := 0
+	for i := 0; i < n; i++ {
+		base := cleanTemplates[rng.Intn(len(cleanTemplates))]
+		lr := LabelledRequirement{
+			Requirement: Requirement{ID: fmt.Sprintf("REQ-%04d", i), Text: base},
+		}
+		if rng.Float64() < smellRate {
+			inj := smellInjectors[smellIdx%len(smellInjectors)]
+			smellIdx++
+			lr.Text = inj.Mutate(base)
+			lr.InjectedSmell = inj.Smell
+		}
+		out = append(out, lr)
+	}
+	return out
+}
+
+// Score compares analyzer verdicts against the generator's ground truth
+// and returns precision and recall of the binary smelly/clean decision.
+func Score(an *Analyzer, corpus []LabelledRequirement) (precision, recall float64) {
+	tp, fp, fn := 0, 0, 0
+	for _, lr := range corpus {
+		got := an.Analyze(lr.Requirement).Smelly()
+		want := lr.InjectedSmell != ""
+		switch {
+		case got && want:
+			tp++
+		case got && !want:
+			fp++
+		case !got && want:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	} else {
+		precision = 1
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	} else {
+		recall = 1
+	}
+	return
+}
+
+// ScorePerSmell returns recall per injected smell kind: of the requirements
+// seeded with smell k, how many did the analyzer flag with that same smell.
+func ScorePerSmell(an *Analyzer, corpus []LabelledRequirement) map[string]float64 {
+	hit := map[string]int{}
+	total := map[string]int{}
+	for _, lr := range corpus {
+		if lr.InjectedSmell == "" {
+			continue
+		}
+		total[lr.InjectedSmell]++
+		if an.Analyze(lr.Requirement).Has(lr.InjectedSmell) {
+			hit[lr.InjectedSmell]++
+		}
+	}
+	out := make(map[string]float64, len(total))
+	for k, n := range total {
+		out[k] = float64(hit[k]) / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+// Package nalabs reimplements NALABS (NAtural LAnguage Bad Smells), the
+// MDH requirements-quality tool of VeriDevOps D2.7: dictionary-based
+// metrics that flag smells in natural-language requirements (vagueness,
+// optionality, subjectivity, weakness, referenceability, over-complexity,
+// readability), an analyzer with per-metric thresholds, CSV corpus input
+// mirroring the tool's "REQ ID / Text column" Excel workflow, and a seeded
+// smelly-corpus generator used by the E2 benchmark to measure
+// precision/recall of the smell detectors.
+package nalabs
+
+// The phrase dictionaries condense the indicator lists used by NALABS and
+// its ancestors (the ARM/QuARS "quality indicators" literature): each
+// metric counts occurrences of its dictionary in the requirement text.
+
+// ConjunctionWords indicate compound requirements that should be split.
+var ConjunctionWords = []string{
+	"and", "or", "but", "as well as", "whereas", "also", "on the other hand",
+	"otherwise",
+}
+
+// ContinuanceWords follow an imperative and introduce nested lists of
+// lower-level requirements.
+var ContinuanceWords = []string{
+	"below", "as follows", "following", "listed", "in particular", "support",
+	"and more", "such as",
+}
+
+// ImperativeWords are the command words of well-formed requirements; their
+// *absence* is the smell.
+var ImperativeWords = []string{
+	"shall", "must", "is required to", "are applicable", "are to",
+	"responsible for", "will", "should",
+}
+
+// OptionalityWords give the developer latitude to satisfy the statement in
+// more than one way.
+var OptionalityWords = []string{
+	"can", "may", "optionally", "as desired", "either", "eventually",
+	"if appropriate", "if needed", "in case of", "possibly", "probably",
+	"when necessary",
+}
+
+// SubjectivityWords express personal opinion or unverifiable comparison.
+var SubjectivityWords = []string{
+	"similar", "better", "worse", "best", "worst", "take into account",
+	"as far as possible", "as much as practicable", "easy", "strong",
+	"good", "bad", "useful", "significant", "adequate enough",
+}
+
+// WeaknessWords introduce uncertainty and room for multiple
+// interpretations.
+var WeaknessWords = []string{
+	"adequate", "as appropriate", "be able to", "be capable of",
+	"capability of", "capability to", "effective", "as required",
+	"normal", "provide for", "timely", "easy to", "if practical",
+	"to the extent possible", "tbd", "tba", "etc",
+}
+
+// VaguenessWords are the classic vague qualifiers.
+var VaguenessWords = []string{
+	"flexible", "fault tolerant", "high fidelity", "adaptable", "rapid",
+	"quick", "user friendly", "user-friendly", "suitable", "sufficient",
+	"appropriate", "efficient", "robust", "seamless", "transparent",
+	"versatile", "approximately", "some", "several", "many", "minimal",
+}
+
+// ReferencePhrases indicate nesting / required external reading.
+var ReferencePhrases = []string{
+	"see ", "refer to", "according to", "as defined in", "as specified in",
+	"in accordance with", "described in", "conform to", "compliant with",
+	"section ", "figure ", "table ", "annex ", "appendix ",
+}

@@ -1,0 +1,147 @@
+package nalabs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Additional indicator metrics from the ARM/QuARS family that the NALABS
+// repository tracks alongside the core set.
+
+// IncompletenessWords mark unfinished specification fragments.
+var IncompletenessWords = []string{
+	"tbd", "tbs", "tba", "tbr", "to be determined", "to be specified",
+	"to be added", "to be resolved", "not defined", "not yet defined",
+	"as a minimum", "no practical limit",
+}
+
+// DirectiveWords point the reader at material outside the requirement
+// statement itself.
+var DirectiveWords = []string{
+	"e.g", "i.e", "for example", "figure", "table", "note:", "note that",
+}
+
+// Incompleteness counts unfinished-specification markers.
+func Incompleteness() Metric { return NewCountMetric("incompleteness", IncompletenessWords) }
+
+// Directives counts pointers to external material.
+func Directives() Metric { return NewCountMetric("directives", DirectiveWords) }
+
+// ExtendedMetrics returns AllMetrics plus the additional indicators.
+func ExtendedMetrics() []Metric {
+	return append(AllMetrics(), Incompleteness(), Directives())
+}
+
+// SmellIncomplete flags unfinished specifications (extended analyzer only).
+const SmellIncomplete = "incomplete"
+
+// NewExtendedAnalyzer returns an analyzer with the extended metric suite;
+// it additionally flags the incompleteness smell (any TBD-style marker).
+func NewExtendedAnalyzer() *Analyzer {
+	return &Analyzer{Metrics: ExtendedMetrics(), Thresholds: DefaultThresholds()}
+}
+
+// AnalyzeExtended runs the extended analyzer semantics: the base smells
+// plus incompleteness.
+func (an *Analyzer) AnalyzeExtended(r Requirement) Analysis {
+	a := an.Analyze(r)
+	if v, ok := a.Values["incompleteness"]; ok && v > 0 {
+		a.Smells = append(a.Smells, SmellIncomplete)
+		sortStrings(a.Smells)
+	}
+	return a
+}
+
+func sortStrings(s []string) {
+	sort.Strings(s)
+}
+
+// WriteResultsCSV stores a report as CSV: one row per requirement with
+// every metric value and the triggered smells — the export the NALABS GUI
+// offers for downstream processing.
+func WriteResultsCSV(w io.Writer, an *Analyzer, rep Report) error {
+	cw := csv.NewWriter(w)
+	names := metricNames(an)
+	header := append([]string{"id"}, names...)
+	header = append(header, "smells")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, a := range rep.Analyses {
+		row := make([]string, 0, len(header))
+		row = append(row, a.ID)
+		for _, n := range names {
+			row = append(row, strconv.FormatFloat(a.Values[n], 'g', -1, 64))
+		}
+		row = append(row, joinSmells(a.Smells))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func metricNames(an *Analyzer) []string {
+	names := make([]string, 0, len(an.Metrics))
+	for _, m := range an.Metrics {
+		names = append(names, m.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+func joinSmells(smells []string) string {
+	out := ""
+	for i, s := range smells {
+		if i > 0 {
+			out += ";"
+		}
+		out += s
+	}
+	return out
+}
+
+// TopOffenders returns the n smelliest requirements (most smells first,
+// ties by ID) — the triage view of the GUI.
+func (r Report) TopOffenders(n int) []Analysis {
+	sorted := make([]Analysis, len(r.Analyses))
+	copy(sorted, r.Analyses)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if len(sorted[i].Smells) != len(sorted[j].Smells) {
+			return len(sorted[i].Smells) > len(sorted[j].Smells)
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// Summary renders corpus-level statistics: smell histogram plus mean
+// readability and size.
+func (r Report) Summary() string {
+	h := r.SmellHistogram()
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := fmt.Sprintf("requirements: %d, smelly: %d\n", len(r.Analyses), r.SmellyCount())
+	for _, k := range keys {
+		out += fmt.Sprintf("  %-16s %d\n", k, h[k])
+	}
+	var ari, words float64
+	for _, a := range r.Analyses {
+		ari += a.Values["readability"]
+		words += a.Values["size_words"]
+	}
+	if n := float64(len(r.Analyses)); n > 0 {
+		out += fmt.Sprintf("mean ARI: %.1f, mean words: %.1f\n", ari/n, words/n)
+	}
+	return out
+}

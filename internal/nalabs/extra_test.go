@@ -1,0 +1,106 @@
+package nalabs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIncompletenessMetric(t *testing.T) {
+	m := Incompleteness()
+	if got := m.Measure("Timeout value is TBD and retries are to be determined."); got != 2 {
+		t.Errorf("incompleteness = %v, want 2", got)
+	}
+	if m.Measure("The system shall retry three times.") != 0 {
+		t.Error("clean text should score 0")
+	}
+}
+
+func TestDirectivesMetric(t *testing.T) {
+	m := Directives()
+	if got := m.Measure("See figure 3, for example the flow in table 2."); got != 3 {
+		t.Errorf("directives = %v, want 3", got)
+	}
+}
+
+func TestExtendedMetrics(t *testing.T) {
+	ext := ExtendedMetrics()
+	if len(ext) != len(AllMetrics())+2 {
+		t.Errorf("ExtendedMetrics = %d entries", len(ext))
+	}
+}
+
+func TestExtendedAnalyzer(t *testing.T) {
+	an := NewExtendedAnalyzer()
+	a := an.AnalyzeExtended(Requirement{ID: "R", Text: "The retry count shall be TBD."})
+	if !a.Has(SmellIncomplete) {
+		t.Errorf("TBD requirement should be flagged incomplete: %v", a.Smells)
+	}
+	clean := an.AnalyzeExtended(Requirement{ID: "R", Text: "The system shall retry three times."})
+	if clean.Has(SmellIncomplete) {
+		t.Errorf("clean requirement flagged incomplete: %v", clean.Smells)
+	}
+	// Base analyzer lacks the incompleteness metric, so AnalyzeExtended on
+	// it degrades gracefully.
+	base := NewAnalyzer()
+	b := base.AnalyzeExtended(Requirement{ID: "R", Text: "Timeout is TBD."})
+	if b.Has(SmellIncomplete) {
+		t.Error("base analyzer has no incompleteness metric; no flag expected")
+	}
+}
+
+func TestWriteResultsCSV(t *testing.T) {
+	an := NewAnalyzer()
+	rep := an.AnalyzeAll([]Requirement{
+		{ID: "R1", Text: "The system shall encrypt stored passwords with SHA512."},
+		{ID: "R2", Text: "The system may respond."},
+	})
+	var buf bytes.Buffer
+	if err := WriteResultsCSV(&buf, an, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "id,") || !strings.HasSuffix(lines[0], ",smells") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "non_imperative") || !strings.Contains(lines[2], "optionality") {
+		t.Errorf("R2 smells missing: %q", lines[2])
+	}
+}
+
+func TestTopOffenders(t *testing.T) {
+	an := NewAnalyzer()
+	rep := an.AnalyzeAll([]Requirement{
+		{ID: "clean", Text: "The system shall encrypt data."},
+		{ID: "bad", Text: "The system may possibly respond in a timely manner using a suitable mechanism."},
+		{ID: "worse", Text: "It can maybe be adequate, efficient, flexible, as appropriate, see table 1 and figure 2 and annex C."},
+	})
+	top := rep.TopOffenders(2)
+	if len(top) != 2 || top[0].ID != "worse" || top[1].ID != "bad" {
+		ids := []string{}
+		for _, a := range top {
+			ids = append(ids, a.ID)
+		}
+		t.Errorf("TopOffenders = %v", ids)
+	}
+	if got := rep.TopOffenders(99); len(got) != 3 {
+		t.Errorf("over-requesting should clamp: %d", len(got))
+	}
+}
+
+func TestSummary(t *testing.T) {
+	an := NewAnalyzer()
+	rep := an.AnalyzeAll([]Requirement{
+		{ID: "R1", Text: "The system may respond."},
+	})
+	s := rep.Summary()
+	for _, want := range []string{"requirements: 1, smelly: 1", "optionality", "mean ARI"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

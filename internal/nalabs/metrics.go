@@ -1,0 +1,217 @@
+package nalabs
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Metric is one requirements-quality indicator. Higher values mean more of
+// the measured phenomenon; whether high is bad depends on the metric (for
+// Imperatives the smell is a count of zero).
+type Metric interface {
+	// Name returns the metric identifier used in reports and thresholds.
+	Name() string
+	// Measure computes the metric value for one requirement text.
+	Measure(text string) float64
+}
+
+// countMetric counts dictionary occurrences, the workhorse of NALABS
+// (ConjunctionMetric.cs, OptionalityMetric.cs, ... in the reference
+// repository).
+type countMetric struct {
+	name string
+	dict []string
+}
+
+func (m countMetric) Name() string { return m.name }
+
+func (m countMetric) Measure(text string) float64 {
+	return float64(CountOccurrences(text, m.dict))
+}
+
+// NewCountMetric builds a dictionary-count metric; it is exported so users
+// can add project-specific dictionaries, the extension mechanism the NALABS
+// GUI exposes through its settings.
+func NewCountMetric(name string, dict []string) Metric {
+	return countMetric{name: name, dict: dict}
+}
+
+// Standard metric constructors, one per reference metric class.
+
+// Conjunctions counts compound-requirement indicators.
+func Conjunctions() Metric { return NewCountMetric("conjunctions", ConjunctionWords) }
+
+// Continuances counts nested-list indicators.
+func Continuances() Metric { return NewCountMetric("continuances", ContinuanceWords) }
+
+// Imperatives counts command words (zero is the smell).
+func Imperatives() Metric { return NewCountMetric("imperatives", ImperativeWords) }
+
+// Optionality counts optional-interpretation words.
+func Optionality() Metric { return NewCountMetric("optionality", OptionalityWords) }
+
+// Subjectivity counts opinion words.
+func Subjectivity() Metric { return NewCountMetric("subjectivity", SubjectivityWords) }
+
+// Weakness counts uncertainty words.
+func Weakness() Metric { return NewCountMetric("weakness", WeaknessWords) }
+
+// Vagueness counts vague qualifiers.
+func Vagueness() Metric { return NewCountMetric("vagueness", VaguenessWords) }
+
+// References counts external-reading indicators (ReferencesMetric.cs and
+// References2.cs merge into one dictionary here).
+func References() Metric { return NewCountMetric("references", ReferencePhrases) }
+
+// ariMetric computes the Automated Readability Index.
+type ariMetric struct{ deliverable bool }
+
+func (ariMetric) Name() string { return "readability" }
+
+// Measure returns the standard ARI: 4.71*(chars/words) + 0.5*(words/
+// sentences) - 21.43. Higher means harder to read.
+func (m ariMetric) Measure(text string) float64 {
+	words := Words(text)
+	if len(words) == 0 {
+		return 0
+	}
+	sentences := SentenceCount(text)
+	letters := 0
+	for _, w := range words {
+		letters += len(w)
+	}
+	ws := float64(len(words)) / float64(sentences)
+	sw := float64(letters) / float64(len(words))
+	if m.deliverable {
+		// D2.7 states the formula "WS + 9 x SW"; kept for fidelity as the
+		// alternative readability metric.
+		return ws + 9*sw
+	}
+	return 4.71*sw + 0.5*ws - 21.43
+}
+
+// Readability returns the standard ARI metric.
+func Readability() Metric { return ariMetric{} }
+
+// ReadabilityD27 returns the deliverable's simplified ARI variant
+// (WS + 9*SW).
+func ReadabilityD27() Metric { return ariMetric{deliverable: true} }
+
+// sizeMetric measures over-complexity as requirement length.
+type sizeMetric struct{ unit string }
+
+func (m sizeMetric) Name() string { return "size_" + m.unit }
+
+func (m sizeMetric) Measure(text string) float64 {
+	switch m.unit {
+	case "chars":
+		return float64(len(text))
+	case "sentences":
+		return float64(SentenceCount(text))
+	default:
+		return float64(len(Words(text)))
+	}
+}
+
+// SizeWords measures requirement length in words.
+func SizeWords() Metric { return sizeMetric{unit: "words"} }
+
+// SizeChars measures requirement length in characters.
+func SizeChars() Metric { return sizeMetric{unit: "chars"} }
+
+// SizeSentences measures requirement length in sentences.
+func SizeSentences() Metric { return sizeMetric{unit: "sentences"} }
+
+// nvMetric approximates the noun-phrase density (NVMetric.cs): the ratio of
+// candidate nouns (capitalised interior words + nominalisation suffixes) to
+// total words. A crude proxy — NALABS itself is dictionary-based rather
+// than a full POS tagger.
+type nvMetric struct{}
+
+func (nvMetric) Name() string { return "nv_ratio" }
+
+func (nvMetric) Measure(text string) float64 {
+	words := Words(text)
+	if len(words) == 0 {
+		return 0
+	}
+	nouns := 0
+	for i, w := range words {
+		lw := strings.ToLower(w)
+		if i > 0 && len(w) > 1 && unicode.IsUpper(rune(w[0])) {
+			nouns++
+			continue
+		}
+		for _, suf := range []string{"tion", "ment", "ness", "ance", "ence", "ity"} {
+			if strings.HasSuffix(lw, suf) {
+				nouns++
+				break
+			}
+		}
+	}
+	return float64(nouns) / float64(len(words))
+}
+
+// NVRatio returns the noun-density proxy metric.
+func NVRatio() Metric { return nvMetric{} }
+
+// AllMetrics returns the full NALABS metric suite in report order.
+func AllMetrics() []Metric {
+	return []Metric{
+		Conjunctions(), Continuances(), Imperatives(), Optionality(),
+		Subjectivity(), Weakness(), Vagueness(), References(),
+		Readability(), SizeWords(), NVRatio(),
+	}
+}
+
+// Words splits text into words, stripping punctuation.
+func Words(text string) []string {
+	return strings.FieldsFunc(text, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '-' && r != '_'
+	})
+}
+
+// SentenceCount counts sentences, at least 1 for non-empty text.
+func SentenceCount(text string) int {
+	n := 0
+	for _, r := range text {
+		if r == '.' || r == '!' || r == '?' || r == ';' {
+			n++
+		}
+	}
+	if n == 0 && len(strings.TrimSpace(text)) > 0 {
+		return 1
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// CountOccurrences counts case-insensitive, word-boundary-respecting
+// occurrences of the dictionary entries (words or phrases) in text.
+func CountOccurrences(text string, dict []string) int {
+	lower := " " + strings.ToLower(text) + " "
+	// Normalize separators so word boundaries are spaces.
+	norm := strings.Map(func(r rune) rune {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == ' ' || r == '-' {
+			return r
+		}
+		return ' '
+	}, lower)
+	total := 0
+	for _, entry := range dict {
+		e := strings.ToLower(strings.TrimSpace(entry))
+		if e == "" {
+			continue
+		}
+		if strings.HasSuffix(entry, " ") {
+			// Prefix-style entries ("see ", "section ") match with a
+			// trailing boundary already present.
+			total += strings.Count(norm, " "+e+" ")
+			continue
+		}
+		total += strings.Count(norm, " "+e+" ")
+	}
+	return total
+}

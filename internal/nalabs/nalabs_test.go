@@ -1,0 +1,255 @@
+package nalabs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCountOccurrences(t *testing.T) {
+	cases := []struct {
+		text string
+		dict []string
+		want int
+	}{
+		{"The system may or may not respond", []string{"may"}, 2},
+		{"maybe not", []string{"may"}, 0}, // word boundary
+		{"as appropriate, do it", []string{"as appropriate"}, 1},
+		{"And capital letters AND mixed", []string{"and"}, 2},
+		{"see section 4 and annex B", []string{"see ", "section ", "annex "}, 3},
+		{"", []string{"x"}, 0},
+		{"x", nil, 0},
+		{"punctuation, (bracketed) words!", []string{"bracketed"}, 1},
+	}
+	for _, c := range cases {
+		if got := CountOccurrences(c.text, c.dict); got != c.want {
+			t.Errorf("CountOccurrences(%q, %v) = %d, want %d", c.text, c.dict, got, c.want)
+		}
+	}
+}
+
+func TestWordsAndSentences(t *testing.T) {
+	w := Words("The system shall lock, after 15 minutes.")
+	if len(w) != 7 {
+		t.Errorf("Words = %v (%d), want 7", w, len(w))
+	}
+	if SentenceCount("One. Two! Three?") != 3 {
+		t.Error("sentence count wrong")
+	}
+	if SentenceCount("no terminator") != 1 {
+		t.Error("non-empty text has at least one sentence")
+	}
+	if SentenceCount("") != 1 {
+		t.Error("degenerate input should not divide by zero")
+	}
+}
+
+func TestDictionaryMetrics(t *testing.T) {
+	cases := []struct {
+		m    Metric
+		text string
+		want float64
+	}{
+		{Conjunctions(), "log the event and notify or archive", 2},
+		{Optionality(), "the system may respond if needed", 2},
+		{Subjectivity(), "a better and easy interface", 2},
+		{Weakness(), "adequate performance in a timely manner", 2},
+		{Vagueness(), "a suitable, efficient and robust design", 3},
+		{References(), "as defined in section 3, see table 2", 4},
+		{Imperatives(), "the system shall and must respond", 2},
+		{Continuances(), "requirements listed below", 2},
+	}
+	for _, c := range cases {
+		if got := c.m.Measure(c.text); got != c.want {
+			t.Errorf("%s(%q) = %v, want %v", c.m.Name(), c.text, got, c.want)
+		}
+	}
+}
+
+func TestReadabilityARI(t *testing.T) {
+	simple := "The cat sat."
+	hard := "Notwithstanding aforementioned considerations, interdepartmental synchronization methodologies necessitate comprehensive organizational restructuring."
+	ari := Readability()
+	if ari.Measure(simple) >= ari.Measure(hard) {
+		t.Error("ARI must rank the hard sentence above the simple one")
+	}
+	if ari.Measure("") != 0 {
+		t.Error("ARI of empty text should be 0")
+	}
+	d27 := ReadabilityD27()
+	if d27.Measure(simple) >= d27.Measure(hard) {
+		t.Error("D2.7 ARI variant must rank consistently")
+	}
+	if d27.Name() != "readability" {
+		t.Error("metric name mismatch")
+	}
+}
+
+func TestSizeMetrics(t *testing.T) {
+	text := "One two three. Four five."
+	if SizeWords().Measure(text) != 5 {
+		t.Errorf("words = %v", SizeWords().Measure(text))
+	}
+	if SizeChars().Measure(text) != float64(len(text)) {
+		t.Error("chars mismatch")
+	}
+	if SizeSentences().Measure(text) != 2 {
+		t.Error("sentences mismatch")
+	}
+}
+
+func TestNVRatio(t *testing.T) {
+	nv := NVRatio()
+	nouny := "The Authentication Management configuration requires verification of the organization"
+	verby := "do it now then stop"
+	if nv.Measure(nouny) <= nv.Measure(verby) {
+		t.Error("noun-heavy text must score higher")
+	}
+	if nv.Measure("") != 0 {
+		t.Error("empty text should be 0")
+	}
+}
+
+func TestAnalyzerCleanRequirement(t *testing.T) {
+	an := NewAnalyzer()
+	a := an.Analyze(Requirement{ID: "R1", Text: "The system shall encrypt stored passwords with SHA512."})
+	if a.Smelly() {
+		t.Errorf("clean requirement flagged: %v", a.Smells)
+	}
+	if len(a.Values) != len(AllMetrics()) {
+		t.Errorf("Values has %d entries, want %d", len(a.Values), len(AllMetrics()))
+	}
+}
+
+func TestAnalyzerFlagsEachSmell(t *testing.T) {
+	an := NewAnalyzer()
+	cases := []struct {
+		text  string
+		smell string
+	}{
+		{"The system may, if needed, respond to intrusion.", SmellOptionality},
+		{"The system shall respond in a timely manner, as appropriate.", SmellWeakness},
+		{"The system shall use a suitable and efficient mechanism.", SmellVagueness},
+		{"The system shall offer a better and easy interface.", SmellSubjectivity},
+		{"The system shall comply as defined in section 1, described in annex A.", SmellReferences},
+		{"The system encrypts passwords.", SmellNonImperative},
+		{"The system shall log and alert and archive and rotate or purge records.", SmellConjunctions},
+	}
+	for _, c := range cases {
+		a := an.Analyze(Requirement{ID: "R", Text: c.text})
+		if !a.Has(c.smell) {
+			t.Errorf("%q: expected smell %s, got %v", c.text, c.smell, a.Smells)
+		}
+	}
+}
+
+func TestAnalyzerOversized(t *testing.T) {
+	an := NewAnalyzer()
+	long := "The system shall " + strings.Repeat("really ", 60) + "work."
+	a := an.Analyze(Requirement{ID: "R", Text: long})
+	if !a.Has(SmellOversized) {
+		t.Errorf("60+-word requirement should be oversized: %v", a.Smells)
+	}
+}
+
+func TestAnalysisHasAndSmellyAgree(t *testing.T) {
+	a := Analysis{Smells: []string{SmellWeakness}}
+	if !a.Smelly() || !a.Has(SmellWeakness) || a.Has(SmellVagueness) {
+		t.Error("Has/Smelly inconsistent")
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	an := NewAnalyzer()
+	rep := an.AnalyzeAll([]Requirement{
+		{ID: "R1", Text: "The system shall encrypt stored passwords with SHA512."},
+		{ID: "R2", Text: "The system may respond."},
+	})
+	if rep.SmellyCount() != 1 {
+		t.Errorf("SmellyCount = %d, want 1", rep.SmellyCount())
+	}
+	h := rep.SmellHistogram()
+	if h[SmellOptionality] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "R2") || !strings.Contains(s, "total: 1/2 smelly") {
+		t.Errorf("report:\n%s", s)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	reqs := []Requirement{
+		{ID: "R1", Text: "The system shall do X."},
+		{ID: "R2", Text: "Text, with comma and \"quotes\"."},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Text != reqs[1].Text {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("only-one-column\n"), 0, 1); err == nil {
+		t.Error("missing text column must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,\"unterminated\n"), 0, 1); err == nil {
+		t.Error("malformed csv must error")
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	a := GenerateCorpus(50, 0.4, rand.New(rand.NewSource(1)))
+	b := GenerateCorpus(50, 0.4, rand.New(rand.NewSource(1)))
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatal("wrong corpus size")
+	}
+	for i := range a {
+		if a[i].Text != b[i].Text || a[i].InjectedSmell != b[i].InjectedSmell {
+			t.Fatal("generator must be deterministic in the seed")
+		}
+	}
+	smelly := 0
+	for _, r := range a {
+		if r.InjectedSmell != "" {
+			smelly++
+		}
+	}
+	if smelly == 0 || smelly == 50 {
+		t.Errorf("smell rate 0.4 produced %d/50 smelly", smelly)
+	}
+}
+
+func TestScoreOnSeededCorpus(t *testing.T) {
+	an := NewAnalyzer()
+	corpus := GenerateCorpus(400, 0.5, rand.New(rand.NewSource(2)))
+	precision, recall := Score(an, corpus)
+	if precision < 0.95 {
+		t.Errorf("precision = %.3f, want >= 0.95 (clean templates must not be flagged)", precision)
+	}
+	if recall < 0.95 {
+		t.Errorf("recall = %.3f, want >= 0.95 (injected smells must be caught)", recall)
+	}
+	per := ScorePerSmell(an, corpus)
+	for smell, r := range per {
+		if r < 0.9 {
+			t.Errorf("per-smell recall for %s = %.2f, want >= 0.9", smell, r)
+		}
+	}
+}
+
+func TestScoreDegenerateCases(t *testing.T) {
+	an := NewAnalyzer()
+	p, r := Score(an, nil)
+	if p != 1 || r != 1 {
+		t.Errorf("empty corpus should score (1,1), got (%v,%v)", p, r)
+	}
+}

@@ -1,0 +1,81 @@
+package pipeline
+
+import "math"
+
+// Economic model: the DATE paper's pitch is that automated prevention pays
+// for itself because production incidents cost more per unit of exposure
+// time than verification gates cost per commit. CostModel quantifies that
+// trade and locates the break-even incident cost.
+
+// CostModel prices a simulation run.
+type CostModel struct {
+	// GateCostPerTick prices verification time (the gate's latency is
+	// already accumulated in Result.GateCost, expressed in ticks).
+	GateCostPerTick float64
+	// ExposureCostPerTick prices each tick a violation is active in
+	// production before detection.
+	ExposureCostPerTick float64
+	// IncidentFixedCost is charged per violation that reached production.
+	IncidentFixedCost float64
+}
+
+// TotalCost prices the run: gate time plus production exposure plus fixed
+// incident handling.
+func (cm CostModel) TotalCost(r Result) float64 {
+	total := cm.GateCostPerTick * float64(r.GateCost)
+	for _, v := range r.Violations {
+		if v.ActiveAt < 0 || v.Phase == AtDev {
+			continue // never reached production
+		}
+		end := v.DetectedAt
+		if v.Phase == NotDetected {
+			end = r.Horizon
+		}
+		if end > v.ActiveAt {
+			total += cm.ExposureCostPerTick * float64(end-v.ActiveAt)
+		}
+		total += cm.IncidentFixedCost
+	}
+	return total
+}
+
+// BreakEvenExposureCost returns the production exposure cost per tick at
+// which enabling prevention becomes worthwhile, holding the other prices
+// fixed: the exposure price where TotalCost(with prevention) equals
+// TotalCost(without). Returns +Inf when prevention never pays (no exposure
+// is avoided) and 0 when it pays even for free incidents.
+func BreakEvenExposureCost(with, without Result, gateCostPerTick, incidentFixedCost float64) float64 {
+	base := CostModel{GateCostPerTick: gateCostPerTick, IncidentFixedCost: incidentFixedCost}
+	exposure := func(r Result) (ticks float64, incidents int) {
+		for _, v := range r.Violations {
+			if v.ActiveAt < 0 || v.Phase == AtDev {
+				continue
+			}
+			end := v.DetectedAt
+			if v.Phase == NotDetected {
+				end = r.Horizon
+			}
+			if end > v.ActiveAt {
+				ticks += float64(end - v.ActiveAt)
+			}
+			incidents++
+		}
+		return
+	}
+	expWith, incWith := exposure(with)
+	expWithout, incWithout := exposure(without)
+	deltaExposure := expWithout - expWith
+	deltaFixed := base.GateCostPerTick*float64(with.GateCost-without.GateCost) -
+		incidentFixedCost*float64(incWithout-incWith)
+	if deltaExposure <= 0 {
+		if deltaFixed <= 0 {
+			return 0 // prevention is free or better regardless of exposure price
+		}
+		return math.Inf(1)
+	}
+	be := deltaFixed / deltaExposure
+	if be < 0 {
+		return 0
+	}
+	return be
+}

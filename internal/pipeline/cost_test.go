@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTotalCostComponents(t *testing.T) {
+	r := Result{
+		GateCost: 100,
+		Horizon:  1000,
+		Violations: []Violation{
+			{Kind: CodeViolation, Phase: AtDev, ActiveAt: -1, IntroducedAt: 10, DetectedAt: 15},
+			{Kind: DriftViolation, Phase: AtOps, ActiveAt: 200, IntroducedAt: 200, DetectedAt: 260},
+			{Kind: DriftViolation, Phase: NotDetected, ActiveAt: 900, IntroducedAt: 900, DetectedAt: -1},
+		},
+	}
+	cm := CostModel{GateCostPerTick: 2, ExposureCostPerTick: 1, IncidentFixedCost: 10}
+	// gate: 100*2 = 200; ops exposure 60*1 + 10; undetected exposure
+	// (1000-900)*1 + 10; dev violation costs nothing beyond the gate.
+	want := 200.0 + 60 + 10 + 100 + 10
+	if got := cm.TotalCost(r); got != want {
+		t.Errorf("TotalCost = %v, want %v", got, want)
+	}
+}
+
+func TestPreventionPaysWhenExposureIsExpensive(t *testing.T) {
+	with := run(true, true, 11)
+	without := run(false, true, 11)
+	cheap := CostModel{GateCostPerTick: 1, ExposureCostPerTick: 0, IncidentFixedCost: 0}
+	costly := CostModel{GateCostPerTick: 1, ExposureCostPerTick: 100, IncidentFixedCost: 50}
+	// With free incidents, the gate is pure cost.
+	if cheap.TotalCost(with) <= cheap.TotalCost(without) {
+		t.Error("with zero exposure cost, prevention should cost more")
+	}
+	// With expensive exposure, prevention wins.
+	if costly.TotalCost(with) >= costly.TotalCost(without) {
+		t.Errorf("with expensive exposure, prevention should win: %v vs %v",
+			costly.TotalCost(with), costly.TotalCost(without))
+	}
+}
+
+func TestBreakEvenExposureCost(t *testing.T) {
+	with := run(true, true, 12)
+	without := run(false, true, 12)
+	be := BreakEvenExposureCost(with, without, 1, 0)
+	if math.IsInf(be, 1) || be <= 0 {
+		t.Fatalf("break-even = %v, want a positive finite price", be)
+	}
+	// At the break-even price the two configurations cost the same (up to
+	// float noise).
+	cm := func(p float64) CostModel {
+		return CostModel{GateCostPerTick: 1, ExposureCostPerTick: p}
+	}
+	cw, cwo := cm(be).TotalCost(with), cm(be).TotalCost(without)
+	if math.Abs(cw-cwo) > 1e-6*math.Max(cw, cwo) {
+		t.Errorf("costs differ at break-even: %v vs %v", cw, cwo)
+	}
+	// Above break-even prevention is cheaper; below it is dearer.
+	if cm(be*2).TotalCost(with) >= cm(be*2).TotalCost(without) {
+		t.Error("above break-even prevention must win")
+	}
+	if cm(be/2).TotalCost(with) <= cm(be/2).TotalCost(without) {
+		t.Error("below break-even prevention must lose")
+	}
+}
+
+func TestBreakEvenDegenerate(t *testing.T) {
+	r := Simulate(DefaultConfig(), 100, rand.New(rand.NewSource(13)))
+	// Same run on both sides: no exposure is avoided, no extra gate cost
+	// => prevention is cost-neutral, break-even collapses to zero.
+	if be := BreakEvenExposureCost(r, r, 1, 0); be != 0 {
+		t.Errorf("identical runs: break-even = %v, want 0", be)
+	}
+	// Same exposure but extra gate cost on the "with" side => never pays.
+	more := r
+	more.GateCost = r.GateCost + 1000
+	if be := BreakEvenExposureCost(more, r, 1, 0); !math.IsInf(be, 1) {
+		t.Errorf("pure extra cost: break-even = %v, want +Inf", be)
+	}
+}

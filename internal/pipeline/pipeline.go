@@ -1,0 +1,260 @@
+// Package pipeline simulates the DevOps loop of the DATE 2021 VeriDevOps
+// paper (its Figure 1): commits flow through build and a security
+// verification gate ("Prevention at development", WP4) into operations,
+// where runtime monitors ("Reactive Protection at operations", WP3) watch
+// for violations. The simulator quantifies the paper's central qualitative
+// claim — prevention catches specification violations early and cheaply,
+// protection catches what only manifests at runtime, and only the
+// combination catches everything — as the E6 experiment table.
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"veridevops/internal/trace"
+)
+
+// ViolationKind classifies how a security-requirement violation enters the
+// system.
+type ViolationKind int
+
+const (
+	// NoViolation marks a clean commit.
+	NoViolation ViolationKind = iota
+	// CodeViolation is introduced by a commit (a misconfiguration checked
+	// in with the change) and is visible to the prevention gate.
+	CodeViolation
+	// DriftViolation arises in operations (manual change, environment
+	// decay) and is invisible to any development-time gate.
+	DriftViolation
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case NoViolation:
+		return "none"
+	case CodeViolation:
+		return "code"
+	case DriftViolation:
+		return "drift"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Phase is where a violation was caught.
+type Phase int
+
+const (
+	// NotDetected means the violation survived the whole simulation.
+	NotDetected Phase = iota
+	// AtDev means the prevention gate caught it before deployment.
+	AtDev
+	// AtOps means a runtime monitor caught it in production.
+	AtOps
+	// AtAudit means only the end-of-horizon compliance audit found it.
+	AtAudit
+)
+
+func (p Phase) String() string {
+	switch p {
+	case AtDev:
+		return "dev"
+	case AtOps:
+		return "ops"
+	case AtAudit:
+		return "audit"
+	default:
+		return "undetected"
+	}
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Prevention enables the development-time verification gate.
+	Prevention bool
+	// Protection enables the runtime monitors.
+	Protection bool
+	// GateRecall is the fraction of code violations the gate catches
+	// (1.0: the deterministic RQCODE checks cover every encoded
+	// requirement). Lower values model un-encoded requirements.
+	GateRecall float64
+	// GateLatency is the verification time added per commit when the gate
+	// runs.
+	GateLatency trace.Time
+	// BuildLatency is commit-to-deploy time excluding the gate.
+	BuildLatency trace.Time
+	// MonitorPeriod is the runtime polling period.
+	MonitorPeriod trace.Time
+	// Interarrival is the time between commits.
+	Interarrival trace.Time
+	// PCode is the probability a commit carries a code violation; PDrift
+	// the probability a drift violation appears during a commit interval.
+	PCode, PDrift float64
+}
+
+// DefaultConfig returns the baseline configuration of the E6 experiment.
+func DefaultConfig() Config {
+	return Config{
+		Prevention:    true,
+		Protection:    true,
+		GateRecall:    1.0,
+		GateLatency:   5,
+		BuildLatency:  20,
+		MonitorPeriod: 60,
+		Interarrival:  100,
+		PCode:         0.15,
+		PDrift:        0.05,
+	}
+}
+
+// Violation is one injected violation and its fate.
+type Violation struct {
+	Kind ViolationKind
+	// IntroducedAt is when the violation entered the system (commit time
+	// for code, occurrence time for drift).
+	IntroducedAt trace.Time
+	// ActiveAt is when it became observable in production (deploy time
+	// for code violations that pass the gate; occurrence time for drift).
+	ActiveAt   trace.Time
+	DetectedAt trace.Time // -1 when undetected before the audit
+	Phase      Phase
+}
+
+// Latency returns detection latency from introduction; -1 if undetected.
+func (v Violation) Latency() trace.Time {
+	if v.Phase == NotDetected {
+		return -1
+	}
+	return v.DetectedAt - v.IntroducedAt
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Config     Config
+	Commits    int
+	Horizon    trace.Time
+	Violations []Violation
+	// GateCost is the total verification time spent by the gate.
+	GateCost trace.Time
+}
+
+// Counts returns how many violations were caught per phase.
+func (r Result) Counts() (dev, ops, audit, escaped int) {
+	for _, v := range r.Violations {
+		switch v.Phase {
+		case AtDev:
+			dev++
+		case AtOps:
+			ops++
+		case AtAudit:
+			audit++
+		default:
+			escaped++
+		}
+	}
+	return
+}
+
+// MeanLatency returns the mean detection latency for violations of the
+// kind (over detected ones, including audit detections); -1 if none.
+func (r Result) MeanLatency(kind ViolationKind) float64 {
+	total, n := 0.0, 0
+	for _, v := range r.Violations {
+		if v.Kind != kind || v.Phase == NotDetected {
+			continue
+		}
+		total += float64(v.Latency())
+		n++
+	}
+	if n == 0 {
+		return -1
+	}
+	return total / float64(n)
+}
+
+// EscapeRate is the fraction of violations that reached production
+// undetected by the runtime monitors (caught only by audit or never).
+func (r Result) EscapeRate() float64 {
+	if len(r.Violations) == 0 {
+		return 0
+	}
+	_, _, audit, escaped := r.Counts()
+	return float64(audit+escaped) / float64(len(r.Violations))
+}
+
+// String renders the experiment row.
+func (r Result) String() string {
+	dev, ops, audit, esc := r.Counts()
+	var b strings.Builder
+	fmt.Fprintf(&b, "prevention=%v protection=%v: %d violations | dev=%d ops=%d audit=%d escaped=%d | ",
+		r.Config.Prevention, r.Config.Protection, len(r.Violations), dev, ops, audit, esc)
+	fmt.Fprintf(&b, "ttd(code)=%.1f ttd(drift)=%.1f gate-cost=%d",
+		r.MeanLatency(CodeViolation), r.MeanLatency(DriftViolation), r.GateCost)
+	return b.String()
+}
+
+// Simulate runs nCommits commits through the pipeline. Deterministic in
+// rng.
+func Simulate(cfg Config, nCommits int, rng *rand.Rand) Result {
+	res := Result{Config: cfg, Commits: nCommits}
+	horizon := trace.Time(nCommits+1) * cfg.Interarrival
+	res.Horizon = horizon
+
+	nextPoll := func(t trace.Time) trace.Time {
+		// First monitor poll at or after t.
+		k := (t + cfg.MonitorPeriod - 1) / cfg.MonitorPeriod
+		return k * cfg.MonitorPeriod
+	}
+
+	for i := 0; i < nCommits; i++ {
+		at := trace.Time(i+1) * cfg.Interarrival
+
+		// Gate cost applies to every commit when prevention is on.
+		if cfg.Prevention {
+			res.GateCost += cfg.GateLatency
+		}
+
+		// Code violation carried by the commit.
+		if rng.Float64() < cfg.PCode {
+			v := Violation{Kind: CodeViolation, IntroducedAt: at, DetectedAt: -1}
+			caughtAtGate := cfg.Prevention && rng.Float64() < cfg.GateRecall
+			if caughtAtGate {
+				v.Phase = AtDev
+				v.DetectedAt = at + cfg.GateLatency
+				v.ActiveAt = -1
+			} else {
+				deploy := at + cfg.BuildLatency
+				if cfg.Prevention {
+					deploy += cfg.GateLatency
+				}
+				v.ActiveAt = deploy
+				if cfg.Protection {
+					v.Phase = AtOps
+					v.DetectedAt = nextPoll(deploy)
+				} else {
+					v.Phase = AtAudit
+					v.DetectedAt = horizon
+				}
+			}
+			res.Violations = append(res.Violations, v)
+		}
+
+		// Drift violation during this commit interval.
+		if rng.Float64() < cfg.PDrift {
+			occur := at + trace.Time(rng.Int63n(int64(cfg.Interarrival)))
+			v := Violation{Kind: DriftViolation, IntroducedAt: occur, ActiveAt: occur, DetectedAt: -1}
+			if cfg.Protection {
+				v.Phase = AtOps
+				v.DetectedAt = nextPoll(occur)
+			} else {
+				v.Phase = AtAudit
+				v.DetectedAt = horizon
+			}
+			res.Violations = append(res.Violations, v)
+		}
+	}
+	return res
+}

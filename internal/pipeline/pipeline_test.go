@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func run(prev, prot bool, seed int64) Result {
+	cfg := DefaultConfig()
+	cfg.Prevention = prev
+	cfg.Protection = prot
+	return Simulate(cfg, 2000, rand.New(rand.NewSource(seed)))
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := run(true, true, 1)
+	b := run(true, true, 1)
+	if len(a.Violations) != len(b.Violations) || a.GateCost != b.GateCost {
+		t.Fatal("simulation must be deterministic in the seed")
+	}
+}
+
+func TestBothHalvesCatchEverything(t *testing.T) {
+	r := run(true, true, 2)
+	_, _, audit, escaped := r.Counts()
+	if audit != 0 || escaped != 0 {
+		t.Errorf("prevention+protection must catch everything before audit: audit=%d escaped=%d", audit, escaped)
+	}
+	if r.EscapeRate() != 0 {
+		t.Errorf("EscapeRate = %v, want 0", r.EscapeRate())
+	}
+}
+
+func TestPreventionCatchesCodeAtDev(t *testing.T) {
+	r := run(true, true, 3)
+	dev, ops, _, _ := r.Counts()
+	if dev == 0 {
+		t.Fatal("code violations should be caught at dev")
+	}
+	// With perfect gate recall, everything caught at ops must be drift.
+	for _, v := range r.Violations {
+		if v.Phase == AtOps && v.Kind == CodeViolation {
+			t.Errorf("code violation leaked past a perfect gate: %+v", v)
+		}
+		if v.Phase == AtDev && v.Kind == DriftViolation {
+			t.Errorf("drift cannot be caught at dev: %+v", v)
+		}
+	}
+	_ = ops
+}
+
+func TestProtectionOnlyCatchesEverythingButLater(t *testing.T) {
+	both := run(true, true, 4)
+	protOnly := run(false, true, 4)
+
+	_, _, audit, escaped := protOnly.Counts()
+	if audit != 0 || escaped != 0 {
+		t.Error("protection alone still catches everything eventually")
+	}
+	// Same seed, same violation stream: code detection is slower without
+	// the gate.
+	if protOnly.MeanLatency(CodeViolation) <= both.MeanLatency(CodeViolation) {
+		t.Errorf("protection-only ttd(code)=%v should exceed both=%v",
+			protOnly.MeanLatency(CodeViolation), both.MeanLatency(CodeViolation))
+	}
+	if protOnly.GateCost != 0 {
+		t.Error("no gate cost without prevention")
+	}
+}
+
+func TestPreventionOnlyMissesDrift(t *testing.T) {
+	r := run(true, false, 5)
+	drift := 0
+	for _, v := range r.Violations {
+		if v.Kind == DriftViolation {
+			drift++
+			if v.Phase != AtAudit {
+				t.Errorf("drift must only be found at audit without protection: %+v", v)
+			}
+		}
+	}
+	if drift == 0 {
+		t.Fatal("seed produced no drift violations; pick another seed")
+	}
+	if r.EscapeRate() == 0 {
+		t.Error("prevention-only must have a non-zero escape rate")
+	}
+}
+
+func TestNeitherHalfLeavesAllToAudit(t *testing.T) {
+	r := run(false, false, 6)
+	dev, ops, audit, escaped := r.Counts()
+	if dev != 0 || ops != 0 {
+		t.Errorf("nothing can be caught early: dev=%d ops=%d", dev, ops)
+	}
+	if audit != len(r.Violations) || escaped != 0 {
+		t.Errorf("all violations surface at audit: audit=%d total=%d", audit, len(r.Violations))
+	}
+}
+
+func TestGateRecallAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GateRecall = 0.5
+	r := Simulate(cfg, 3000, rand.New(rand.NewSource(7)))
+	leaked := 0
+	for _, v := range r.Violations {
+		if v.Kind == CodeViolation && v.Phase == AtOps {
+			leaked++
+		}
+	}
+	if leaked == 0 {
+		t.Error("an imperfect gate must leak some code violations to ops")
+	}
+}
+
+func TestMonitorPeriodAffectsDriftLatency(t *testing.T) {
+	fast := DefaultConfig()
+	fast.MonitorPeriod = 10
+	slow := DefaultConfig()
+	slow.MonitorPeriod = 500
+	a := Simulate(fast, 2000, rand.New(rand.NewSource(8)))
+	b := Simulate(slow, 2000, rand.New(rand.NewSource(8)))
+	if a.MeanLatency(DriftViolation) >= b.MeanLatency(DriftViolation) {
+		t.Errorf("faster polling must reduce drift latency: %v vs %v",
+			a.MeanLatency(DriftViolation), b.MeanLatency(DriftViolation))
+	}
+}
+
+func TestMeanLatencyNoKind(t *testing.T) {
+	r := Result{}
+	if r.MeanLatency(CodeViolation) != -1 {
+		t.Error("no violations: latency must be -1")
+	}
+	if r.EscapeRate() != 0 {
+		t.Error("no violations: escape rate 0")
+	}
+}
+
+func TestViolationLatency(t *testing.T) {
+	v := Violation{IntroducedAt: 10, DetectedAt: 35, Phase: AtOps}
+	if v.Latency() != 25 {
+		t.Errorf("Latency = %d", v.Latency())
+	}
+	und := Violation{Phase: NotDetected}
+	if und.Latency() != -1 {
+		t.Error("undetected latency must be -1")
+	}
+}
+
+func TestStringsRender(t *testing.T) {
+	r := run(true, true, 9)
+	s := r.String()
+	for _, want := range []string{"prevention=true", "dev=", "ttd(code)="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("result string missing %q: %s", want, s)
+		}
+	}
+	if CodeViolation.String() != "code" || DriftViolation.String() != "drift" || NoViolation.String() != "none" {
+		t.Error("kind names wrong")
+	}
+	if AtDev.String() != "dev" || AtOps.String() != "ops" || AtAudit.String() != "audit" || NotDetected.String() != "undetected" {
+		t.Error("phase names wrong")
+	}
+}
+
+func TestGateCostScalesWithCommits(t *testing.T) {
+	cfg := DefaultConfig()
+	r := Simulate(cfg, 100, rand.New(rand.NewSource(10)))
+	if r.GateCost != 100*cfg.GateLatency {
+		t.Errorf("GateCost = %d, want %d", r.GateCost, 100*cfg.GateLatency)
+	}
+}

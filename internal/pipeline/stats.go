@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Multi-seed replication: the E6 table reports one seed; ReplicatedStats
+// quantifies run-to-run variance so EXPERIMENTS.md can state the shape
+// claims with dispersion, not just point estimates.
+
+// Sample is a mean/stdev summary of one scalar across replications.
+type Sample struct {
+	Mean, Stdev, Min, Max float64
+	N                     int
+}
+
+func summarize(xs []float64) Sample {
+	s := Sample{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Stdev += d * d
+	}
+	if len(xs) > 1 {
+		s.Stdev = math.Sqrt(s.Stdev / float64(len(xs)-1))
+	} else {
+		s.Stdev = 0
+	}
+	return s
+}
+
+// String renders "mean±stdev".
+func (s Sample) String() string {
+	return fmt.Sprintf("%.1f±%.1f", s.Mean, s.Stdev)
+}
+
+// ReplicatedStats aggregates simulations across seeds.
+type ReplicatedStats struct {
+	Config     Config
+	Seeds      int
+	TTDCode    Sample
+	TTDDrift   Sample
+	EscapeRate Sample
+	Violations Sample
+}
+
+// Replicate runs the simulation across `seeds` seeds (base..base+seeds-1).
+func Replicate(cfg Config, nCommits, seeds int, base int64) ReplicatedStats {
+	var ttdCode, ttdDrift, escape, viol []float64
+	for s := 0; s < seeds; s++ {
+		r := Simulate(cfg, nCommits, rand.New(rand.NewSource(base+int64(s))))
+		if v := r.MeanLatency(CodeViolation); v >= 0 {
+			ttdCode = append(ttdCode, v)
+		}
+		if v := r.MeanLatency(DriftViolation); v >= 0 {
+			ttdDrift = append(ttdDrift, v)
+		}
+		escape = append(escape, r.EscapeRate())
+		viol = append(viol, float64(len(r.Violations)))
+	}
+	return ReplicatedStats{
+		Config:     cfg,
+		Seeds:      seeds,
+		TTDCode:    summarize(ttdCode),
+		TTDDrift:   summarize(ttdDrift),
+		EscapeRate: summarize(escape),
+		Violations: summarize(viol),
+	}
+}

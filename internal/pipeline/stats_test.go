@@ -1,0 +1,51 @@
+package pipeline
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := summarize([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.N != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Stdev-want) > 1e-9 {
+		t.Errorf("Stdev = %v, want %v", s.Stdev, want)
+	}
+	if !strings.Contains(s.String(), "2.5±") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if s := summarize([]float64{7}); s.Stdev != 0 || s.Mean != 7 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestReplicateShapeStableAcrossSeeds(t *testing.T) {
+	both := Replicate(DefaultConfig(), 2000, 5, 1)
+	protOnly := DefaultConfig()
+	protOnly.Prevention = false
+	prot := Replicate(protOnly, 2000, 5, 1)
+
+	// The headline shape holds in the mean across seeds, beyond the noise
+	// band: prevention cuts code TTD.
+	if both.TTDCode.Mean+both.TTDCode.Stdev >= prot.TTDCode.Mean-prot.TTDCode.Stdev {
+		t.Errorf("prevention TTD %v should be well below protection-only %v",
+			both.TTDCode, prot.TTDCode)
+	}
+	// Escape rate is identically zero with protection on.
+	if both.EscapeRate.Max != 0 || prot.EscapeRate.Max != 0 {
+		t.Errorf("escape rates: %v / %v", both.EscapeRate, prot.EscapeRate)
+	}
+	if both.Seeds != 5 || both.Violations.N != 5 {
+		t.Errorf("replication bookkeeping: %+v", both)
+	}
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := New("demo", "name", "value")
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("a-very-long-name", 3.14159)
+	tbl.Note = "numbers are rounded"
+	s := tbl.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "a-very-long-name", "3.14", "note: numbers are rounded"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	// Columns align: every data row at least as wide as the header row.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("unexpected layout:\n%s", s)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tbl := New("f", "v")
+	tbl.AddRow(0.5)
+	tbl.AddRow(float32(2))
+	if tbl.Rows[0][0] != "0.50" || tbl.Rows[1][0] != "2.00" {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := New("c", "a", "b")
+	tbl.AddRow("x,with,commas", 2)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || lines[0] != "a,b" || !strings.Contains(lines[1], `"x,with,commas"`) {
+		t.Errorf("csv:\n%s", buf.String())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := New("m", "a", "b")
+	tbl.AddRow(1, 2)
+	tbl.Note = "a note"
+	md := tbl.Markdown()
+	for _, want := range []string{"### m", "| a | b |", "|---|---|", "| 1 | 2 |", "*a note*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	tbl := New("t", "a")
+	tbl.AddRow("x")
+	var txt bytes.Buffer
+	if err := tbl.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "== t ==") {
+		t.Error("WriteText lost the title")
+	}
+	var js bytes.Buffer
+	if err := tbl.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != "t" || len(back.Rows) != 1 {
+		t.Errorf("json round trip = %+v", back)
+	}
+}

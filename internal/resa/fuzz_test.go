@@ -1,0 +1,43 @@
+package resa
+
+import "testing"
+
+// FuzzParse checks that the boilerplate parser is total and that accepted
+// requirements round-trip through their canonical rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"The gateway shall encrypt all traffic.",
+		"The server shall not store plaintext passwords.",
+		"When an intrusion is detected, the monitor shall raise an alarm within 5 seconds.",
+		"While maintenance mode is active, the controller shall reject remote commands.",
+		"If a checksum fails, then the loader shall abort the update.",
+		"Where a TPM is present, the system shall seal the key.",
+		"", "the", "When , the x shall y.", "The shall .",
+		"The system shall respond within 0 ms.",
+		"WHEN A, THE B SHALL C.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		r, err := Parse(input)
+		if err != nil {
+			return
+		}
+		again, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", r.String(), input, err)
+		}
+		if again.Kind != r.Kind || again.Deadline != r.Deadline {
+			t.Fatalf("round trip changed kind/deadline: %+v vs %+v", r, again)
+		}
+		// Every parsed requirement must map to a compilable pattern.
+		p, err := r.ToPattern()
+		if err != nil {
+			t.Fatalf("parsed requirement %q has no pattern: %v", input, err)
+		}
+		if _, err := p.Compile(); err != nil {
+			t.Fatalf("pattern of %q does not compile: %v", input, err)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package resa
+
+import (
+	"fmt"
+	"path"
+	"strings"
+)
+
+// EAST-ADL abstraction levels: the ReSA tool distinguishes specifications
+// by file extension (.resa generic, .vl vehicle level, .al analysis level,
+// .dl design level), tagging each requirement with the level it constrains.
+
+// Level is the EAST-ADL abstraction level of a specification.
+type Level int
+
+// Levels, most abstract first.
+const (
+	Generic Level = iota
+	VehicleLevel
+	AnalysisLevel
+	DesignLevel
+)
+
+func (l Level) String() string {
+	switch l {
+	case Generic:
+		return "generic"
+	case VehicleLevel:
+		return "vehicle"
+	case AnalysisLevel:
+		return "analysis"
+	case DesignLevel:
+		return "design"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// LevelOfFile derives the abstraction level from a specification filename.
+func LevelOfFile(filename string) (Level, error) {
+	switch strings.ToLower(path.Ext(filename)) {
+	case ".resa":
+		return Generic, nil
+	case ".vl":
+		return VehicleLevel, nil
+	case ".al":
+		return AnalysisLevel, nil
+	case ".dl":
+		return DesignLevel, nil
+	default:
+		return Generic, fmt.Errorf("resa: unknown specification extension in %q (want .resa, .vl, .al or .dl)", filename)
+	}
+}
+
+// Document is a parsed level-tagged specification.
+type Document struct {
+	Name         string
+	Level        Level
+	Requirements []Requirement
+	Errors       []error
+}
+
+// ParseDocument parses a specification file's content, tagging it with the
+// level implied by the filename.
+func ParseDocument(filename, content string) (Document, error) {
+	level, err := LevelOfFile(filename)
+	if err != nil {
+		return Document{}, err
+	}
+	reqs, errs := ParseAll(content)
+	return Document{
+		Name:         path.Base(filename),
+		Level:        level,
+		Requirements: reqs,
+		Errors:       errs,
+	}, nil
+}
+
+// Refines reports whether a document at level child may refine one at
+// level parent (levels must strictly descend the abstraction hierarchy;
+// generic documents refine nothing and are refined by nothing).
+func Refines(child, parent Level) bool {
+	if child == Generic || parent == Generic {
+		return false
+	}
+	return child > parent
+}

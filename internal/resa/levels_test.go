@@ -1,0 +1,87 @@
+package resa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLevelOfFile(t *testing.T) {
+	cases := map[string]Level{
+		"spec.resa":       Generic,
+		"brakes.vl":       VehicleLevel,
+		"BRAKES.AL":       AnalysisLevel,
+		"ecu.dl":          DesignLevel,
+		"dir/sub/ecu.dl":  DesignLevel,
+		"weird.name.resa": Generic,
+	}
+	for file, want := range cases {
+		got, err := LevelOfFile(file)
+		if err != nil || got != want {
+			t.Errorf("LevelOfFile(%q) = %v, %v; want %v", file, got, err, want)
+		}
+	}
+	if _, err := LevelOfFile("spec.txt"); err == nil {
+		t.Error("unknown extension must error")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{
+		Generic: "generic", VehicleLevel: "vehicle",
+		AnalysisLevel: "analysis", DesignLevel: "design",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("%d prints %q", int(l), l.String())
+		}
+	}
+	if Level(9).String() == "" {
+		t.Error("unknown level should still print")
+	}
+}
+
+func TestParseDocument(t *testing.T) {
+	content := `# braking requirements
+When the pedal is pressed, the brake controller shall engage the actuator within 50 ms.
+not a requirement
+`
+	doc, err := ParseDocument("braking.vl", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Level != VehicleLevel || doc.Name != "braking.vl" {
+		t.Errorf("doc = %+v", doc)
+	}
+	if len(doc.Requirements) != 1 || len(doc.Errors) != 1 {
+		t.Errorf("reqs=%d errs=%d", len(doc.Requirements), len(doc.Errors))
+	}
+	if !strings.Contains(doc.Requirements[0].Condition, "pedal") {
+		t.Errorf("requirement = %+v", doc.Requirements[0])
+	}
+}
+
+func TestParseDocumentBadExtension(t *testing.T) {
+	if _, err := ParseDocument("spec.doc", "x"); err == nil {
+		t.Error("bad extension must error")
+	}
+}
+
+func TestRefines(t *testing.T) {
+	cases := []struct {
+		child, parent Level
+		want          bool
+	}{
+		{AnalysisLevel, VehicleLevel, true},
+		{DesignLevel, VehicleLevel, true},
+		{DesignLevel, AnalysisLevel, true},
+		{VehicleLevel, AnalysisLevel, false},
+		{VehicleLevel, VehicleLevel, false},
+		{Generic, VehicleLevel, false},
+		{DesignLevel, Generic, false},
+	}
+	for _, c := range cases {
+		if got := Refines(c.child, c.parent); got != c.want {
+			t.Errorf("Refines(%v,%v) = %v, want %v", c.child, c.parent, got, c.want)
+		}
+	}
+}

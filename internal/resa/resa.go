@@ -1,0 +1,298 @@
+// Package resa reimplements the ReSA-style boilerplate requirements
+// language of VeriDevOps D2.7: requirements written in constrained natural
+// language following EARS-like templates, parsed into a structured form,
+// validated, and mapped onto the specification patterns of internal/tctl.
+//
+// Supported boilerplates (case-insensitive):
+//
+//	Ubiquitous:     "The <system> shall <response>."
+//	Event-driven:   "When <trigger>, the <system> shall <response>."
+//	State-driven:   "While <state>, the <system> shall <response>."
+//	Unwanted:       "If <condition>, then the <system> shall <response>."
+//	Optional:       "Where <feature>, the <system> shall <response>."
+//	Prohibition:    "The <system> shall not <response>."
+//
+// Any boilerplate may carry a deadline suffix "within <N> <unit>".
+package resa
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"veridevops/internal/tctl"
+	"veridevops/internal/trace"
+)
+
+// Kind is the boilerplate template a requirement instantiates.
+type Kind int
+
+// Boilerplate kinds.
+const (
+	Ubiquitous Kind = iota
+	EventDriven
+	StateDriven
+	Unwanted
+	Optional
+	Prohibition
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Ubiquitous:
+		return "ubiquitous"
+	case EventDriven:
+		return "event-driven"
+	case StateDriven:
+		return "state-driven"
+	case Unwanted:
+		return "unwanted-behaviour"
+	case Optional:
+		return "optional-feature"
+	case Prohibition:
+		return "prohibition"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Requirement is a parsed boilerplate requirement.
+type Requirement struct {
+	Kind      Kind
+	System    string
+	Response  string
+	Condition string // trigger / state / condition / feature, per kind
+	// Deadline is the "within N units" bound in ticks; 0 when absent.
+	Deadline trace.Time
+	// Source is the original text.
+	Source string
+}
+
+// String reconstructs the canonical boilerplate text.
+func (r Requirement) String() string {
+	var b strings.Builder
+	switch r.Kind {
+	case EventDriven:
+		fmt.Fprintf(&b, "When %s, ", r.Condition)
+	case StateDriven:
+		fmt.Fprintf(&b, "While %s, ", r.Condition)
+	case Unwanted:
+		fmt.Fprintf(&b, "If %s, then ", r.Condition)
+	case Optional:
+		fmt.Fprintf(&b, "Where %s, ", r.Condition)
+	}
+	verb := "shall"
+	if r.Kind == Prohibition {
+		verb = "shall not"
+	}
+	fmt.Fprintf(&b, "the %s %s %s", r.System, verb, r.Response)
+	if r.Deadline > 0 {
+		fmt.Fprintf(&b, " within %d ms", r.Deadline)
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+var (
+	deadlineRe = regexp.MustCompile(`(?i)\s+within\s+(\d+)\s*(ms|milliseconds?|s|seconds?|minutes?|min)\b`)
+	shallRe    = regexp.MustCompile(`(?i)^the\s+(.+?)\s+shall\s+(not\s+)?(.+)$`)
+)
+
+// unitTicks converts a deadline unit to clock ticks (milliseconds).
+func unitTicks(unit string) trace.Time {
+	switch strings.ToLower(unit) {
+	case "s", "second", "seconds":
+		return 1000
+	case "min", "minute", "minutes":
+		return 60000
+	default:
+		return 1
+	}
+}
+
+// Parse parses one boilerplate requirement.
+func Parse(text string) (Requirement, error) {
+	req := Requirement{Source: text}
+	s := strings.TrimSpace(text)
+	s = strings.TrimSuffix(s, ".")
+	if s == "" {
+		return req, fmt.Errorf("resa: empty requirement")
+	}
+
+	// Deadline suffix.
+	if m := deadlineRe.FindStringSubmatch(s); m != nil {
+		n, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			return req, fmt.Errorf("resa: bad deadline %q", m[1])
+		}
+		req.Deadline = n * unitTicks(m[2])
+		s = deadlineRe.ReplaceAllString(s, "")
+	}
+
+	// Leading scope clause.
+	lower := strings.ToLower(s)
+	cut := func(prefix string) (string, string, bool) {
+		if !strings.HasPrefix(lower, prefix) {
+			return "", "", false
+		}
+		rest := s[len(prefix):]
+		i := strings.Index(rest, ",")
+		if i < 0 {
+			return "", "", false
+		}
+		return strings.TrimSpace(rest[:i]), strings.TrimSpace(rest[i+1:]), true
+	}
+	switch {
+	case strings.HasPrefix(lower, "when "):
+		cond, rest, ok := cut("when ")
+		if !ok {
+			return req, fmt.Errorf("resa: event-driven boilerplate needs a comma after the trigger")
+		}
+		req.Kind = EventDriven
+		req.Condition = cond
+		s = rest
+	case strings.HasPrefix(lower, "while "):
+		cond, rest, ok := cut("while ")
+		if !ok {
+			return req, fmt.Errorf("resa: state-driven boilerplate needs a comma after the state")
+		}
+		req.Kind = StateDriven
+		req.Condition = cond
+		s = rest
+	case strings.HasPrefix(lower, "if "):
+		cond, rest, ok := cut("if ")
+		if !ok {
+			return req, fmt.Errorf("resa: unwanted-behaviour boilerplate needs a comma after the condition")
+		}
+		req.Kind = Unwanted
+		req.Condition = cond
+		rest = strings.TrimSpace(rest)
+		restLower := strings.ToLower(rest)
+		if strings.HasPrefix(restLower, "then ") {
+			rest = strings.TrimSpace(rest[5:])
+		}
+		s = rest
+	case strings.HasPrefix(lower, "where "):
+		cond, rest, ok := cut("where ")
+		if !ok {
+			return req, fmt.Errorf("resa: optional-feature boilerplate needs a comma after the feature")
+		}
+		req.Kind = Optional
+		req.Condition = cond
+		s = rest
+	default:
+		req.Kind = Ubiquitous
+	}
+
+	// Main clause.
+	m := shallRe.FindStringSubmatch(strings.TrimSpace(s))
+	if m == nil {
+		return req, fmt.Errorf("resa: main clause must match 'the <system> shall [not] <response>', got %q", s)
+	}
+	req.System = strings.TrimSpace(m[1])
+	req.Response = strings.TrimSpace(m[3])
+	if req.System == "" || req.Response == "" {
+		return req, fmt.Errorf("resa: empty system or response in %q", s)
+	}
+	if req.Kind != Ubiquitous && strings.TrimSpace(req.Condition) == "" {
+		return req, fmt.Errorf("resa: empty scope condition in %q", text)
+	}
+	if strings.TrimSpace(m[2]) != "" {
+		if req.Kind != Ubiquitous {
+			return req, fmt.Errorf("resa: 'shall not' is only supported in the ubiquitous boilerplate")
+		}
+		req.Kind = Prohibition
+	}
+	return req, nil
+}
+
+// ParseAll parses a multi-line specification, one requirement per line,
+// skipping blank lines and '#' comments. It returns all requirements it
+// could parse plus one error per rejected line.
+func ParseAll(text string) ([]Requirement, []error) {
+	var reqs []Requirement
+	var errs []error
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := Parse(line)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", i+1, err))
+			continue
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs, errs
+}
+
+// Slug converts a free-text phrase to a proposition name usable in TCTL
+// formulas and trace signals.
+func Slug(phrase string) string {
+	var b strings.Builder
+	lastUnderscore := true
+	for _, r := range strings.ToLower(strings.TrimSpace(phrase)) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastUnderscore = false
+		default:
+			if !lastUnderscore {
+				b.WriteByte('_')
+				lastUnderscore = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "_")
+}
+
+// ToPattern maps the boilerplate onto a specification pattern whose
+// propositions are slugs of the requirement phrases.
+func (r Requirement) ToPattern() (tctl.Pattern, error) {
+	resp := tctl.Prop{Name: Slug(r.Response)}
+	cond := tctl.Prop{Name: Slug(r.Condition)}
+	var bound tctl.Bound
+	if r.Deadline > 0 {
+		bound = tctl.Within(r.Deadline)
+	}
+	switch r.Kind {
+	case Ubiquitous:
+		return tctl.Pattern{Behaviour: tctl.Universality, Scope: tctl.Globally, P: resp}, nil
+	case Prohibition:
+		return tctl.Pattern{Behaviour: tctl.Absence, Scope: tctl.Globally, P: resp}, nil
+	case EventDriven, Unwanted:
+		// Both reduce to response: trigger leads to reaction (the unwanted
+		// boilerplate names a hazardous condition as the trigger).
+		return tctl.Pattern{Behaviour: tctl.Response, Scope: tctl.Globally, P: cond, S: resp, B: bound}, nil
+	case StateDriven:
+		// The response behaviour must hold while the state does: after
+		// state-entry until state-exit, universally.
+		return tctl.Pattern{
+			Behaviour: tctl.Universality, Scope: tctl.AfterUntil,
+			P: resp, Q: cond, R: tctl.Not{F: cond},
+		}, nil
+	case Optional:
+		// Feature-conditioned universality: where the feature exists, the
+		// response must hold; encoded as global response to the feature
+		// proposition.
+		return tctl.Pattern{Behaviour: tctl.Response, Scope: tctl.Globally, P: cond, S: resp, B: bound}, nil
+	default:
+		return tctl.Pattern{}, fmt.Errorf("resa: unmapped kind %v", r.Kind)
+	}
+}
+
+// Formalize is Parse followed by ToPattern followed by Compile: one call
+// from boilerplate text to a TCTL formula.
+func Formalize(text string) (tctl.Formula, error) {
+	r, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	p, err := r.ToPattern()
+	if err != nil {
+		return nil, err
+	}
+	return p.Compile()
+}

@@ -1,0 +1,235 @@
+package resa
+
+import (
+	"strings"
+	"testing"
+
+	"veridevops/internal/tctl"
+)
+
+func TestParseUbiquitous(t *testing.T) {
+	r, err := Parse("The gateway shall encrypt all traffic.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != Ubiquitous || r.System != "gateway" || r.Response != "encrypt all traffic" {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.Deadline != 0 {
+		t.Error("no deadline expected")
+	}
+}
+
+func TestParseProhibition(t *testing.T) {
+	r, err := Parse("The server shall not store plaintext passwords.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != Prohibition || r.Response != "store plaintext passwords" {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseEventDrivenWithDeadline(t *testing.T) {
+	r, err := Parse("When an intrusion is detected, the monitor shall raise an alarm within 5 seconds.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != EventDriven {
+		t.Fatalf("Kind = %v", r.Kind)
+	}
+	if r.Condition != "an intrusion is detected" {
+		t.Errorf("Condition = %q", r.Condition)
+	}
+	if r.Deadline != 5000 {
+		t.Errorf("Deadline = %d, want 5000 ms", r.Deadline)
+	}
+}
+
+func TestParseDeadlineUnits(t *testing.T) {
+	cases := []struct {
+		text string
+		want int64
+	}{
+		{"The system shall respond within 20 ms.", 20},
+		{"The system shall respond within 3 seconds.", 3000},
+		{"The system shall respond within 2 minutes.", 120000},
+	}
+	for _, c := range cases {
+		r, err := Parse(c.text)
+		if err != nil {
+			t.Errorf("%q: %v", c.text, err)
+			continue
+		}
+		if r.Deadline != c.want {
+			t.Errorf("%q: Deadline = %d, want %d", c.text, r.Deadline, c.want)
+		}
+	}
+}
+
+func TestParseStateDriven(t *testing.T) {
+	r, err := Parse("While maintenance mode is active, the controller shall reject remote commands.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != StateDriven || r.Condition != "maintenance mode is active" {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseUnwanted(t *testing.T) {
+	r, err := Parse("If the battery level drops below 10 percent, then the device shall enter safe mode.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != Unwanted || !strings.Contains(r.Condition, "battery level") {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.System != "device" {
+		t.Errorf("System = %q", r.System)
+	}
+}
+
+func TestParseUnwantedWithoutThen(t *testing.T) {
+	r, err := Parse("If a checksum fails, the loader shall abort the update.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != Unwanted || r.Response != "abort the update" {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseOptional(t *testing.T) {
+	r, err := Parse("Where a TPM is present, the system shall seal the disk encryption key.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != Optional || r.Condition != "a TPM is present" {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Encrypt everything.",                             // no boilerplate
+		"The system should encrypt data.",                 // wrong modal
+		"When intrusion the system shall react.",          // missing comma
+		"While busy the system shall wait.",               // missing comma
+		"If dropped the system shall recover.",            // missing comma
+		"Where possible the system shall retry.",          // missing comma
+		"When a fault occurs, the system shall not fail.", // shall-not outside ubiquitous
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) should fail", text)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	texts := []string{
+		"When an intrusion is detected, the monitor shall raise an alarm within 5000 ms.",
+		"While maintenance mode is active, the controller shall reject remote commands.",
+		"The server shall not store plaintext passwords.",
+		"If a checksum fails, then the loader shall abort the update.",
+		"Where a TPM is present, the system shall seal the key.",
+	}
+	for _, text := range texts {
+		r, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		r2, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", r.String(), err)
+		}
+		if r2.Kind != r.Kind || r2.Condition != r.Condition || r2.Response != r.Response || r2.Deadline != r.Deadline {
+			t.Errorf("round trip changed %+v -> %+v", r, r2)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	spec := `
+# security requirements
+The gateway shall encrypt all traffic.
+
+When a fault occurs, the watchdog shall restart the service within 100 ms.
+this line is garbage
+`
+	reqs, errs := ParseAll(spec)
+	if len(reqs) != 2 {
+		t.Errorf("parsed %d requirements, want 2", len(reqs))
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "line 6") {
+		t.Errorf("errs = %v", errs)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"An intrusion is detected":  "an_intrusion_is_detected",
+		"  raise the alarm!  ":      "raise_the_alarm",
+		"battery < 10%":             "battery_10",
+		"already_slugged":           "already_slugged",
+		"Ends with punctuation...?": "ends_with_punctuation",
+	}
+	for in, want := range cases {
+		if got := Slug(in); got != want {
+			t.Errorf("Slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestToPatternMappings(t *testing.T) {
+	cases := []struct {
+		text      string
+		behaviour tctl.Behaviour
+		scope     tctl.Scope
+	}{
+		{"The gateway shall encrypt traffic.", tctl.Universality, tctl.Globally},
+		{"The server shall not expose port 23.", tctl.Absence, tctl.Globally},
+		{"When a fault occurs, the watchdog shall restart the service within 10 ms.", tctl.Response, tctl.Globally},
+		{"While locked, the screen shall hide notifications.", tctl.Universality, tctl.AfterUntil},
+		{"If a breach is detected, then the system shall isolate the host.", tctl.Response, tctl.Globally},
+		{"Where a TPM is present, the system shall seal the key.", tctl.Response, tctl.Globally},
+	}
+	for _, c := range cases {
+		r, err := Parse(c.text)
+		if err != nil {
+			t.Fatalf("%q: %v", c.text, err)
+		}
+		p, err := r.ToPattern()
+		if err != nil {
+			t.Fatalf("%q: %v", c.text, err)
+		}
+		if p.Behaviour != c.behaviour || p.Scope != c.scope {
+			t.Errorf("%q -> %v/%v, want %v/%v", c.text, p.Behaviour, p.Scope, c.behaviour, c.scope)
+		}
+		if _, err := p.Compile(); err != nil {
+			t.Errorf("%q: pattern does not compile: %v", c.text, err)
+		}
+	}
+}
+
+func TestFormalizeEndToEnd(t *testing.T) {
+	f, err := Formalize("When an intrusion is detected, the monitor shall raise an alarm within 5 seconds.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.String()
+	if !strings.Contains(s, "an_intrusion_is_detected") || !strings.Contains(s, "[<=5000]") {
+		t.Errorf("Formalize = %q", s)
+	}
+	if _, err := tctl.Parse(s); err != nil {
+		t.Errorf("formalized output must be parseable TCTL: %v", err)
+	}
+}
+
+func TestFormalizeError(t *testing.T) {
+	if _, err := Formalize("not a requirement"); err == nil {
+		t.Error("garbage must not formalize")
+	}
+}

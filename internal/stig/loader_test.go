@@ -1,0 +1,102 @@
+package stig
+
+import (
+	"strings"
+	"testing"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+)
+
+const catalogJSON = `[
+  {"kind":"package","id":"EXT-001","severity":"high","package":"telnetd",
+   "description":"Telnet transmits credentials in cleartext."},
+  {"kind":"package","id":"EXT-002","severity":"medium","package":"auditd","must_be_installed":true},
+  {"kind":"config","id":"EXT-003","file":"/etc/ssh/sshd_config","key":"PermitRootLogin","value":"no"},
+  {"kind":"service","id":"EXT-004","service":"rlogin"},
+  {"kind":"service","id":"EXT-005","service":"auditd","must_be_active":true},
+  {"kind":"audit","id":"EXT-006","category":"Policy Change","subcategory":"Audit Policy Change","success":true},
+  {"kind":"registry","id":"EXT-007","key":"HKLM\\Policies\\EnableSmartScreen","value":"1"}
+]`
+
+func TestLoadCatalog(t *testing.T) {
+	h := host.NewLinux()
+	w := host.NewWindows10()
+	h.Install("telnetd", "0.1")
+	h.EnableService("rlogin")
+
+	cat, err := LoadCatalog(strings.NewReader(catalogJSON), Hosts{Linux: h, Windows: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 7 {
+		t.Fatalf("catalogue = %d entries, want 7", cat.Len())
+	}
+	before := cat.Run(core.CheckOnly)
+	if before.Compliance() == 1 {
+		t.Fatal("host violates several loaded findings")
+	}
+	after := cat.Run(core.CheckAndEnforce)
+	if after.Compliance() != 1 {
+		t.Errorf("enforcement incomplete:\n%s", after)
+	}
+	// Spot checks of each pattern's effect.
+	if h.Installed("telnetd") || !h.Installed("auditd") {
+		t.Error("package patterns not applied")
+	}
+	if v, _ := h.Config("/etc/ssh/sshd_config", "PermitRootLogin"); v != "no" {
+		t.Error("config pattern not applied")
+	}
+	if h.ServiceActive("rlogin") || !h.ServiceActive("auditd") {
+		t.Error("service patterns not applied")
+	}
+	if s, _ := w.GetAudit("Audit Policy Change"); !s.Success {
+		t.Error("audit pattern not applied")
+	}
+	if v, _ := w.Registry(`HKLM\Policies\EnableSmartScreen`); v != "1" {
+		t.Error("registry pattern not applied")
+	}
+}
+
+func TestLoadCatalogMetadata(t *testing.T) {
+	h := host.NewLinux()
+	cat, err := LoadCatalog(strings.NewReader(catalogJSON), Hosts{Linux: h, Windows: host.NewWindows10()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, ok := cat.Lookup("EXT-001")
+	if !ok {
+		t.Fatal("EXT-001 missing")
+	}
+	if req.Severity() != "high" || !strings.Contains(req.Description(), "cleartext") {
+		t.Errorf("metadata lost: sev=%q desc=%q", req.Severity(), req.Description())
+	}
+}
+
+func TestLoadCatalogErrors(t *testing.T) {
+	h := host.NewLinux()
+	w := host.NewWindows10()
+	both := Hosts{Linux: h, Windows: w}
+	cases := []struct {
+		name, doc string
+		hosts     Hosts
+	}{
+		{"malformed json", "[{", both},
+		{"unknown kind", `[{"kind":"frobnicate","id":"X"}]`, both},
+		{"missing id", `[{"kind":"package","package":"x"}]`, both},
+		{"package without name", `[{"kind":"package","id":"X"}]`, both},
+		{"config without key", `[{"kind":"config","id":"X","file":"/f"}]`, both},
+		{"service without name", `[{"kind":"service","id":"X"}]`, both},
+		{"audit without subcategory", `[{"kind":"audit","id":"X","success":true}]`, both},
+		{"audit without flags", `[{"kind":"audit","id":"X","subcategory":"Logon"}]`, both},
+		{"registry without key", `[{"kind":"registry","id":"X"}]`, both},
+		{"linux kind without host", `[{"kind":"package","id":"X","package":"p"}]`, Hosts{Windows: w}},
+		{"windows kind without host", `[{"kind":"registry","id":"X","key":"k"}]`, Hosts{Linux: h}},
+		{"duplicate ids", `[{"kind":"package","id":"X","package":"a"},{"kind":"package","id":"X","package":"b"}]`, both},
+	}
+	for _, c := range cases {
+		if _, err := LoadCatalog(strings.NewReader(c.doc), c.hosts); err == nil {
+			t.Errorf("%s: LoadCatalog should fail", c.name)
+		}
+	}
+}

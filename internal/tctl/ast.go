@@ -1,0 +1,284 @@
+// Package tctl implements a timed computation-tree-logic (TCTL) subset in
+// the style used by the PROPAS / PSP-UPPAAL pattern catalogue of the
+// VeriDevOps project: path-quantified temporal operators (A[], E<>, A<>,
+// E[], until, leads-to) over propositional atoms, with optional upper time
+// bounds on the eventualities.
+//
+// The package provides the AST, a parser for a UPPAAL-like concrete syntax,
+// a pretty-printer, an evaluator over finite timed traces (internal/trace),
+// and the compiler from specification patterns (Dwyer's scopes x behaviours)
+// to formulas.
+package tctl
+
+import (
+	"fmt"
+	"strings"
+
+	"veridevops/internal/trace"
+)
+
+// Bound is an optional inclusive upper time bound on an eventuality
+// ("within D ticks"). The zero value means unbounded.
+type Bound struct {
+	Valid bool
+	D     trace.Time
+}
+
+// Unbounded is the absent bound.
+var Unbounded = Bound{}
+
+// Within returns an inclusive upper bound of d ticks.
+func Within(d trace.Time) Bound { return Bound{Valid: true, D: d} }
+
+func (b Bound) String() string {
+	if !b.Valid {
+		return ""
+	}
+	return fmt.Sprintf("[<=%d]", b.D)
+}
+
+// Formula is a TCTL formula node.
+type Formula interface {
+	fmt.Stringer
+	// prec returns the printing precedence, used to minimize parentheses.
+	prec() int
+}
+
+// Prop is a propositional atom naming a boolean signal.
+type Prop struct{ Name string }
+
+// True and False are the boolean constants.
+type (
+	True  struct{}
+	False struct{}
+)
+
+// CmpOp is a comparison operator for numeric atoms.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	default:
+		return "?"
+	}
+}
+
+// Cmp is a numeric atom comparing a signal against a constant.
+type Cmp struct {
+	Signal string
+	Op     CmpOp
+	Value  float64
+}
+
+// Not is logical negation.
+type Not struct{ F Formula }
+
+// And is logical conjunction.
+type And struct{ L, R Formula }
+
+// Or is logical disjunction.
+type Or struct{ L, R Formula }
+
+// Imply is material implication.
+type Imply struct{ L, R Formula }
+
+// AG is "invariantly" (UPPAAL A[]).
+type AG struct{ F Formula }
+
+// EG is "potentially always" (UPPAAL E[]).
+type EG struct{ F Formula }
+
+// AF is "inevitably", optionally time-bounded (UPPAAL A<>).
+type AF struct {
+	F Formula
+	B Bound
+}
+
+// EF is "possibly", optionally time-bounded (UPPAAL E<>).
+type EF struct {
+	F Formula
+	B Bound
+}
+
+// AU is "for all paths, L until R".
+type AU struct{ L, R Formula }
+
+// EU is "for some path, L until R".
+type EU struct{ L, R Formula }
+
+// LeadsTo is the UPPAAL response operator L --> R, shorthand for
+// A[] (L imply A<> R), optionally time-bounded.
+type LeadsTo struct {
+	L, R Formula
+	B    Bound
+}
+
+// Printing precedences, larger binds tighter.
+const (
+	precLeadsTo = 1
+	precImply   = 2
+	precOr      = 3
+	precAnd     = 4
+	precUnary   = 5
+	precAtom    = 6
+)
+
+func (Prop) prec() int    { return precAtom }
+func (True) prec() int    { return precAtom }
+func (False) prec() int   { return precAtom }
+func (Cmp) prec() int     { return precAtom }
+func (Not) prec() int     { return precUnary }
+func (And) prec() int     { return precAnd }
+func (Or) prec() int      { return precOr }
+func (Imply) prec() int   { return precImply }
+func (AG) prec() int      { return precUnary }
+func (EG) prec() int      { return precUnary }
+func (AF) prec() int      { return precUnary }
+func (EF) prec() int      { return precUnary }
+func (AU) prec() int      { return precAtom }
+func (EU) prec() int      { return precAtom }
+func (LeadsTo) prec() int { return precLeadsTo }
+
+func wrap(parent int, f Formula) string {
+	s := f.String()
+	if f.prec() < parent {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func (p Prop) String() string  { return p.Name }
+func (True) String() string    { return "true" }
+func (False) String() string   { return "false" }
+func (c Cmp) String() string   { return fmt.Sprintf("%s %s %g", c.Signal, c.Op, c.Value) }
+func (n Not) String() string   { return "!" + wrap(precUnary+1, n.F) }
+func (a And) String() string   { return wrap(precAnd, a.L) + " && " + wrap(precAnd+1, a.R) }
+func (o Or) String() string    { return wrap(precOr, o.L) + " || " + wrap(precOr+1, o.R) }
+func (i Imply) String() string { return wrap(precImply+1, i.L) + " -> " + wrap(precImply, i.R) }
+func (g AG) String() string    { return "A[] " + wrap(precUnary, g.F) }
+func (g EG) String() string    { return "E[] " + wrap(precUnary, g.F) }
+func (f AF) String() string    { return "A<>" + f.B.String() + " " + wrap(precUnary, f.F) }
+func (f EF) String() string    { return "E<>" + f.B.String() + " " + wrap(precUnary, f.F) }
+func (u AU) String() string    { return "A[" + u.L.String() + " U " + u.R.String() + "]" }
+func (u EU) String() string    { return "E[" + u.L.String() + " U " + u.R.String() + "]" }
+func (l LeadsTo) String() string {
+	arrow := " --> "
+	if l.B.Valid {
+		arrow = fmt.Sprintf(" -->%s ", l.B.String())
+	}
+	return wrap(precLeadsTo+1, l.L) + arrow + wrap(precLeadsTo+1, l.R)
+}
+
+// Props returns the sorted set of signal names referenced by the formula.
+func Props(f Formula) []string {
+	set := map[string]struct{}{}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch n := f.(type) {
+		case Prop:
+			set[n.Name] = struct{}{}
+		case Cmp:
+			set[n.Signal] = struct{}{}
+		case Not:
+			walk(n.F)
+		case And:
+			walk(n.L)
+			walk(n.R)
+		case Or:
+			walk(n.L)
+			walk(n.R)
+		case Imply:
+			walk(n.L)
+			walk(n.R)
+		case AG:
+			walk(n.F)
+		case EG:
+			walk(n.F)
+		case AF:
+			walk(n.F)
+		case EF:
+			walk(n.F)
+		case AU:
+			walk(n.L)
+			walk(n.R)
+		case EU:
+			walk(n.L)
+			walk(n.R)
+		case LeadsTo:
+			walk(n.L)
+			walk(n.R)
+		}
+	}
+	walk(f)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	// small n; simple sort keeps the package dependency-light
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Desugar rewrites derived operators (Imply, LeadsTo) into the kernel
+// (Not/And/Or/AG/AF/AU...), which the evaluator and the observer-automata
+// compiler consume.
+func Desugar(f Formula) Formula {
+	switch n := f.(type) {
+	case Imply:
+		return Or{L: Not{Desugar(n.L)}, R: Desugar(n.R)}
+	case LeadsTo:
+		return AG{F: Or{L: Not{Desugar(n.L)}, R: AF{F: Desugar(n.R), B: n.B}}}
+	case Not:
+		return Not{Desugar(n.F)}
+	case And:
+		return And{Desugar(n.L), Desugar(n.R)}
+	case Or:
+		return Or{Desugar(n.L), Desugar(n.R)}
+	case AG:
+		return AG{Desugar(n.F)}
+	case EG:
+		return EG{Desugar(n.F)}
+	case AF:
+		return AF{Desugar(n.F), n.B}
+	case EF:
+		return EF{Desugar(n.F), n.B}
+	case AU:
+		return AU{Desugar(n.L), Desugar(n.R)}
+	case EU:
+		return EU{Desugar(n.L), Desugar(n.R)}
+	default:
+		return f
+	}
+}
+
+// Equal reports structural equality of two formulas (after printing; the
+// printer is injective up to parenthesization).
+func Equal(a, b Formula) bool {
+	return strings.TrimSpace(a.String()) == strings.TrimSpace(b.String())
+}

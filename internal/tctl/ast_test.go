@@ -1,0 +1,190 @@
+package tctl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormulaPrinting(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want string
+	}{
+		{Prop{"p"}, "p"},
+		{True{}, "true"},
+		{False{}, "false"},
+		{Not{Prop{"p"}}, "!p"},
+		{And{Prop{"p"}, Prop{"q"}}, "p && q"},
+		{Or{Prop{"p"}, Prop{"q"}}, "p || q"},
+		{Imply{Prop{"p"}, Prop{"q"}}, "p -> q"},
+		{AG{Prop{"p"}}, "A[] p"},
+		{EG{Prop{"p"}}, "E[] p"},
+		{AF{F: Prop{"p"}}, "A<> p"},
+		{EF{F: Prop{"p"}}, "E<> p"},
+		{AF{F: Prop{"p"}, B: Within(5)}, "A<>[<=5] p"},
+		{AU{Prop{"p"}, Prop{"q"}}, "A[p U q]"},
+		{EU{Prop{"p"}, Prop{"q"}}, "E[p U q]"},
+		{LeadsTo{L: Prop{"p"}, R: Prop{"q"}}, "p --> q"},
+		{LeadsTo{L: Prop{"p"}, R: Prop{"q"}, B: Within(9)}, "p -->[<=9] q"},
+		{Cmp{Signal: "x", Op: Ge, Value: 2.5}, "x >= 2.5"},
+		{AG{Imply{Prop{"p"}, AF{F: Prop{"q"}}}}, "A[] (p -> A<> q)"},
+		{And{Or{Prop{"a"}, Prop{"b"}}, Prop{"c"}}, "(a || b) && c"},
+		{Not{And{Prop{"a"}, Prop{"b"}}}, "!(a && b)"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	inputs := []string{
+		"p",
+		"!p",
+		"p && q",
+		"p || q && r",
+		"p -> q -> r",
+		"A[] p",
+		"E<> !p",
+		"A<>[<=5] p",
+		"A[] (req -> A<>[<=10] ack)",
+		"A[p U q]",
+		"E[p U q && r]",
+		"p --> q",
+		"p -->[<=7] q",
+		"x >= 2.5",
+		"temp < 100 && A[] safe",
+		"true",
+		"false || p",
+	}
+	for _, in := range inputs {
+		f, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		printed := f.String()
+		f2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q (printed %q): %v", in, printed, err)
+			continue
+		}
+		if f2.String() != printed {
+			t.Errorf("round-trip unstable: %q -> %q -> %q", in, printed, f2.String())
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := MustParse("a || b && c")
+	or, ok := f.(Or)
+	if !ok {
+		t.Fatalf("top level should be Or, got %T", f)
+	}
+	if _, ok := or.R.(And); !ok {
+		t.Errorf("&& must bind tighter than ||, got %T", or.R)
+	}
+
+	f = MustParse("a -> b || c")
+	imp, ok := f.(Imply)
+	if !ok {
+		t.Fatalf("top level should be Imply, got %T", f)
+	}
+	if _, ok := imp.R.(Or); !ok {
+		t.Errorf("|| must bind tighter than ->, got %T", imp.R)
+	}
+
+	f = MustParse("p --> q -> r")
+	if _, ok := f.(LeadsTo); !ok {
+		t.Errorf("--> must bind loosest, got %T", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"p &&",
+		"p & q",
+		"p | q",
+		"(p",
+		"A[] ",
+		"A[p q]",
+		"A[p U q",
+		"x = 3",
+		"x >",
+		"A<>[<=] p",
+		"A<>[<=5 p",
+		"p -",
+		"p ) q",
+		"x >= foo",
+	}
+	for _, in := range bad {
+		if f, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded with %v, want error", in, f)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestProps(t *testing.T) {
+	f := MustParse("A[] (req -> A<>[<=10] ack) && temp < 100 || A[busy U done]")
+	got := Props(f)
+	want := []string{"ack", "busy", "done", "req", "temp"}
+	if len(got) != len(want) {
+		t.Fatalf("Props = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Props = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDesugar(t *testing.T) {
+	f := Desugar(MustParse("p --> q"))
+	want := "A[] (!p || A<> q)"
+	if f.String() != want {
+		t.Errorf("Desugar(p --> q) = %q, want %q", f.String(), want)
+	}
+	f = Desugar(MustParse("p -> q"))
+	if f.String() != "!p || q" {
+		t.Errorf("Desugar(p -> q) = %q", f.String())
+	}
+	// Desugar preserves bounds.
+	f = Desugar(LeadsTo{L: Prop{"p"}, R: Prop{"q"}, B: Within(3)})
+	if f.String() != "A[] (!p || A<>[<=3] q)" {
+		t.Errorf("bounded desugar = %q", f.String())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustParse("A[] (p -> q)")
+	b := AG{Imply{Prop{"p"}, Prop{"q"}}}
+	if !Equal(a, b) {
+		t.Error("structurally equal formulas compare unequal")
+	}
+	if Equal(a, MustParse("A[] (p -> r)")) {
+		t.Error("different formulas compare equal")
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Eq: "==", Ne: "!="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("CmpOp(%d) = %q, want %q", int(op), op.String(), want)
+		}
+	}
+	if !strings.Contains(CmpOp(99).String(), "?") {
+		t.Error("unknown op should print '?'")
+	}
+}

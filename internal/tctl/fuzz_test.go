@@ -1,0 +1,36 @@
+package tctl
+
+import "testing"
+
+// FuzzParse checks the parser's total behaviour: it must never panic, and
+// any accepted input must print-and-reparse stably.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p", "!p", "p && q || !r", "A[] p", "E<> p", "A<>[<=5] p",
+		"A[] (req -> A<>[<=10] ack)", "A[p U q]", "p --> q", "p -->[<=7] q",
+		"x >= 2.5", "true && false", "((p))", "A[] E<> p", "p -> q -> r",
+		"", "(", "&&", "A<>[<=", "-->", "x ==", "9p", "_x < 1e3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		formula, err := Parse(input)
+		if err != nil {
+			return
+		}
+		printed := formula.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not reparse: %v", printed, input, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("unstable print: %q -> %q", printed, again.String())
+		}
+		// Simplify must also be total and stable on accepted inputs.
+		s := Simplify(formula)
+		if Simplify(s).String() != s.String() {
+			t.Fatalf("simplify not idempotent on %q", input)
+		}
+	})
+}

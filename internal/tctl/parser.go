@@ -1,0 +1,436 @@
+package tctl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a formula in the UPPAAL-like concrete syntax produced by the
+// package's String methods:
+//
+//	phi ::= phi '-->' phi                     (leads-to, optional [<=N])
+//	      | phi '->' phi | phi '||' phi | phi '&&' phi | '!' phi
+//	      | 'A[]' phi | 'E[]' phi | 'A<>' [bound] phi | 'E<>' [bound] phi
+//	      | 'A[' phi 'U' phi ']' | 'E[' phi 'U' phi ']'
+//	      | ident | ident cmp number | 'true' | 'false' | '(' phi ')'
+//	bound ::= '[<=' integer ']'
+//	cmp  ::= '<' | '<=' | '>' | '>=' | '==' | '!='
+func Parse(input string) (Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseLeadsTo()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("tctl: trailing input at %q", p.peek().text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error, for static formula tables.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokNot     // !
+	tokAnd     // &&
+	tokOr      // ||
+	tokImply   // ->
+	tokLeadsTo // -->
+	tokAG      // A[]
+	tokEG      // E[]
+	tokAF      // A<>
+	tokEF      // E<>
+	tokABr     // A[   (until form)
+	tokEBr     // E[
+	tokRBr     // ]
+	tokU       // U
+	tokBound   // [<=N]
+	tokCmp     // < <= > >= == !=
+	tokTrue
+	tokFalse
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")"})
+			i++
+		case c == ']':
+			toks = append(toks, token{kind: tokRBr, text: "]"})
+			i++
+		case c == '!':
+			if i+1 < len(s) && s[i+1] == '=' {
+				toks = append(toks, token{kind: tokCmp, text: "!="})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokNot, text: "!"})
+				i++
+			}
+		case c == '&':
+			if i+1 < len(s) && s[i+1] == '&' {
+				toks = append(toks, token{kind: tokAnd, text: "&&"})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("tctl: stray '&' at offset %d", i)
+			}
+		case c == '|':
+			if i+1 < len(s) && s[i+1] == '|' {
+				toks = append(toks, token{kind: tokOr, text: "||"})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("tctl: stray '|' at offset %d", i)
+			}
+		case c == '-':
+			switch {
+			case strings.HasPrefix(s[i:], "-->"):
+				toks = append(toks, token{kind: tokLeadsTo, text: "-->"})
+				i += 3
+			case strings.HasPrefix(s[i:], "->"):
+				toks = append(toks, token{kind: tokImply, text: "->"})
+				i += 2
+			default:
+				return nil, fmt.Errorf("tctl: stray '-' at offset %d", i)
+			}
+		case c == 'A' || c == 'E':
+			rest := s[i+1:]
+			switch {
+			case strings.HasPrefix(rest, "[]"):
+				k := tokAG
+				if c == 'E' {
+					k = tokEG
+				}
+				toks = append(toks, token{kind: k, text: string(c) + "[]"})
+				i += 3
+			case strings.HasPrefix(rest, "<>"):
+				k := tokAF
+				if c == 'E' {
+					k = tokEF
+				}
+				toks = append(toks, token{kind: k, text: string(c) + "<>"})
+				i += 3
+			case strings.HasPrefix(rest, "["):
+				k := tokABr
+				if c == 'E' {
+					k = tokEBr
+				}
+				toks = append(toks, token{kind: k, text: string(c) + "["})
+				i += 2
+			default:
+				// plain identifier starting with A/E
+				id, n := lexIdent(s[i:])
+				toks = append(toks, identToken(id))
+				i += n
+			}
+		case c == '[':
+			// bound [<=N]
+			if strings.HasPrefix(s[i:], "[<=") {
+				j := strings.IndexByte(s[i:], ']')
+				if j < 0 {
+					return nil, fmt.Errorf("tctl: unterminated bound at offset %d", i)
+				}
+				numStr := s[i+3 : i+j]
+				n, err := strconv.ParseInt(strings.TrimSpace(numStr), 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("tctl: bad bound %q: %v", numStr, err)
+				}
+				toks = append(toks, token{kind: tokBound, text: s[i : i+j+1], num: float64(n)})
+				i += j + 1
+			} else {
+				return nil, fmt.Errorf("tctl: unexpected '[' at offset %d", i)
+			}
+		case c == '<' || c == '>' || c == '=':
+			op := string(c)
+			if i+1 < len(s) && s[i+1] == '=' {
+				op += "="
+				i++
+			}
+			i++
+			if op == "=" {
+				return nil, fmt.Errorf("tctl: use '==' for equality")
+			}
+			toks = append(toks, token{kind: tokCmp, text: op})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			id, n := lexIdent(s[i:])
+			toks = append(toks, identToken(id))
+			i += n
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.') {
+				j++
+			}
+			// Optional exponent: [eE][+-]?digits.
+			if j < len(s) && (s[j] == 'e' || s[j] == 'E') {
+				k := j + 1
+				if k < len(s) && (s[k] == '+' || s[k] == '-') {
+					k++
+				}
+				if k < len(s) && s[k] >= '0' && s[k] <= '9' {
+					for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
+			v, err := strconv.ParseFloat(s[i:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("tctl: bad number %q", s[i:j])
+			}
+			toks = append(toks, token{kind: tokNumber, text: s[i:j], num: v})
+			i = j
+		default:
+			return nil, fmt.Errorf("tctl: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF})
+	return toks, nil
+}
+
+func lexIdent(s string) (string, int) {
+	j := 0
+	for j < len(s) {
+		c := rune(s[j])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' && c != '.' {
+			break
+		}
+		j++
+	}
+	return s[:j], j
+}
+
+func identToken(id string) token {
+	switch id {
+	case "true":
+		return token{kind: tokTrue, text: id}
+	case "false":
+		return token{kind: tokFalse, text: id}
+	case "U":
+		return token{kind: tokU, text: id}
+	default:
+		return token{kind: tokIdent, text: id}
+	}
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool   { return p.peek().kind == tokEOF }
+
+func (p *parser) expect(k tokKind, what string) error {
+	if p.peek().kind != k {
+		return fmt.Errorf("tctl: expected %s, got %q", what, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) parseLeadsTo() (Formula, error) {
+	l, err := p.parseImply()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokLeadsTo {
+		p.next()
+		b := Unbounded
+		if p.peek().kind == tokBound {
+			b = Within(int64(p.next().num))
+		}
+		r, err := p.parseLeadsTo()
+		if err != nil {
+			return nil, err
+		}
+		return LeadsTo{L: l, R: r, B: b}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseImply() (Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokImply {
+		p.next()
+		r, err := p.parseImply() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Imply{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	switch t := p.peek(); t.kind {
+	case tokNot:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: f}, nil
+	case tokAG, tokEG:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokAG {
+			return AG{F: f}, nil
+		}
+		return EG{F: f}, nil
+	case tokAF, tokEF:
+		p.next()
+		b := Unbounded
+		if p.peek().kind == tokBound {
+			b = Within(int64(p.next().num))
+		}
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokAF {
+			return AF{F: f, B: b}, nil
+		}
+		return EF{F: f, B: b}, nil
+	case tokABr, tokEBr:
+		p.next()
+		l, err := p.parseLeadsTo()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokU, "'U'"); err != nil {
+			return nil, err
+		}
+		r, err := p.parseLeadsTo()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRBr, "']'"); err != nil {
+			return nil, err
+		}
+		if t.kind == tokABr {
+			return AU{L: l, R: r}, nil
+		}
+		return EU{L: l, R: r}, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseAtom() (Formula, error) {
+	switch t := p.next(); t.kind {
+	case tokTrue:
+		return True{}, nil
+	case tokFalse:
+		return False{}, nil
+	case tokIdent:
+		if p.peek().kind == tokCmp {
+			op := p.next().text
+			num := p.peek()
+			if num.kind != tokNumber {
+				return nil, fmt.Errorf("tctl: expected number after %q, got %q", op, num.text)
+			}
+			p.next()
+			return Cmp{Signal: t.text, Op: cmpOpOf(op), Value: num.num}, nil
+		}
+		return Prop{Name: t.text}, nil
+	case tokLParen:
+		f, err := p.parseLeadsTo()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("tctl: unexpected token %q", t.text)
+	}
+}
+
+func cmpOpOf(s string) CmpOp {
+	switch s {
+	case "<":
+		return Lt
+	case "<=":
+		return Le
+	case ">":
+		return Gt
+	case ">=":
+		return Ge
+	case "==":
+		return Eq
+	default:
+		return Ne
+	}
+}

@@ -1,0 +1,71 @@
+package tctl
+
+import (
+	"math/rand"
+	"testing"
+
+	"veridevops/internal/trace"
+)
+
+// Property: Desugar preserves trace semantics for every operator.
+func TestDesugarPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 200; iter++ {
+		f := randomFormula(rng, 3)
+		d := Desugar(f)
+		tr := trace.New()
+		trace.GenRandomToggles(tr, "p", rng.Intn(6), 200, rng)
+		trace.GenRandomToggles(tr, "q", rng.Intn(6), 200, rng)
+		if Holds(tr, f) != Holds(tr, d) {
+			t.Fatalf("desugaring changed the verdict: %q vs %q", f, d)
+		}
+	}
+}
+
+// Property: on any trace, A[] p and !(A<> !p) agree (duality under the
+// linear-trace collapse).
+func TestInvariantEventualityDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 100; iter++ {
+		tr := trace.New()
+		trace.GenRandomToggles(tr, "p", rng.Intn(8), 300, rng)
+		a := Holds(tr, AG{Prop{"p"}})
+		b := !Holds(tr, AF{F: Not{Prop{"p"}}})
+		if a != b {
+			t.Fatalf("duality violated on iteration %d", iter)
+		}
+	}
+}
+
+// Property: widening a response bound can only flip verdicts from false to
+// true (monotonicity in the deadline).
+func TestBoundMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 50; iter++ {
+		tr := trace.New()
+		trace.GenResponsePairs(tr, "req", "ack", 10, 30, 1, 20, rng)
+		prev := false
+		for _, d := range []trace.Time{1, 5, 10, 15, 20, 40} {
+			cur := Holds(tr, LeadsTo{L: Prop{"req"}, R: Prop{"ack"}, B: Within(d)})
+			if prev && !cur {
+				t.Fatalf("verdict regressed when widening the bound to %d", d)
+			}
+			prev = cur
+		}
+	}
+}
+
+// Property: evaluation is stable under re-evaluation (no hidden state in
+// the evaluator).
+func TestEvalStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tr := trace.New()
+	trace.GenRandomToggles(tr, "p", 10, 500, rng)
+	f := MustParse("A[] (p -> A<>[<=50] !p)")
+	first := Holds(tr, f)
+	for i := 0; i < 10; i++ {
+		if Holds(tr, f) != first {
+			t.Fatal("verdict changed across evaluations")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package tctl
+
+// Simplify applies semantics-preserving rewrites to a formula: boolean
+// constant folding, double-negation elimination, idempotent temporal
+// collapses (A[] A[] f == A[] f, A<> A<> f == A<> f for unbounded
+// eventualities) and implication normalisation. PROPAS applies the same
+// normalisations before generating observers so that equivalent
+// requirement phrasings map to identical automata.
+func Simplify(f Formula) Formula {
+	switch n := f.(type) {
+	case Not:
+		inner := Simplify(n.F)
+		switch i := inner.(type) {
+		case True:
+			return False{}
+		case False:
+			return True{}
+		case Not:
+			return i.F
+		}
+		return Not{inner}
+	case And:
+		l, r := Simplify(n.L), Simplify(n.R)
+		if isFalse(l) || isFalse(r) {
+			return False{}
+		}
+		if isTrue(l) {
+			return r
+		}
+		if isTrue(r) {
+			return l
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return And{l, r}
+	case Or:
+		l, r := Simplify(n.L), Simplify(n.R)
+		if isTrue(l) || isTrue(r) {
+			return True{}
+		}
+		if isFalse(l) {
+			return r
+		}
+		if isFalse(r) {
+			return l
+		}
+		if Equal(l, r) {
+			return l
+		}
+		return Or{l, r}
+	case Imply:
+		l, r := Simplify(n.L), Simplify(n.R)
+		if isFalse(l) || isTrue(r) {
+			return True{}
+		}
+		if isTrue(l) {
+			return r
+		}
+		if isFalse(r) {
+			return Simplify(Not{l})
+		}
+		return Imply{l, r}
+	case AG:
+		inner := Simplify(n.F)
+		if isTrue(inner) {
+			return True{}
+		}
+		if isFalse(inner) {
+			return False{}
+		}
+		if g, ok := inner.(AG); ok {
+			return g // A[] A[] f == A[] f
+		}
+		return AG{inner}
+	case EG:
+		inner := Simplify(n.F)
+		if isTrue(inner) {
+			return True{}
+		}
+		if isFalse(inner) {
+			return False{}
+		}
+		return EG{inner}
+	case AF:
+		inner := Simplify(n.F)
+		if isTrue(inner) {
+			return True{}
+		}
+		if isFalse(inner) {
+			return False{}
+		}
+		if af, ok := inner.(AF); ok && !n.B.Valid && !af.B.Valid {
+			return af // A<> A<> f == A<> f (unbounded)
+		}
+		return AF{F: inner, B: n.B}
+	case EF:
+		inner := Simplify(n.F)
+		if isTrue(inner) {
+			return True{}
+		}
+		if isFalse(inner) {
+			return False{}
+		}
+		return EF{F: inner, B: n.B}
+	case AU:
+		l, r := Simplify(n.L), Simplify(n.R)
+		if isTrue(r) {
+			return True{}
+		}
+		if isFalse(r) {
+			return False{} // strong until: r must eventually hold
+		}
+		if isTrue(l) {
+			return Simplify(AF{F: r})
+		}
+		return AU{l, r}
+	case EU:
+		l, r := Simplify(n.L), Simplify(n.R)
+		if isTrue(r) {
+			return True{}
+		}
+		if isFalse(r) {
+			return False{}
+		}
+		if isTrue(l) {
+			return Simplify(EF{F: r})
+		}
+		return EU{l, r}
+	case LeadsTo:
+		l, r := Simplify(n.L), Simplify(n.R)
+		if isFalse(l) || isTrue(r) {
+			return True{} // vacuous trigger / always-satisfied response
+		}
+		return LeadsTo{L: l, R: r, B: n.B}
+	default:
+		return f
+	}
+}
+
+func isTrue(f Formula) bool {
+	_, ok := f.(True)
+	return ok
+}
+
+func isFalse(f Formula) bool {
+	_, ok := f.(False)
+	return ok
+}
+
+// Size returns the node count of a formula, used to assert that
+// simplification never grows a formula.
+func Size(f Formula) int {
+	switch n := f.(type) {
+	case Not:
+		return 1 + Size(n.F)
+	case And:
+		return 1 + Size(n.L) + Size(n.R)
+	case Or:
+		return 1 + Size(n.L) + Size(n.R)
+	case Imply:
+		return 1 + Size(n.L) + Size(n.R)
+	case AG:
+		return 1 + Size(n.F)
+	case EG:
+		return 1 + Size(n.F)
+	case AF:
+		return 1 + Size(n.F)
+	case EF:
+		return 1 + Size(n.F)
+	case AU:
+		return 1 + Size(n.L) + Size(n.R)
+	case EU:
+		return 1 + Size(n.L) + Size(n.R)
+	case LeadsTo:
+		return 1 + Size(n.L) + Size(n.R)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,135 @@
+package tctl
+
+import (
+	"math/rand"
+	"testing"
+
+	"veridevops/internal/trace"
+)
+
+func TestSimplifyRewrites(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"!!p", "p"},
+		{"!true", "false"},
+		{"!false", "true"},
+		{"p && true", "p"},
+		{"true && p", "p"},
+		{"p && false", "false"},
+		{"p || true", "true"},
+		{"p || false", "p"},
+		{"p && p", "p"},
+		{"p || p", "p"},
+		{"false -> p", "true"},
+		{"p -> true", "true"},
+		{"true -> p", "p"},
+		{"p -> false", "!p"},
+		{"A[] true", "true"},
+		{"A[] false", "false"},
+		{"A[] A[] p", "A[] p"},
+		{"A<> A<> p", "A<> p"},
+		{"A<> true", "true"},
+		{"E<> false", "false"},
+		{"A[p U true]", "true"},
+		{"A[p U false]", "false"},
+		{"A[true U q]", "A<> q"},
+		{"E[true U q]", "E<> q"},
+		{"false --> q", "true"},
+		{"p --> true", "true"},
+		{"A[] (p && true)", "A[] p"},
+		{"E[] !!p", "E[] p"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in)).String()
+		if got != c.want {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyPreservesBounds(t *testing.T) {
+	f := Simplify(MustParse("A<>[<=5] A<>[<=5] p"))
+	// Bounded eventualities must NOT collapse (the bounds compose, they
+	// are not idempotent).
+	if f.String() != "A<>[<=5] A<>[<=5] p" {
+		t.Errorf("bounded A<> wrongly collapsed: %q", f.String())
+	}
+	g := Simplify(LeadsTo{L: Prop{"p"}, R: Prop{"q"}, B: Within(7)})
+	if g.String() != "p -->[<=7] q" {
+		t.Errorf("leads-to bound lost: %q", g.String())
+	}
+}
+
+// randomFormula builds a random formula over props p/q with the given
+// depth budget.
+func randomFormula(rng *rand.Rand, depth int) Formula {
+	if depth == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Prop{"p"}
+		case 1:
+			return Prop{"q"}
+		case 2:
+			return True{}
+		default:
+			return False{}
+		}
+	}
+	sub := func() Formula { return randomFormula(rng, depth-1) }
+	switch rng.Intn(8) {
+	case 0:
+		return Not{sub()}
+	case 1:
+		return And{sub(), sub()}
+	case 2:
+		return Or{sub(), sub()}
+	case 3:
+		return Imply{sub(), sub()}
+	case 4:
+		return AG{sub()}
+	case 5:
+		return AF{F: sub()}
+	case 6:
+		return AU{sub(), sub()}
+	default:
+		return EF{F: sub()}
+	}
+}
+
+// Property: simplification preserves the verdict on random traces and
+// never grows the formula.
+func TestSimplifySemanticsPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		f := randomFormula(rng, 3)
+		s := Simplify(f)
+		if Size(s) > Size(f) {
+			t.Fatalf("Simplify grew %q (%d) to %q (%d)", f, Size(f), s, Size(s))
+		}
+		tr := trace.New()
+		trace.GenRandomToggles(tr, "p", rng.Intn(5), 100, rng)
+		trace.GenRandomToggles(tr, "q", rng.Intn(5), 100, rng)
+		if Holds(tr, f) != Holds(tr, s) {
+			t.Fatalf("verdict changed: %q vs %q", f, s)
+		}
+	}
+}
+
+// Property: simplification is idempotent.
+func TestSimplifyIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 200; iter++ {
+		f := Simplify(randomFormula(rng, 3))
+		if again := Simplify(f); !Equal(f, again) {
+			t.Fatalf("not idempotent: %q -> %q", f, again)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	if Size(Prop{"p"}) != 1 {
+		t.Error("atom size 1")
+	}
+	if Size(MustParse("A[] (p -> A<> q)")) != 5 {
+		t.Errorf("Size = %d, want 5", Size(MustParse("A[] (p -> A<> q)")))
+	}
+}

@@ -1,0 +1,59 @@
+package tears
+
+import (
+	"fmt"
+	"strings"
+
+	"veridevops/internal/gwt"
+	"veridevops/internal/resa"
+	"veridevops/internal/trace"
+)
+
+// Bridge from Given-When-Then scenarios to guarded assertions: D2.7 groups
+// GWT and TEARS as sibling semi-structured specification styles, and a
+// scenario's When/Then pair is exactly a guard/assertion pair. The Given
+// steps become additional guard conjuncts (preconditions that must hold
+// when the stimulus fires).
+
+// FromScenario converts one scenario into a G/A. Step phrases are slugged
+// into signal names; the deadline (0 = immediate) applies to the Then
+// assertion.
+func FromScenario(sc gwt.Scenario, within trace.Time) (GA, error) {
+	if err := sc.Validate(); err != nil {
+		return GA{}, err
+	}
+	var guard []string
+	for _, g := range sc.Given {
+		guard = append(guard, resa.Slug(g))
+	}
+	for _, w := range sc.When {
+		guard = append(guard, resa.Slug(w))
+	}
+	var asserts []string
+	for _, th := range sc.Then {
+		asserts = append(asserts, resa.Slug(th))
+	}
+	line := fmt.Sprintf("GA %s: when %s then %s",
+		resa.Slug(sc.Name),
+		strings.Join(guard, " && "),
+		strings.Join(asserts, " && "))
+	if within > 0 {
+		line += fmt.Sprintf(" within %d ms", within)
+	}
+	return ParseGA(line)
+}
+
+// FromScenarios converts a scenario list, collecting per-scenario errors.
+func FromScenarios(scs []gwt.Scenario, within trace.Time) ([]GA, []error) {
+	var gas []GA
+	var errs []error
+	for _, sc := range scs {
+		ga, err := FromScenario(sc, within)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", sc.Name, err))
+			continue
+		}
+		gas = append(gas, ga)
+	}
+	return gas, errs
+}

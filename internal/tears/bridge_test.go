@@ -1,0 +1,74 @@
+package tears
+
+import (
+	"strings"
+	"testing"
+
+	"veridevops/internal/gwt"
+	"veridevops/internal/trace"
+)
+
+func TestFromScenario(t *testing.T) {
+	sc := gwt.Scenario{
+		Name:  "lockout after failed logins",
+		Given: []string{"a registered user"},
+		When:  []string{"the user fails to log in three times"},
+		Then:  []string{"the account is locked"},
+	}
+	ga, err := FromScenario(sc, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.Name != "lockout_after_failed_logins" {
+		t.Errorf("Name = %q", ga.Name)
+	}
+	if ga.Within != 50 {
+		t.Errorf("Within = %d", ga.Within)
+	}
+	if !strings.Contains(ga.Guard.String(), "a_registered_user") ||
+		!strings.Contains(ga.Guard.String(), "the_user_fails_to_log_in_three_times") {
+		t.Errorf("Guard = %q", ga.Guard)
+	}
+	if ga.Assert.String() != "the_account_is_locked" {
+		t.Errorf("Assert = %q", ga.Assert)
+	}
+}
+
+func TestFromScenarioEvaluates(t *testing.T) {
+	sc := gwt.Scenario{
+		Name: "alarm",
+		When: []string{"intrusion detected"},
+		Then: []string{"alarm raised"},
+	}
+	ga, err := FromScenario(sc, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	trace.GenPulse(tr, "intrusion_detected", 100, 5)
+	trace.GenPulse(tr, "alarm_raised", 110, 5)
+	tr.SetEnd(500)
+	if v := Evaluate(tr, ga); !v.Passed() || v.Activations != 1 {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestFromScenarioInvalid(t *testing.T) {
+	if _, err := FromScenario(gwt.Scenario{Name: "x"}, 0); err == nil {
+		t.Error("scenario without When/Then must fail")
+	}
+}
+
+func TestFromScenarios(t *testing.T) {
+	scs := []gwt.Scenario{
+		{Name: "ok", When: []string{"a"}, Then: []string{"b"}},
+		{Name: "broken"},
+	}
+	gas, errs := FromScenarios(scs, 0)
+	if len(gas) != 1 || len(errs) != 1 {
+		t.Errorf("gas=%d errs=%d", len(gas), len(errs))
+	}
+	if !strings.Contains(errs[0].Error(), "broken") {
+		t.Errorf("errs = %v", errs)
+	}
+}

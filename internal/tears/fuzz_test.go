@@ -1,0 +1,33 @@
+package tears
+
+import "testing"
+
+// FuzzParseGA checks that the G/A parser is total and accepted lines
+// round-trip through their canonical rendering.
+func FuzzParseGA(f *testing.F) {
+	seeds := []string{
+		"GA g: when a then b",
+		"GA g: when a && !b then c || d within 100 ms",
+		"GA lockout: when failed_logins >= 3 then locked within 100 ms",
+		"GA x: when t > 1.5 then u == 0",
+		"", "GA", "GA : when a then b", "GA g: when then b",
+		"GA g: when A[] a then b", "ga g: when a then b",
+		"GA g: when a then b within -5 ms",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		ga, err := ParseGA(input)
+		if err != nil {
+			return
+		}
+		again, err := ParseGA(ga.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", ga.String(), input, err)
+		}
+		if again.Within != ga.Within || again.Guard.String() != ga.Guard.String() {
+			t.Fatalf("round trip changed the G/A: %q vs %q", ga.String(), again.String())
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package tears
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"veridevops/internal/trace"
+)
+
+func TestParseGA(t *testing.T) {
+	ga, err := ParseGA("GA lockout: when failed_logins >= 3 then locked within 100 ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.Name != "lockout" || ga.Within != 100 {
+		t.Errorf("parsed %+v", ga)
+	}
+	if ga.Guard.String() != "failed_logins >= 3" || ga.Assert.String() != "locked" {
+		t.Errorf("guard=%q assert=%q", ga.Guard, ga.Assert)
+	}
+}
+
+func TestParseGAImmediate(t *testing.T) {
+	ga, err := ParseGA("GA safe: when door_open then alarm_armed && camera_on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.Within != 0 {
+		t.Errorf("Within = %d, want 0", ga.Within)
+	}
+}
+
+func TestParseGAErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"when x then y",
+		"GA : when x then y",
+		"GA n: when then y",
+		"GA n: when (x then y",
+		"GA n: when x then A[] y",     // temporal operator in predicate
+		"GA n: when A<> x then y",     // temporal operator in guard
+		"GA n: when x then y within ", // broken window
+	}
+	for _, line := range bad {
+		if _, err := ParseGA(line); err == nil {
+			t.Errorf("ParseGA(%q) should fail", line)
+		}
+	}
+}
+
+func TestGAStringRoundTrip(t *testing.T) {
+	for _, line := range []string{
+		"GA a: when x > 2 then y within 50 ms",
+		"GA b: when x && !z then y || w",
+	} {
+		ga, err := ParseGA(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga2, err := ParseGA(ga.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", ga.String(), err)
+		}
+		if ga2.Guard.String() != ga.Guard.String() || ga2.Within != ga.Within {
+			t.Errorf("round trip changed %q -> %q", ga.String(), ga2.String())
+		}
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	text := `
+# alarm requirements
+GA g1: when intrusion then alarm within 10 ms
+
+garbage line
+GA g2: when mode == 2 then !remote_cmds
+`
+	gas, errs := ParseFile(text)
+	if len(gas) != 2 {
+		t.Errorf("parsed %d G/As, want 2", len(gas))
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "line 5") {
+		t.Errorf("errs = %v", errs)
+	}
+}
+
+func TestEvaluateImmediatePass(t *testing.T) {
+	tr := trace.New()
+	tr.SetBool("door_open", 10, true)
+	tr.SetBool("alarm_armed", 0, true)
+	tr.SetEnd(100)
+	ga, _ := ParseGA("GA g: when door_open then alarm_armed")
+	v := Evaluate(tr, ga)
+	if !v.Passed() || v.Vacuous() {
+		t.Errorf("verdict = %+v", v)
+	}
+	if v.Activations == 0 {
+		t.Error("guard held; activations expected")
+	}
+}
+
+func TestEvaluateImmediateFailure(t *testing.T) {
+	tr := trace.New()
+	tr.SetBool("door_open", 10, true)
+	tr.SetBool("alarm_armed", 0, true)
+	tr.SetBool("alarm_armed", 50, false) // violation window [50, ...]
+	tr.SetEnd(100)
+	ga, _ := ParseGA("GA g: when door_open then alarm_armed")
+	v := Evaluate(tr, ga)
+	if v.Passed() {
+		t.Fatal("expected failure")
+	}
+	if v.Violations[0].At != 50 {
+		t.Errorf("first violation at %d, want 50", v.Violations[0].At)
+	}
+}
+
+func TestEvaluateWindowed(t *testing.T) {
+	tr := trace.New()
+	trace.GenPulse(tr, "intrusion", 100, 5)
+	trace.GenPulse(tr, "alarm", 140, 5)
+	tr.SetEnd(1000)
+
+	pass, _ := ParseGA("GA g: when intrusion then alarm within 40 ms")
+	if v := Evaluate(tr, pass); !v.Passed() || v.Activations != 1 {
+		t.Errorf("within 40: %+v", v)
+	}
+	fail, _ := ParseGA("GA g: when intrusion then alarm within 39 ms")
+	if v := Evaluate(tr, fail); v.Passed() {
+		t.Error("within 39 must fail (alarm at +40)")
+	}
+}
+
+func TestEvaluateWindowedRisingEdgesOnly(t *testing.T) {
+	// Guard holds for a long interval: one activation, not one per change
+	// point.
+	tr := trace.New()
+	tr.SetBool("g", 10, true)
+	tr.SetBool("other", 20, true) // extra change points inside the interval
+	tr.SetBool("other", 30, false)
+	tr.SetBool("g", 90, false)
+	tr.SetBool("a", 15, true)
+	tr.SetEnd(200)
+	ga, _ := ParseGA("GA g: when g then a within 10 ms")
+	v := Evaluate(tr, ga)
+	if v.Activations != 1 {
+		t.Errorf("Activations = %d, want 1 (rising edge)", v.Activations)
+	}
+	if !v.Passed() {
+		t.Error("a holds at +5; should pass")
+	}
+}
+
+func TestEvaluateVacuous(t *testing.T) {
+	tr := trace.New()
+	tr.SetEnd(100)
+	ga, _ := ParseGA("GA g: when never_true then whatever")
+	v := Evaluate(tr, ga)
+	if !v.Passed() || !v.Vacuous() {
+		t.Errorf("verdict = %+v, want vacuous pass", v)
+	}
+}
+
+func TestEvaluateNumericPredicates(t *testing.T) {
+	tr := trace.New()
+	tr.SetNum("failed_logins", 0, 0)
+	tr.SetNum("failed_logins", 40, 3)
+	tr.SetBool("locked", 60, true)
+	tr.SetEnd(200)
+	ga, _ := ParseGA("GA g: when failed_logins >= 3 then locked within 25 ms")
+	v := Evaluate(tr, ga)
+	if !v.Passed() {
+		t.Errorf("locked at +20 <= 25: %+v", v)
+	}
+	tight, _ := ParseGA("GA g: when failed_logins >= 3 then locked within 19 ms")
+	if Evaluate(tr, tight).Passed() {
+		t.Error("locked at +20 > 19: must fail")
+	}
+}
+
+func TestEvaluateAllAndOverview(t *testing.T) {
+	tr := trace.New()
+	trace.GenPulse(tr, "intrusion", 100, 5)
+	trace.GenPulse(tr, "alarm", 120, 5)
+	tr.SetEnd(500)
+	gas, errs := ParseFile(`
+GA fast: when intrusion then alarm within 30 ms
+GA slow: when intrusion then alarm within 5 ms
+GA idle: when ghost_signal then alarm
+`)
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	verdicts := EvaluateAll(tr, gas)
+	if len(verdicts) != 3 {
+		t.Fatal("want 3 verdicts")
+	}
+	if !verdicts[0].Passed() || verdicts[1].Passed() || !verdicts[2].Vacuous() {
+		t.Errorf("verdicts = %+v", verdicts)
+	}
+	ov := Overview(verdicts)
+	for _, want := range []string{"fast", "PASS", "slow", "FAIL", "vacuous", "summary: 2 pass (1 vacuous), 1 fail"} {
+		if !strings.Contains(ov, want) {
+			t.Errorf("overview missing %q:\n%s", want, ov)
+		}
+	}
+}
+
+func TestEvaluateScalesLinearly(t *testing.T) {
+	// Sanity check on a large random log: evaluation completes and counts
+	// every activation.
+	tr := trace.New()
+	rng := rand.New(rand.NewSource(1))
+	n := trace.GenResponsePairs(tr, "req", "ack", 500, 20, 1, 9, rng)
+	_ = n
+	ga, _ := ParseGA("GA g: when req then ack within 10 ms")
+	v := Evaluate(tr, ga)
+	if v.Activations != 500 {
+		t.Errorf("Activations = %d, want 500", v.Activations)
+	}
+	if !v.Passed() {
+		t.Errorf("all responses within 9 <= 10 ms; %d violations", len(v.Violations))
+	}
+}

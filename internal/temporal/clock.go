@@ -1,0 +1,82 @@
+// Package temporal implements the rqcode.patterns.temporal catalogue of
+// VeriDevOps D2.7: temporal security-requirement patterns realised as
+// polling monitors (MonitoringLoop and its specialisations
+// GlobalUniversality, Eventually, GlobalResponseTimed, GlobalResponseUntil,
+// GlobalUniversalityTimed and AfterUntilUniversality).
+//
+// Each pattern is a core.Checkable whose Check() drives a monitoring loop
+// against a Clock, and additionally reports the TCTL formula it verifies,
+// exactly as the Java reference classes expose a TCTL() operation. Monitors
+// are clock-agnostic: production code uses the wall clock, tests and the
+// benchmark harness a simulated clock in virtual time.
+package temporal
+
+import (
+	"sync"
+	"time"
+
+	"veridevops/internal/trace"
+)
+
+// Clock supplies time to monitoring loops. One tick is one millisecond when
+// backed by the wall clock.
+type Clock interface {
+	// Now returns the current time in ticks.
+	Now() trace.Time
+	// Sleep advances time by d ticks.
+	Sleep(d trace.Time)
+}
+
+// WallClock is a Clock backed by the real time.Now, with millisecond ticks.
+type WallClock struct{ start time.Time }
+
+// NewWallClock returns a wall clock whose tick 0 is now.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns elapsed wall milliseconds since the clock was created.
+func (c *WallClock) Now() trace.Time { return time.Since(c.start).Milliseconds() }
+
+// Sleep blocks for d milliseconds.
+func (c *WallClock) Sleep(d trace.Time) { time.Sleep(time.Duration(d) * time.Millisecond) }
+
+// SimClock is a deterministic virtual clock: Sleep advances Now without
+// blocking. It is safe for concurrent use and supports wake callbacks so
+// trace-driven probes can be fed as time advances.
+type SimClock struct {
+	mu  sync.Mutex
+	now trace.Time
+	// onAdvance, if set, runs after every advancement with the new time.
+	onAdvance func(trace.Time)
+}
+
+// NewSimClock returns a virtual clock at tick 0.
+func NewSimClock() *SimClock { return &SimClock{} }
+
+// Now returns the current virtual time.
+func (c *SimClock) Now() trace.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances virtual time by d ticks immediately.
+func (c *SimClock) Sleep(d trace.Time) {
+	c.mu.Lock()
+	c.now += d
+	now := c.now
+	cb := c.onAdvance
+	c.mu.Unlock()
+	if cb != nil {
+		cb(now)
+	}
+}
+
+// Advance is an explicit alias of Sleep for driver code readability.
+func (c *SimClock) Advance(d trace.Time) { c.Sleep(d) }
+
+// OnAdvance registers a callback invoked after every time advancement.
+func (c *SimClock) OnAdvance(f func(trace.Time)) {
+	c.mu.Lock()
+	c.onAdvance = f
+	c.mu.Unlock()
+}

@@ -1,0 +1,99 @@
+package temporal
+
+import (
+	"veridevops/internal/core"
+	"veridevops/internal/trace"
+)
+
+// MonitoringLoop is the polling engine shared by all temporal patterns,
+// mirroring the rqcode.patterns.temporal.MonitoringLoop reference class: a
+// service that periodically evaluates hook predicates until an exit
+// condition or an iteration boundary is reached.
+//
+// The hooks correspond one-to-one to the reference operations:
+//
+//	precondition  — must hold when the loop starts, otherwise INCOMPLETE
+//	invariant     — must hold at every polling instant, otherwise FAIL
+//	exitCondition — stops the loop early (goal observed / scope closed)
+//	postcondition — decides the verdict when the loop stops
+//	variant       — the decreasing iteration counter (Boundary down to 0)
+//	sleepMilliseconds — the polling period
+type MonitoringLoop struct {
+	// Boundary is the maximum number of polling iterations (the initial
+	// value of the loop variant).
+	Boundary int
+	// Period is the polling period in clock ticks (sleepMilliseconds in
+	// the reference class).
+	Period trace.Time
+	// Clock supplies time; nil defaults to a wall clock.
+	Clock Clock
+
+	// Weak selects weak finite-window semantics: an exhausted boundary
+	// with an unsatisfied postcondition yields INCOMPLETE ("not yet
+	// observed") instead of FAIL. The VeriDevOps monitors use the strong
+	// reading by default, matching tctl's finite-trace semantics.
+	Weak bool
+
+	// Hooks. Nil hooks default to: precondition true, invariant true,
+	// exitCondition false, postcondition true.
+	Pre, Inv, Exit, Post func() bool
+}
+
+func (m *MonitoringLoop) clock() Clock {
+	if m.Clock == nil {
+		m.Clock = NewWallClock()
+	}
+	return m.Clock
+}
+
+func (m *MonitoringLoop) pre() bool {
+	return m.Pre == nil || m.Pre()
+}
+
+func (m *MonitoringLoop) inv() bool {
+	return m.Inv == nil || m.Inv()
+}
+
+func (m *MonitoringLoop) exit() bool {
+	return m.Exit != nil && m.Exit()
+}
+
+func (m *MonitoringLoop) post() bool {
+	return m.Post == nil || m.Post()
+}
+
+// Variant returns the value of the loop variant after i iterations: the
+// reference class exposes it to make termination evident.
+func (m *MonitoringLoop) Variant(i int) int { return m.Boundary - i }
+
+// Check runs the monitoring loop to a verdict. The loop polls at every
+// Period ticks, at most Boundary times:
+//
+//	FAIL        — the invariant was violated at some polling instant
+//	PASS        — the loop ended (exit or boundary) with the postcondition
+//	INCOMPLETE  — the precondition did not hold, or (weak mode) the
+//	              boundary was exhausted without the postcondition
+func (m *MonitoringLoop) Check() core.CheckStatus {
+	clk := m.clock()
+	if !m.pre() {
+		return core.CheckIncomplete
+	}
+	for i := 0; i < m.Boundary; i++ {
+		if m.exit() {
+			break
+		}
+		if !m.inv() {
+			return core.CheckFail
+		}
+		clk.Sleep(m.Period)
+	}
+	if m.post() {
+		return core.CheckPass
+	}
+	if m.Weak {
+		return core.CheckIncomplete
+	}
+	return core.CheckFail
+}
+
+var _ core.Checkable = (*MonitoringLoop)(nil)

@@ -1,0 +1,36 @@
+package temporal
+
+import (
+	"veridevops/internal/core"
+	"veridevops/internal/trace"
+)
+
+// Probe is a named checkable condition: the P/Q/R/S parameters of the
+// temporal patterns. The name appears in the TCTL rendering of the pattern;
+// the Checkable supplies the live truth value.
+type Probe struct {
+	Name string
+	C    core.Checkable
+}
+
+// NewProbe pairs a name with a checkable condition.
+func NewProbe(name string, c core.Checkable) Probe { return Probe{Name: name, C: c} }
+
+// BoolProbe makes a probe from a boolean thunk.
+func BoolProbe(name string, f func() bool) Probe {
+	return Probe{Name: name, C: core.Predicate(f)}
+}
+
+// TraceProbe makes a probe that reads the named boolean signal of a trace
+// at the clock's current time. Combined with a SimClock it replays recorded
+// executions through the live monitors in virtual time.
+func TraceProbe(tr *trace.Trace, signal string, clk Clock) Probe {
+	return Probe{
+		Name: signal,
+		C:    core.Predicate(func() bool { return tr.BoolAt(signal, clk.Now()) }),
+	}
+}
+
+// holds reduces a probe check to a boolean: INCOMPLETE counts as not
+// holding (the conservative reading used throughout the monitors).
+func (p Probe) holds() bool { return p.C.Check() == core.CheckPass }

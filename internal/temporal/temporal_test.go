@@ -1,0 +1,334 @@
+package temporal
+
+import (
+	"strings"
+	"testing"
+
+	"veridevops/internal/core"
+	"veridevops/internal/tctl"
+	"veridevops/internal/trace"
+)
+
+// simOpts returns deterministic virtual-time options.
+func simOpts(period trace.Time, boundary int) (Options, *SimClock) {
+	clk := NewSimClock()
+	return Options{Clock: clk, Period: period, Boundary: boundary}, clk
+}
+
+func TestSimClock(t *testing.T) {
+	clk := NewSimClock()
+	if clk.Now() != 0 {
+		t.Fatal("fresh clock must be at 0")
+	}
+	var seen trace.Time
+	clk.OnAdvance(func(now trace.Time) { seen = now })
+	clk.Sleep(25)
+	clk.Advance(5)
+	if clk.Now() != 30 || seen != 30 {
+		t.Errorf("Now=%d seen=%d, want 30", clk.Now(), seen)
+	}
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	clk := NewWallClock()
+	a := clk.Now()
+	clk.Sleep(1)
+	if b := clk.Now(); b < a {
+		t.Errorf("wall clock went backwards: %d -> %d", a, b)
+	}
+}
+
+func TestGlobalUniversalityHolds(t *testing.T) {
+	opt, _ := simOpts(10, 20)
+	g := NewGlobalUniversality(BoolProbe("p", func() bool { return true }), opt)
+	if got := g.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS", got)
+	}
+}
+
+func TestGlobalUniversalityDetectsViolation(t *testing.T) {
+	opt, clk := simOpts(10, 20)
+	// p drops at t=55.
+	g := NewGlobalUniversality(BoolProbe("p", func() bool { return clk.Now() < 55 }), opt)
+	if got := g.Check(); got != core.CheckFail {
+		t.Errorf("Check = %v, want FAIL", got)
+	}
+	// Detection happens at the first poll after the drop: t=60.
+	if clk.Now() != 60 {
+		t.Errorf("violation detected at %d, want 60 (first poll after drop)", clk.Now())
+	}
+}
+
+func TestGlobalUniversalityTCTL(t *testing.T) {
+	opt, _ := simOpts(10, 10)
+	g := NewGlobalUniversality(BoolProbe("p", func() bool { return true }), opt)
+	if g.TCTL() != "A[] p" {
+		t.Errorf("TCTL = %q", g.TCTL())
+	}
+	if _, err := tctl.Parse(g.TCTL()); err != nil {
+		t.Errorf("TCTL output must parse: %v", err)
+	}
+	if !strings.Contains(g.String(), "always the case that p holds") {
+		t.Errorf("String = %q", g.String())
+	}
+}
+
+func TestEventuallyObserved(t *testing.T) {
+	opt, clk := simOpts(10, 50)
+	e := NewEventually(BoolProbe("p", func() bool { return clk.Now() >= 120 }), opt)
+	if got := e.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS", got)
+	}
+	if clk.Now() != 120 {
+		t.Errorf("exit at %d, want 120", clk.Now())
+	}
+}
+
+func TestEventuallyStrongFailure(t *testing.T) {
+	opt, _ := simOpts(10, 10)
+	e := NewEventually(BoolProbe("p", func() bool { return false }), opt)
+	if got := e.Check(); got != core.CheckFail {
+		t.Errorf("Check = %v, want FAIL (strong semantics)", got)
+	}
+}
+
+func TestEventuallyWeakIncomplete(t *testing.T) {
+	opt, _ := simOpts(10, 10)
+	opt.Weak = true
+	e := NewEventually(BoolProbe("p", func() bool { return false }), opt)
+	if got := e.Check(); got != core.CheckIncomplete {
+		t.Errorf("Check = %v, want INCOMPLETE (weak semantics)", got)
+	}
+	if _, err := tctl.Parse(e.TCTL()); err != nil {
+		t.Errorf("TCTL output must parse: %v", err)
+	}
+}
+
+func TestGlobalResponseTimedServedInTime(t *testing.T) {
+	opt, clk := simOpts(10, 100)
+	trigger := BoolProbe("req", func() bool { return clk.Now() == 100 })
+	response := BoolProbe("ack", func() bool { return clk.Now() >= 140 })
+	g := NewGlobalResponseTimed(trigger, response, 50, opt)
+	if got := g.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS (ack 40 ticks after req, deadline 50)", got)
+	}
+	if g.Violations != 0 {
+		t.Errorf("Violations = %d, want 0", g.Violations)
+	}
+}
+
+func TestGlobalResponseTimedDeadlineMiss(t *testing.T) {
+	opt, clk := simOpts(10, 100)
+	trigger := BoolProbe("req", func() bool { return clk.Now() == 100 })
+	response := BoolProbe("ack", func() bool { return false })
+	g := NewGlobalResponseTimed(trigger, response, 50, opt)
+	if got := g.Check(); got != core.CheckFail {
+		t.Errorf("Check = %v, want FAIL", got)
+	}
+	if g.Violations == 0 {
+		t.Error("a violation must be recorded")
+	}
+	// First miss is detected at the first poll after deadline 150, i.e. 160.
+	if g.FirstViolationAt != 160 {
+		t.Errorf("FirstViolationAt = %d, want 160", g.FirstViolationAt)
+	}
+	if _, err := tctl.Parse(g.TCTL()); err != nil {
+		t.Errorf("TCTL output must parse: %v", err)
+	}
+}
+
+func TestGlobalResponseTimedSimultaneousAck(t *testing.T) {
+	opt, clk := simOpts(10, 20)
+	both := BoolProbe("x", func() bool { return clk.Now() == 50 })
+	g := NewGlobalResponseTimed(both, both, 5, opt)
+	if got := g.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS (response simultaneous with trigger)", got)
+	}
+}
+
+func TestGlobalResponseUntilServed(t *testing.T) {
+	opt, clk := simOpts(10, 50)
+	p := BoolProbe("p", func() bool { return clk.Now() == 50 })
+	q := BoolProbe("q", func() bool { return clk.Now() >= 200 })
+	r := BoolProbe("r", func() bool { return false })
+	g := NewGlobalResponseUntil(p, q, r, opt)
+	if got := g.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS", got)
+	}
+}
+
+func TestGlobalResponseUntilDischargedByR(t *testing.T) {
+	opt, clk := simOpts(10, 50)
+	p := BoolProbe("p", func() bool { return clk.Now() == 50 })
+	q := BoolProbe("q", func() bool { return false })
+	r := BoolProbe("r", func() bool { return clk.Now() >= 200 })
+	g := NewGlobalResponseUntil(p, q, r, opt)
+	if got := g.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS (discharged by r)", got)
+	}
+}
+
+func TestGlobalResponseUntilUnserved(t *testing.T) {
+	opt, clk := simOpts(10, 50)
+	p := BoolProbe("p", func() bool { return clk.Now() == 50 })
+	never := BoolProbe("n", func() bool { return false })
+	g := NewGlobalResponseUntil(p, never, never, opt)
+	if got := g.Check(); got != core.CheckFail {
+		t.Errorf("Check = %v, want FAIL", got)
+	}
+	if _, err := tctl.Parse(g.TCTL()); err != nil {
+		t.Errorf("TCTL output must parse: %v", err)
+	}
+}
+
+func TestGlobalUniversalityTimedWindow(t *testing.T) {
+	opt, clk := simOpts(10, 0) // boundary derived from window
+	g := NewGlobalUniversalityTimed(BoolProbe("p", func() bool { return clk.Now() <= 500 }), 200, opt)
+	if g.Boundary != 20 {
+		t.Errorf("Boundary = %d, want 20 (200 ticks / period 10)", g.Boundary)
+	}
+	if got := g.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS (p holds past the window)", got)
+	}
+	if _, err := tctl.Parse(g.TCTL()); err != nil {
+		t.Errorf("TCTL output must parse: %v", err)
+	}
+}
+
+func TestGlobalUniversalityTimedViolation(t *testing.T) {
+	opt, clk := simOpts(10, 0)
+	g := NewGlobalUniversalityTimed(BoolProbe("p", func() bool { return clk.Now() < 100 }), 200, opt)
+	if got := g.Check(); got != core.CheckFail {
+		t.Errorf("Check = %v, want FAIL (p drops inside the window)", got)
+	}
+}
+
+func TestGlobalUniversalityTimedBoundaryRounding(t *testing.T) {
+	opt, _ := simOpts(30, 0)
+	g := NewGlobalUniversalityTimed(BoolProbe("p", func() bool { return true }), 100, opt)
+	if g.Boundary != 4 { // ceil(100/30)
+		t.Errorf("Boundary = %d, want 4", g.Boundary)
+	}
+	g2 := NewGlobalUniversalityTimed(BoolProbe("p", func() bool { return true }), 0, opt)
+	if g2.Boundary != 1 {
+		t.Errorf("Boundary = %d, want 1 for zero window", g2.Boundary)
+	}
+}
+
+func TestAfterUntilUniversality(t *testing.T) {
+	opt, clk := simOpts(10, 100)
+	q := BoolProbe("q", func() bool { return clk.Now() == 100 })
+	p := BoolProbe("p", func() bool { return clk.Now() >= 100 && clk.Now() <= 500 })
+	r := BoolProbe("r", func() bool { return clk.Now() >= 400 })
+	a := NewAfterUntilUniversality(q, p, r, opt)
+	if got := a.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS", got)
+	}
+	if a.Activations != 1 {
+		t.Errorf("Activations = %d, want 1", a.Activations)
+	}
+	if _, err := tctl.Parse(a.TCTL()); err != nil {
+		t.Errorf("TCTL output must parse: %v", err)
+	}
+}
+
+func TestAfterUntilUniversalityViolation(t *testing.T) {
+	opt, clk := simOpts(10, 100)
+	q := BoolProbe("q", func() bool { return clk.Now() == 100 })
+	p := BoolProbe("p", func() bool { return clk.Now() < 300 }) // drops while armed
+	r := BoolProbe("r", func() bool { return false })
+	a := NewAfterUntilUniversality(q, p, r, opt)
+	if got := a.Check(); got != core.CheckFail {
+		t.Errorf("Check = %v, want FAIL", got)
+	}
+}
+
+func TestAfterUntilUniversalityNeverArmed(t *testing.T) {
+	opt, _ := simOpts(10, 20)
+	never := BoolProbe("q", func() bool { return false })
+	pFalse := BoolProbe("p", func() bool { return false })
+	a := NewAfterUntilUniversality(never, pFalse, never, opt)
+	if got := a.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS (vacuous: scope never opens)", got)
+	}
+	if a.Activations != 0 {
+		t.Errorf("Activations = %d, want 0", a.Activations)
+	}
+}
+
+func TestAfterUntilUniversalityRearms(t *testing.T) {
+	opt, clk := simOpts(10, 100)
+	q := BoolProbe("q", func() bool { n := clk.Now(); return n == 100 || n == 500 })
+	p := BoolProbe("p", func() bool { n := clk.Now(); return (n >= 100 && n < 300) || n >= 500 })
+	r := BoolProbe("r", func() bool { n := clk.Now(); return n >= 300 && n < 500 })
+	a := NewAfterUntilUniversality(q, p, r, opt)
+	if got := a.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS", got)
+	}
+	if a.Activations != 2 {
+		t.Errorf("Activations = %d, want 2 (re-armed after discharge)", a.Activations)
+	}
+}
+
+func TestMonitoringLoopPrecondition(t *testing.T) {
+	m := &MonitoringLoop{Boundary: 5, Period: 1, Clock: NewSimClock(),
+		Pre: func() bool { return false }}
+	if got := m.Check(); got != core.CheckIncomplete {
+		t.Errorf("Check = %v, want INCOMPLETE when precondition fails", got)
+	}
+}
+
+func TestMonitoringLoopVariant(t *testing.T) {
+	m := &MonitoringLoop{Boundary: 10}
+	if m.Variant(0) != 10 || m.Variant(10) != 0 {
+		t.Error("variant must decrease from Boundary to 0")
+	}
+}
+
+func TestMonitoringLoopDefaultsPass(t *testing.T) {
+	m := &MonitoringLoop{Boundary: 3, Period: 1, Clock: NewSimClock()}
+	if got := m.Check(); got != core.CheckPass {
+		t.Errorf("Check = %v, want PASS with default hooks", got)
+	}
+}
+
+func TestTraceProbeReplay(t *testing.T) {
+	tr := trace.New()
+	tr.SetBool("p", 0, true)
+	tr.SetBool("p", 55, false)
+	tr.SetEnd(200)
+
+	clk := NewSimClock()
+	opt := Options{Clock: clk, Period: 10, Boundary: 20}
+	g := NewGlobalUniversality(TraceProbe(tr, "p", clk), opt)
+	if got := g.Check(); got != core.CheckFail {
+		t.Errorf("Check = %v, want FAIL (trace violates at 55)", got)
+	}
+	if clk.Now() != 60 {
+		t.Errorf("detected at %d, want 60", clk.Now())
+	}
+
+	// Offline evaluation agrees with the live monitor.
+	if tctl.Holds(tr, tctl.GlobalUniversality("p")) {
+		t.Error("offline evaluation must agree: A[] p fails on this trace")
+	}
+}
+
+func TestLiveAndOfflineAgreeOnResponse(t *testing.T) {
+	tr := trace.New()
+	trace.GenPulse(tr, "req", 100, 10)
+	trace.GenPulse(tr, "ack", 130, 10)
+	tr.SetEnd(1000)
+
+	clk := NewSimClock()
+	opt := Options{Clock: clk, Period: 5, Boundary: 200}
+	g := NewGlobalResponseTimed(TraceProbe(tr, "req", clk), TraceProbe(tr, "ack", clk), 50, opt)
+	live := g.Check() == core.CheckPass
+	offline := tctl.Holds(tr, tctl.GlobalResponseTimed("req", "ack", 50))
+	if live != offline {
+		t.Errorf("live=%v offline=%v must agree", live, offline)
+	}
+	if !live {
+		t.Error("ack within 30 <= 50 ticks must pass")
+	}
+}

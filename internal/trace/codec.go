@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV encodes the trace as CSV rows "signal,time,value" ordered by
+// signal name then timestamp. Boolean signals serialize their numeric
+// projection (0/1), so the encoding round-trips through ReadCSV.
+func WriteCSV(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"signal", "time", "value"}); err != nil {
+		return err
+	}
+	for _, name := range tr.Names() {
+		for _, smp := range tr.Signal(name).Samples() {
+			rec := []string{
+				name,
+				strconv.FormatInt(smp.At, 10),
+				strconv.FormatFloat(smp.Num, 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV decodes a trace written by WriteCSV (or any CSV in the same
+// "signal,time,value" layout; a header row is optional).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	tr := New()
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv read: %w", err)
+		}
+		line++
+		if line == 1 && rec[0] == "signal" {
+			continue // header
+		}
+		t, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q: %w", line, rec[1], err)
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad value %q: %w", line, rec[2], err)
+		}
+		tr.SetNum(rec[0], t, v)
+	}
+}

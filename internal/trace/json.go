@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON codec for traces, the interchange format used when logs are
+// produced by external tooling rather than the CSV exports.
+
+type jsonSample struct {
+	At  Time    `json:"t"`
+	Num float64 `json:"v"`
+}
+
+type jsonTrace struct {
+	End     Time                    `json:"end"`
+	Signals map[string][]jsonSample `json:"signals"`
+}
+
+// WriteJSON encodes the trace.
+func WriteJSON(w io.Writer, tr *Trace) error {
+	doc := jsonTrace{End: tr.End(), Signals: map[string][]jsonSample{}}
+	for _, name := range tr.Names() {
+		s := tr.Signal(name)
+		samples := make([]jsonSample, 0, s.Len())
+		for _, smp := range s.Samples() {
+			samples = append(samples, jsonSample{At: smp.At, Num: smp.Num})
+		}
+		doc.Signals[name] = samples
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON decodes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var doc jsonTrace
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: json: %w", err)
+	}
+	tr := New()
+	for name, samples := range doc.Signals {
+		for _, smp := range samples {
+			tr.SetNum(name, smp.At, smp.Num)
+		}
+	}
+	tr.SetEnd(doc.End)
+	return tr, nil
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := New()
+	tr.SetBool("p", 10, true)
+	tr.SetBool("p", 20, false)
+	tr.SetNum("x", 5, 3.25)
+	tr.SetEnd(100)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.End() != 100 {
+		t.Errorf("End = %d", got.End())
+	}
+	if !got.BoolAt("p", 15) || got.BoolAt("p", 25) {
+		t.Error("boolean signal did not round-trip")
+	}
+	if got.NumAt("x", 6) != 3.25 {
+		t.Errorf("x = %v", got.NumAt("x", 6))
+	}
+}
+
+func TestJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := New()
+	GenRandomToggles(tr, "a", 15, 1000, rng)
+	GenNumericWalk(tr, "w", 0, 50, 7, rng)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cp := range tr.ChangePoints() {
+		if tr.BoolAt("a", cp) != got.BoolAt("a", cp) {
+			t.Fatalf("a differs at %d", cp)
+		}
+		if tr.NumAt("w", cp) != got.NumAt("w", cp) {
+			t.Fatalf("w differs at %d", cp)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("malformed json must error")
+	}
+}

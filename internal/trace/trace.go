@@ -1,0 +1,212 @@
+// Package trace provides timed execution traces: named boolean/numeric
+// signals sampled over a discrete time axis. Traces are the common substrate
+// consumed by the offline temporal-pattern evaluators (internal/temporal),
+// the TEARS guarded-assertion engine (internal/tears) and the runtime
+// monitors (internal/monitor).
+//
+// Time is modelled as int64 ticks. A signal is a right-continuous step
+// function: its value at time t is the value set by the latest sample with
+// timestamp <= t.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is a timestamp in ticks. The tick unit is workload-defined
+// (milliseconds in the monitoring experiments).
+type Time = int64
+
+// Sample is one observation of a signal.
+type Sample struct {
+	At   Time
+	Num  float64
+	Bool bool
+}
+
+// Signal is a named step function over time. Samples are kept sorted by
+// timestamp; setting a value at an existing timestamp overwrites it.
+type Signal struct {
+	name    string
+	samples []Sample
+}
+
+// NewSignal returns an empty signal with the given name.
+func NewSignal(name string) *Signal {
+	return &Signal{name: name}
+}
+
+// Name returns the signal name.
+func (s *Signal) Name() string { return s.name }
+
+// Len returns the number of samples.
+func (s *Signal) Len() int { return len(s.samples) }
+
+// Samples returns the underlying samples in timestamp order. The returned
+// slice must not be modified.
+func (s *Signal) Samples() []Sample { return s.samples }
+
+// SetBool records a boolean observation at time t.
+func (s *Signal) SetBool(t Time, v bool) {
+	n := 0.0
+	if v {
+		n = 1.0
+	}
+	s.set(Sample{At: t, Bool: v, Num: n})
+}
+
+// SetNum records a numeric observation at time t. Its boolean projection is
+// true iff the value is non-zero.
+func (s *Signal) SetNum(t Time, v float64) {
+	s.set(Sample{At: t, Num: v, Bool: v != 0})
+}
+
+func (s *Signal) set(smp Sample) {
+	i := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At >= smp.At })
+	if i < len(s.samples) && s.samples[i].At == smp.At {
+		s.samples[i] = smp
+		return
+	}
+	s.samples = append(s.samples, Sample{})
+	copy(s.samples[i+1:], s.samples[i:])
+	s.samples[i] = smp
+}
+
+// at returns the latest sample with timestamp <= t, and false when the
+// signal has no sample yet at or before t.
+func (s *Signal) at(t Time) (Sample, bool) {
+	i := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At > t })
+	if i == 0 {
+		return Sample{}, false
+	}
+	return s.samples[i-1], true
+}
+
+// BoolAt returns the boolean value of the signal at time t. A signal with
+// no observation yet is false.
+func (s *Signal) BoolAt(t Time) bool {
+	smp, ok := s.at(t)
+	return ok && smp.Bool
+}
+
+// NumAt returns the numeric value of the signal at time t, zero before the
+// first observation.
+func (s *Signal) NumAt(t Time) float64 {
+	smp, ok := s.at(t)
+	if !ok {
+		return 0
+	}
+	return smp.Num
+}
+
+// Trace is a set of named signals observed over a common time axis.
+type Trace struct {
+	signals map[string]*Signal
+	end     Time
+}
+
+// New returns an empty trace.
+func New() *Trace {
+	return &Trace{signals: make(map[string]*Signal)}
+}
+
+// Signal returns the named signal, creating it if absent.
+func (tr *Trace) Signal(name string) *Signal {
+	s, ok := tr.signals[name]
+	if !ok {
+		s = NewSignal(name)
+		tr.signals[name] = s
+	}
+	return s
+}
+
+// Has reports whether the trace contains a signal with the given name.
+func (tr *Trace) Has(name string) bool {
+	_, ok := tr.signals[name]
+	return ok
+}
+
+// Names returns the sorted signal names.
+func (tr *Trace) Names() []string {
+	out := make([]string, 0, len(tr.signals))
+	for n := range tr.signals {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetBool records a boolean observation on the named signal and extends the
+// trace end time if needed.
+func (tr *Trace) SetBool(name string, t Time, v bool) {
+	tr.Signal(name).SetBool(t, v)
+	if t > tr.end {
+		tr.end = t
+	}
+}
+
+// SetNum records a numeric observation on the named signal and extends the
+// trace end time if needed.
+func (tr *Trace) SetNum(name string, t Time, v float64) {
+	tr.Signal(name).SetNum(t, v)
+	if t > tr.end {
+		tr.end = t
+	}
+}
+
+// End returns the time of the latest observation (or the value set with
+// SetEnd, whichever is later).
+func (tr *Trace) End() Time { return tr.end }
+
+// SetEnd extends the observation horizon of the trace: the trace is
+// considered observed (with signals holding their last values) up to t.
+func (tr *Trace) SetEnd(t Time) {
+	if t > tr.end {
+		tr.end = t
+	}
+}
+
+// BoolAt returns the boolean value of the named signal at time t; a missing
+// signal is false everywhere.
+func (tr *Trace) BoolAt(name string, t Time) bool {
+	s, ok := tr.signals[name]
+	return ok && s.BoolAt(t)
+}
+
+// NumAt returns the numeric value of the named signal at time t; a missing
+// signal is zero everywhere.
+func (tr *Trace) NumAt(name string, t Time) float64 {
+	s, ok := tr.signals[name]
+	if !ok {
+		return 0
+	}
+	return s.NumAt(t)
+}
+
+// ChangePoints returns the sorted, de-duplicated set of timestamps at which
+// any signal of the trace changes, always including 0 and End(). Temporal
+// evaluation over step functions only needs to inspect these instants.
+func (tr *Trace) ChangePoints() []Time {
+	set := map[Time]struct{}{0: {}, tr.end: {}}
+	for _, s := range tr.signals {
+		for _, smp := range s.samples {
+			set[smp.At] = struct{}{}
+		}
+	}
+	out := make([]Time, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String summarizes the trace.
+func (tr *Trace) String() string {
+	total := 0
+	for _, s := range tr.signals {
+		total += s.Len()
+	}
+	return fmt.Sprintf("trace{%d signals, %d samples, end=%d}", len(tr.signals), total, tr.end)
+}

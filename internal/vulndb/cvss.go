@@ -1,0 +1,219 @@
+// Package vulndb implements the vulnerability-database input source of
+// VeriDevOps WP2: the DATE 2021 paper derives security requirements "from
+// natural language requirements, vulnerability databases and standards".
+// The package provides CVSS v3.1 base scoring (the full specification
+// formula), an advisory database matched against simulated-host package
+// inventories, and generation of RQCODE requirements from matches — closing
+// the loop from a CVE feed to enforceable requirements.
+package vulndb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Vector is a parsed CVSS v3.1 base vector.
+type Vector struct {
+	AV byte // attack vector: N A L P
+	AC byte // attack complexity: L H
+	PR byte // privileges required: N L H
+	UI byte // user interaction: N R
+	S  byte // scope: U C
+	C  byte // confidentiality: H L N
+	I  byte // integrity: H L N
+	A  byte // availability: H L N
+}
+
+// ParseVector parses a "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+// string (the 3.0 prefix is accepted; the base formula is identical).
+func ParseVector(s string) (Vector, error) {
+	var v Vector
+	parts := strings.Split(strings.TrimSpace(s), "/")
+	if len(parts) == 0 || (parts[0] != "CVSS:3.1" && parts[0] != "CVSS:3.0") {
+		return v, fmt.Errorf("vulndb: vector must start with CVSS:3.1, got %q", s)
+	}
+	seen := map[string]bool{}
+	for _, p := range parts[1:] {
+		kv := strings.SplitN(p, ":", 2)
+		if len(kv) != 2 || len(kv[1]) != 1 {
+			return v, fmt.Errorf("vulndb: malformed metric %q", p)
+		}
+		key, val := kv[0], kv[1][0]
+		if seen[key] {
+			return v, fmt.Errorf("vulndb: duplicate metric %q", key)
+		}
+		seen[key] = true
+		ok := false
+		set := func(dst *byte, allowed string) {
+			if strings.IndexByte(allowed, val) >= 0 {
+				*dst = val
+				ok = true
+			}
+		}
+		switch key {
+		case "AV":
+			set(&v.AV, "NALP")
+		case "AC":
+			set(&v.AC, "LH")
+		case "PR":
+			set(&v.PR, "NLH")
+		case "UI":
+			set(&v.UI, "NR")
+		case "S":
+			set(&v.S, "UC")
+		case "C":
+			set(&v.C, "HLN")
+		case "I":
+			set(&v.I, "HLN")
+		case "A":
+			set(&v.A, "HLN")
+		default:
+			return v, fmt.Errorf("vulndb: unknown metric %q", key)
+		}
+		if !ok {
+			return v, fmt.Errorf("vulndb: invalid value %q for %s", string(val), key)
+		}
+	}
+	for _, m := range []struct {
+		name string
+		val  byte
+	}{{"AV", v.AV}, {"AC", v.AC}, {"PR", v.PR}, {"UI", v.UI}, {"S", v.S}, {"C", v.C}, {"I", v.I}, {"A", v.A}} {
+		if m.val == 0 {
+			return v, fmt.Errorf("vulndb: missing metric %s", m.name)
+		}
+	}
+	return v, nil
+}
+
+// String renders the canonical vector form.
+func (v Vector) String() string {
+	return fmt.Sprintf("CVSS:3.1/AV:%c/AC:%c/PR:%c/UI:%c/S:%c/C:%c/I:%c/A:%c",
+		v.AV, v.AC, v.PR, v.UI, v.S, v.C, v.I, v.A)
+}
+
+func cia(b byte) float64 {
+	switch b {
+	case 'H':
+		return 0.56
+	case 'L':
+		return 0.22
+	default:
+		return 0
+	}
+}
+
+// BaseScore computes the CVSS v3.1 base score per the specification
+// (first.org/cvss/v3.1/specification-document, section 7.1).
+func (v Vector) BaseScore() float64 {
+	var av float64
+	switch v.AV {
+	case 'N':
+		av = 0.85
+	case 'A':
+		av = 0.62
+	case 'L':
+		av = 0.55
+	case 'P':
+		av = 0.2
+	}
+	ac := 0.44
+	if v.AC == 'L' {
+		ac = 0.77
+	}
+	changed := v.S == 'C'
+	var pr float64
+	switch v.PR {
+	case 'N':
+		pr = 0.85
+	case 'L':
+		pr = 0.62
+		if changed {
+			pr = 0.68
+		}
+	case 'H':
+		pr = 0.27
+		if changed {
+			pr = 0.5
+		}
+	}
+	ui := 0.62
+	if v.UI == 'N' {
+		ui = 0.85
+	}
+
+	iss := 1 - (1-cia(v.C))*(1-cia(v.I))*(1-cia(v.A))
+	var impact float64
+	if changed {
+		impact = 7.52*(iss-0.029) - 3.25*math.Pow(iss-0.02, 15)
+	} else {
+		impact = 6.42 * iss
+	}
+	if impact <= 0 {
+		return 0
+	}
+	exploitability := 8.22 * av * ac * pr * ui
+	var score float64
+	if changed {
+		score = math.Min(1.08*(impact+exploitability), 10)
+	} else {
+		score = math.Min(impact+exploitability, 10)
+	}
+	return roundup(score)
+}
+
+// roundup is the CVSS v3.1 specification rounding: the smallest number,
+// specified to one decimal, equal to or higher than its input (Appendix A
+// pseudocode, which compensates for floating-point representation).
+func roundup(x float64) float64 {
+	i := int(math.Round(x * 100000))
+	if i%10000 == 0 {
+		return float64(i) / 100000
+	}
+	return (math.Floor(float64(i)/10000) + 1) / 10
+}
+
+// Severity is the CVSS qualitative rating scale.
+type Severity int
+
+// Severity levels.
+const (
+	SeverityNone Severity = iota
+	SeverityLow
+	SeverityMedium
+	SeverityHigh
+	SeverityCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityNone:
+		return "none"
+	case SeverityLow:
+		return "low"
+	case SeverityMedium:
+		return "medium"
+	case SeverityHigh:
+		return "high"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// SeverityOf maps a base score to the qualitative scale.
+func SeverityOf(score float64) Severity {
+	switch {
+	case score <= 0:
+		return SeverityNone
+	case score < 4.0:
+		return SeverityLow
+	case score < 7.0:
+		return SeverityMedium
+	case score < 9.0:
+		return SeverityHigh
+	default:
+		return SeverityCritical
+	}
+}

@@ -1,0 +1,158 @@
+package vulndb
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Known vectors with scores published in the CVSS v3.1 specification and
+// the NVD calculator.
+func TestBaseScoreKnownVectors(t *testing.T) {
+	cases := []struct {
+		vector string
+		want   float64
+	}{
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8},
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0},
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 7.5},
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5},
+		{"CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N", 5.5},
+		{"CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N", 6.5},
+		{"CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 8.8},
+		{"CVSS:3.1/AV:N/AC:H/PR:N/UI:R/S:U/C:L/I:L/A:N", 4.2},
+		{"CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", 1.6},
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0},
+		{"CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 6.1}, // classic XSS
+		{"CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H", 7.8}, // classic malicious-file
+		{"CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:C/C:H/I:H/A:H", 9.9},
+	}
+	for _, c := range cases {
+		v, err := ParseVector(c.vector)
+		if err != nil {
+			t.Errorf("%s: %v", c.vector, err)
+			continue
+		}
+		if got := v.BaseScore(); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("BaseScore(%s) = %.2f, want %.1f", c.vector, got, c.want)
+		}
+	}
+}
+
+func TestParseVectorRoundTrip(t *testing.T) {
+	in := "CVSS:3.1/AV:A/AC:H/PR:L/UI:R/S:C/C:L/I:H/A:N"
+	v, err := ParseVector(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != in {
+		t.Errorf("String = %q, want %q", v.String(), in)
+	}
+	// 3.0 prefix accepted, canonicalised to 3.1.
+	v2, err := ParseVector(strings.Replace(in, "3.1", "3.0", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.String() != in {
+		t.Errorf("3.0 canonicalisation = %q", v2.String())
+	}
+}
+
+func TestParseVectorErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", // missing prefix
+		"CVSS:2.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",      // wrong version
+		"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H",          // missing A
+		"CVSS:3.1/AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",      // bad value
+		"CVSS:3.1/AV:N/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", // duplicate
+		"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/ZZ:Q", // unknown metric
+		"CVSS:3.1/AV:NN/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",     // long value
+		"CVSS:3.1/AV/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",        // malformed pair
+	}
+	for _, s := range bad {
+		if _, err := ParseVector(s); err == nil {
+			t.Errorf("ParseVector(%q) should fail", s)
+		}
+	}
+}
+
+func TestRoundup(t *testing.T) {
+	cases := map[float64]float64{
+		4.0:  4.0,
+		4.02: 4.1,
+		4.07: 4.1,
+		4.10: 4.1,
+		9.99: 10.0,
+		0.0:  0.0,
+	}
+	for in, want := range cases {
+		if got := roundup(in); math.Abs(got-want) > 1e-9 {
+			t.Errorf("roundup(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestSeverityBands(t *testing.T) {
+	cases := map[float64]Severity{
+		0:    SeverityNone,
+		0.1:  SeverityLow,
+		3.9:  SeverityLow,
+		4.0:  SeverityMedium,
+		6.9:  SeverityMedium,
+		7.0:  SeverityHigh,
+		8.9:  SeverityHigh,
+		9.0:  SeverityCritical,
+		10.0: SeverityCritical,
+	}
+	for score, want := range cases {
+		if got := SeverityOf(score); got != want {
+			t.Errorf("SeverityOf(%v) = %v, want %v", score, got, want)
+		}
+	}
+	if SeverityCritical.String() != "critical" || SeverityNone.String() != "none" {
+		t.Error("severity names wrong")
+	}
+	if Severity(42).String() == "" {
+		t.Error("unknown severity should still print")
+	}
+}
+
+// Property: every score lands in [0,10] with one decimal, and scope change
+// never lowers the score of an otherwise-identical vector.
+func TestScoreRangeAndScopeMonotonicity(t *testing.T) {
+	avs := []byte{'N', 'A', 'L', 'P'}
+	acs := []byte{'L', 'H'}
+	prs := []byte{'N', 'L', 'H'}
+	uis := []byte{'N', 'R'}
+	cias := []byte{'H', 'L', 'N'}
+	for _, av := range avs {
+		for _, ac := range acs {
+			for _, pr := range prs {
+				for _, ui := range uis {
+					for _, c := range cias {
+						for _, i := range cias {
+							for _, a := range cias {
+								u := Vector{AV: av, AC: ac, PR: pr, UI: ui, S: 'U', C: c, I: i, A: a}
+								ch := u
+								ch.S = 'C'
+								su, sc := u.BaseScore(), ch.BaseScore()
+								for _, s := range []float64{su, sc} {
+									if s < 0 || s > 10 {
+										t.Fatalf("score %v out of range for %s", s, u)
+									}
+									if math.Abs(s*10-math.Round(s*10)) > 1e-9 {
+										t.Fatalf("score %v not one-decimal for %s", s, u)
+									}
+								}
+								if sc < su {
+									t.Fatalf("scope change lowered score: %s %v -> %v", u, su, sc)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

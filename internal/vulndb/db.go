@@ -1,0 +1,199 @@
+package vulndb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"veridevops/internal/host"
+)
+
+// Advisory is one vulnerability record of the database, shaped like the
+// OSV/USN feeds the prototype consumes.
+type Advisory struct {
+	ID      string `json:"id"`      // e.g. "CVE-2024-0001"
+	Package string `json:"package"` // affected package name
+	// FixedIn is the first non-vulnerable version; every installed version
+	// below it is affected. Empty means no fix exists (the package must be
+	// removed to remediate).
+	FixedIn string `json:"fixed_in,omitempty"`
+	Vector  string `json:"vector"` // CVSS v3.1 base vector
+	Summary string `json:"summary"`
+}
+
+// Score returns the advisory's CVSS base score (0 on a malformed vector;
+// Validate catches those earlier).
+func (a Advisory) Score() float64 {
+	v, err := ParseVector(a.Vector)
+	if err != nil {
+		return 0
+	}
+	return v.BaseScore()
+}
+
+// DB is an advisory database indexed by package.
+type DB struct {
+	byPackage map[string][]Advisory
+	count     int
+}
+
+// NewDB builds a database, validating every advisory.
+func NewDB(advisories []Advisory) (*DB, error) {
+	db := &DB{byPackage: map[string][]Advisory{}}
+	seen := map[string]bool{}
+	for _, a := range advisories {
+		if a.ID == "" || a.Package == "" {
+			return nil, fmt.Errorf("vulndb: advisory needs id and package: %+v", a)
+		}
+		if seen[a.ID] {
+			return nil, fmt.Errorf("vulndb: duplicate advisory %s", a.ID)
+		}
+		seen[a.ID] = true
+		if _, err := ParseVector(a.Vector); err != nil {
+			return nil, fmt.Errorf("vulndb: %s: %w", a.ID, err)
+		}
+		db.byPackage[a.Package] = append(db.byPackage[a.Package], a)
+		db.count++
+	}
+	return db, nil
+}
+
+// ReadJSON loads a database from a JSON array of advisories.
+func ReadJSON(r io.Reader) (*DB, error) {
+	var advisories []Advisory
+	if err := json.NewDecoder(r).Decode(&advisories); err != nil {
+		return nil, fmt.Errorf("vulndb: feed json: %w", err)
+	}
+	return NewDB(advisories)
+}
+
+// WriteJSON stores the database as a JSON advisory array.
+func (db *DB) WriteJSON(w io.Writer) error {
+	var all []Advisory
+	for _, as := range db.byPackage {
+		all = append(all, as...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(all)
+}
+
+// Len returns the number of advisories.
+func (db *DB) Len() int { return db.count }
+
+// Match is one advisory affecting an installed package.
+type Match struct {
+	Advisory  Advisory
+	Installed string // installed version
+	Score     float64
+	Severity  Severity
+}
+
+// Scan matches the database against the host's installed packages,
+// returning matches sorted by descending score then ID.
+func (db *DB) Scan(h *host.Linux) []Match {
+	var out []Match
+	for _, pkg := range h.Packages() {
+		for _, a := range db.byPackage[pkg] {
+			installed := installedVersion(h, pkg)
+			if a.FixedIn != "" && CompareVersions(installed, a.FixedIn) >= 0 {
+				continue // already fixed
+			}
+			score := a.Score()
+			out = append(out, Match{
+				Advisory:  a,
+				Installed: installed,
+				Score:     score,
+				Severity:  SeverityOf(score),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Advisory.ID < out[j].Advisory.ID
+	})
+	return out
+}
+
+// installedVersion reads the version of an installed package. The host
+// package list exposes names; versions travel through the pattern below.
+func installedVersion(h *host.Linux, pkg string) string {
+	return h.Version(pkg)
+}
+
+// CompareVersions compares dotted version strings numerically per
+// component ("1.2.10" > "1.2.9"), falling back to string comparison for
+// non-numeric components ("1.0~beta" segments compare as strings). It
+// returns -1, 0 or 1.
+func CompareVersions(a, b string) int {
+	as := strings.FieldsFunc(a, versionSep)
+	bs := strings.FieldsFunc(b, versionSep)
+	for i := 0; i < len(as) || i < len(bs); i++ {
+		var x, y string
+		if i < len(as) {
+			x = as[i]
+		}
+		if i < len(bs) {
+			y = bs[i]
+		}
+		xi, xe := strconv.Atoi(x)
+		yi, ye := strconv.Atoi(y)
+		switch {
+		case xe == nil && ye == nil:
+			if xi != yi {
+				if xi < yi {
+					return -1
+				}
+				return 1
+			}
+		default:
+			if x != y {
+				if x < y {
+					return -1
+				}
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+func versionSep(r rune) bool { return r == '.' || r == '-' || r == '+' || r == '~' || r == ':' }
+
+// Summary aggregates a scan.
+type ScanSummary struct {
+	Matches  int
+	Critical int
+	High     int
+	Medium   int
+	Low      int
+	MaxScore float64
+}
+
+// Summarize counts matches per severity band.
+func Summarize(matches []Match) ScanSummary {
+	var s ScanSummary
+	for _, m := range matches {
+		s.Matches++
+		if m.Score > s.MaxScore {
+			s.MaxScore = m.Score
+		}
+		switch m.Severity {
+		case SeverityCritical:
+			s.Critical++
+		case SeverityHigh:
+			s.High++
+		case SeverityMedium:
+			s.Medium++
+		case SeverityLow:
+			s.Low++
+		}
+	}
+	return s
+}

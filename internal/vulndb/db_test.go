@@ -1,0 +1,244 @@
+package vulndb
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+)
+
+const (
+	critVector = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H" // 9.8
+	medVector  = "CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:N/A:N" // 5.5
+)
+
+func sampleDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := NewDB([]Advisory{
+		{ID: "CVE-1", Package: "openssl", FixedIn: "1.1.1", Vector: critVector, Summary: "RCE in handshake."},
+		{ID: "CVE-2", Package: "openssl", FixedIn: "1.0.5", Vector: medVector, Summary: "Local info leak."},
+		{ID: "CVE-3", Package: "nginx", FixedIn: "", Vector: medVector, Summary: "Unfixable design flaw."},
+		{ID: "CVE-4", Package: "ghostpkg", FixedIn: "2.0", Vector: medVector, Summary: "Not installed anywhere."},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNewDBValidation(t *testing.T) {
+	if _, err := NewDB([]Advisory{{ID: "", Package: "x", Vector: critVector}}); err == nil {
+		t.Error("missing ID must error")
+	}
+	if _, err := NewDB([]Advisory{{ID: "a", Package: "", Vector: critVector}}); err == nil {
+		t.Error("missing package must error")
+	}
+	if _, err := NewDB([]Advisory{
+		{ID: "a", Package: "x", Vector: critVector},
+		{ID: "a", Package: "y", Vector: critVector},
+	}); err == nil {
+		t.Error("duplicate ID must error")
+	}
+	if _, err := NewDB([]Advisory{{ID: "a", Package: "x", Vector: "garbage"}}); err == nil {
+		t.Error("bad vector must error")
+	}
+}
+
+func TestScan(t *testing.T) {
+	db := sampleDB(t)
+	h := host.NewLinux()
+	h.Install("openssl", "1.0.2") // vulnerable to CVE-1 and CVE-2
+	h.Install("nginx", "1.18")    // vulnerable to CVE-3 (no fix)
+	h.Install("unrelated", "1.0")
+
+	matches := db.Scan(h)
+	if len(matches) != 3 {
+		t.Fatalf("matches = %d, want 3", len(matches))
+	}
+	// Sorted by score: CVE-1 (9.8) first.
+	if matches[0].Advisory.ID != "CVE-1" || matches[0].Score != 9.8 {
+		t.Errorf("first match = %+v", matches[0])
+	}
+	if matches[0].Severity != SeverityCritical {
+		t.Errorf("severity = %v", matches[0].Severity)
+	}
+	if matches[0].Installed != "1.0.2" {
+		t.Errorf("installed = %q", matches[0].Installed)
+	}
+}
+
+func TestScanSkipsFixedVersions(t *testing.T) {
+	db := sampleDB(t)
+	h := host.NewLinux()
+	h.Install("openssl", "1.1.1") // at the fixed version: immune to CVE-1, still >= 1.0.5 for CVE-2
+	matches := db.Scan(h)
+	if len(matches) != 0 {
+		t.Errorf("matches = %v, want none", matches)
+	}
+}
+
+func TestCompareVersions(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1.0.0", "1.0.0", 0},
+		{"1.0.1", "1.0.0", 1},
+		{"1.0.0", "1.0.1", -1},
+		{"1.2.10", "1.2.9", 1},
+		{"1.10", "1.9", 1},
+		{"2.0", "1.9.9", 1},
+		{"1.0", "1.0.1", -1},
+		{"1.0-beta", "1.0-alpha", 1},
+		{"1.0~rc1", "1.0~rc2", -1},
+		{"0.legacy", "1.0", -1},
+	}
+	for _, c := range cases {
+		if got := CompareVersions(c.a, c.b); got != c.want {
+			t.Errorf("CompareVersions(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	db := sampleDB(t)
+	var buf bytes.Buffer
+	if err := db.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Errorf("Len = %d, want %d", got.Len(), db.Len())
+	}
+	if _, err := ReadJSON(strings.NewReader("[{")); err == nil {
+		t.Error("malformed feed must error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"id":"x","package":"p","vector":"bad"}]`)); err == nil {
+		t.Error("bad vector in feed must error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	db := sampleDB(t)
+	h := host.NewLinux()
+	h.Install("openssl", "1.0.2")
+	h.Install("nginx", "1.18")
+	s := Summarize(db.Scan(h))
+	if s.Matches != 3 || s.Critical != 1 || s.Medium != 2 || s.MaxScore != 9.8 {
+		t.Errorf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.Matches != 0 || z.MaxScore != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestPatchRequirementUpgrade(t *testing.T) {
+	h := host.NewLinux()
+	h.Install("openssl", "1.0.2")
+	req := NewPatchRequirement(h, Advisory{
+		ID: "CVE-1", Package: "openssl", FixedIn: "1.1.1", Vector: critVector, Summary: "RCE."})
+
+	if req.Severity() != "critical" {
+		t.Errorf("Severity = %q", req.Severity())
+	}
+	if req.Check() != core.CheckFail {
+		t.Error("vulnerable version must FAIL")
+	}
+	if req.Enforce() != core.EnforceSuccess {
+		t.Error("upgrade should succeed")
+	}
+	if h.Version("openssl") != "1.1.1" {
+		t.Errorf("version after enforcement = %q", h.Version("openssl"))
+	}
+	if req.Check() != core.CheckPass {
+		t.Error("upgraded host must PASS")
+	}
+	if !strings.Contains(req.String(), "CVE-1") {
+		t.Errorf("String = %q", req.String())
+	}
+}
+
+func TestPatchRequirementRemoveUnfixable(t *testing.T) {
+	h := host.NewLinux()
+	h.Install("nginx", "1.18")
+	req := NewPatchRequirement(h, Advisory{
+		ID: "CVE-3", Package: "nginx", Vector: medVector, Summary: "Unfixable."})
+	if req.Check() != core.CheckFail {
+		t.Error("unfixable installed package must FAIL")
+	}
+	req.Enforce()
+	if h.Installed("nginx") {
+		t.Error("enforcement must remove the unfixable package")
+	}
+	if req.Check() != core.CheckPass {
+		t.Error("absent package must PASS")
+	}
+}
+
+func TestPatchRequirementAbsentPackage(t *testing.T) {
+	h := host.NewLinux()
+	req := NewPatchRequirement(h, Advisory{ID: "CVE-9", Package: "ghost", FixedIn: "1.0", Vector: medVector})
+	if req.Check() != core.CheckPass || req.Enforce() != core.EnforceSuccess {
+		t.Error("absent package is not vulnerable")
+	}
+	nilHost := NewPatchRequirement(nil, Advisory{ID: "CVE-9", Package: "x", Vector: medVector})
+	if nilHost.Check() != core.CheckIncomplete || nilHost.Enforce() != core.EnforceIncomplete {
+		t.Error("nil host must be INCOMPLETE")
+	}
+}
+
+func TestPatchRequirementReadOnlyHost(t *testing.T) {
+	h := host.NewLinux()
+	h.Install("openssl", "1.0.2")
+	h.SetReadOnly(true)
+	req := NewPatchRequirement(h, Advisory{ID: "CVE-1", Package: "openssl", FixedIn: "1.1.1", Vector: critVector})
+	if req.Enforce() != core.EnforceFailure {
+		t.Error("read-only host must fail enforcement")
+	}
+}
+
+func TestVulnCatalog(t *testing.T) {
+	db := sampleDB(t)
+	h := host.NewLinux()
+	h.Install("openssl", "1.0.2")
+	h.Install("nginx", "1.18")
+	cat := Catalog(db, h)
+	if cat.Len() != 3 {
+		t.Fatalf("catalogue = %d entries", cat.Len())
+	}
+	rep := cat.Run(core.CheckAndEnforce)
+	if rep.Compliance() != 1 {
+		t.Errorf("remediation incomplete:\n%s", rep)
+	}
+	if h.Version("openssl") != "1.1.1" || h.Installed("nginx") {
+		t.Error("host not patched as expected")
+	}
+	// Re-scan is clean.
+	if len(db.Scan(h)) != 0 {
+		t.Error("post-remediation scan must be clean")
+	}
+}
+
+func TestGenerateFeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	feed := GenerateFeed([]string{"a", "b", "c"}, 5, rng)
+	if len(feed) != 15 {
+		t.Fatalf("feed = %d advisories", len(feed))
+	}
+	if _, err := NewDB(feed); err != nil {
+		t.Errorf("generated feed must validate: %v", err)
+	}
+	// Determinism.
+	feed2 := GenerateFeed([]string{"a", "b", "c"}, 5, rand.New(rand.NewSource(4)))
+	for i := range feed {
+		if feed[i] != feed2[i] {
+			t.Fatal("feed generation must be deterministic")
+		}
+	}
+}
