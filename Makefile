@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check vet build test race bench tables
+
+# check is the CI gate: vet, build everything, then the full test suite
+# under the race detector (the engine, core and monitor packages are
+# concurrent by construction, so -race is not optional).
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the experiment benchmarks once each (correctness smoke, not a
+# timing run).
+bench:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x .
+
+# tables regenerates every EXPERIMENTS.md table on stdout.
+tables:
+	$(GO) run ./cmd/vdo-bench -markdown

@@ -158,6 +158,27 @@ func BenchmarkE7Evaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkE7bEngineRobustness regenerates the E7b table (fault-injected
+// audits through the resilient engine).
+func BenchmarkE7bEngineRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.E7bEngineRobustness(1)
+	}
+}
+
+// BenchmarkRunParallelEngine measures a parallel catalogue audit through
+// the engine (the execution path under every RunParallel call), the
+// kernel of E7b.
+func BenchmarkRunParallelEngine(b *testing.B) {
+	h := host.NewUbuntu1804()
+	cat := stig.UbuntuCatalog(h)
+	cat.Run(core.CheckAndEnforce)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat.RunParallel(core.CheckOnly, 8)
+	}
+}
+
 // BenchmarkE8Extract regenerates the E8 table.
 func BenchmarkE8Extract(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	rqcode -os ubuntu|win10 [-enforce] [-drift N] [-seed N] [-verbose]
+//	       [-workers N] [-retries N] [-telemetry]
 //
 // Exit status: 0 fully compliant, 1 findings open, 2 usage error.
 package main
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"veridevops/internal/core"
+	"veridevops/internal/engine"
 	"veridevops/internal/host"
 	"veridevops/internal/stig"
 )
@@ -34,7 +36,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "drift seed")
 	verbose := fs.Bool("verbose", false, "print each finding's document")
 	catalogPath := fs.String("catalog", "", "load an additional JSON catalogue of findings")
+	workers := fs.Int("workers", 1, "audit the catalogue with N parallel workers")
+	retries := fs.Int("retries", 0, "retry INCOMPLETE checks up to N times (exponential backoff)")
+	telemetry := fs.Bool("telemetry", false, "print per-finding engine telemetry (attempts, retries, recovered panics)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 || *retries < 0 {
+		fmt.Fprintln(stderr, "rqcode: -workers must be >= 1 and -retries >= 0")
 		return 2
 	}
 
@@ -91,8 +100,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *enforce {
 		mode = core.CheckAndEnforce
 	}
-	rep := cat.Run(mode)
+	rep, st := cat.RunEngine(core.RunOptions{
+		Mode:    mode,
+		Workers: *workers,
+		Checks:  engine.Policy{MaxAttempts: 1 + *retries},
+	})
 	fmt.Fprint(stdout, rep)
+	if *telemetry {
+		if err := st.Table("engine telemetry").WriteText(stdout); err != nil {
+			fmt.Fprintf(stderr, "rqcode: %v\n", err)
+			return 2
+		}
+	}
 	if rep.Compliance() < 1 {
 		return 1
 	}

@@ -105,3 +105,32 @@ func TestBadFlag(t *testing.T) {
 		t.Errorf("bad flag should exit 2, got %d", code)
 	}
 }
+
+func TestParallelAuditMatchesSequential(t *testing.T) {
+	_, seq, _ := runCapture(t, "-os", "ubuntu", "-drift", "10", "-seed", "3")
+	_, par, _ := runCapture(t, "-os", "ubuntu", "-drift", "10", "-seed", "3", "-workers", "8")
+	if seq != par {
+		t.Errorf("parallel audit output differs from sequential:\n--- seq ---\n%s--- par ---\n%s", seq, par)
+	}
+}
+
+func TestTelemetryFlagPrintsEngineTable(t *testing.T) {
+	code, out, _ := runCapture(t, "-os", "ubuntu", "-workers", "4", "-retries", "2", "-telemetry")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"engine telemetry", "attempts", "retries", "workers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadWorkerAndRetryFlags(t *testing.T) {
+	if code, _, _ := runCapture(t, "-os", "ubuntu", "-workers", "0"); code != 2 {
+		t.Errorf("-workers 0 exit = %d, want 2", code)
+	}
+	if code, _, _ := runCapture(t, "-os", "ubuntu", "-retries", "-1"); code != 2 {
+		t.Errorf("-retries -1 exit = %d, want 2", code)
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	vulnscan -feed advisories.json [-packages "openssl=1.0.2,nginx=1.18"] [-patch]
+//	         [-workers N] [-telemetry]
 //	vulnscan -generate "openssl,nginx" -per 3 -seed 1    (emit a synthetic feed)
 //
 // Exit status: 0 clean, 1 vulnerabilities open, 2 usage error.
@@ -38,7 +39,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	generate := fs.String("generate", "", "emit a synthetic feed for these comma-separated packages")
 	per := fs.Int("per", 3, "advisories per package for -generate")
 	seed := fs.Int64("seed", 1, "seed for -generate")
+	workers := fs.Int("workers", 1, "enforce patch requirements with N parallel workers")
+	telemetry := fs.Bool("telemetry", false, "print engine telemetry for the -patch run")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 {
+		fmt.Fprintln(stderr, "vulnscan: -workers must be >= 1")
 		return 2
 	}
 
@@ -99,8 +106,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *patch && len(matches) > 0 {
 		cat := vulndb.Catalog(db, h)
-		rep := cat.Run(core.CheckAndEnforce)
+		rep, st := cat.RunEngine(core.RunOptions{Mode: core.CheckAndEnforce, Workers: *workers})
 		fmt.Fprint(stdout, rep)
+		if *telemetry {
+			if err := st.Table("engine telemetry").WriteText(stdout); err != nil {
+				fmt.Fprintf(stderr, "vulnscan: %v\n", err)
+				return 2
+			}
+		}
 		matches = db.Scan(h)
 		fmt.Fprintf(stdout, "post-patch matches: %d\n", len(matches))
 	}

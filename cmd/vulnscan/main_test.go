@@ -79,3 +79,22 @@ func TestUsageErrors(t *testing.T) {
 		t.Error("bad packages flag should exit 2")
 	}
 }
+
+func TestPatchParallelWithTelemetry(t *testing.T) {
+	code, out, _ := runCapture(t, "-feed", writeFeed(t),
+		"-packages", "openssl=1.0.2,nginx=1.18", "-patch", "-workers", "4", "-telemetry")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"engine telemetry", "attempts", "post-patch matches: 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBadWorkersFlag(t *testing.T) {
+	if code, _, _ := runCapture(t, "-feed", writeFeed(t), "-workers", "0"); code != 2 {
+		t.Errorf("-workers 0 exit = %d, want 2", code)
+	}
+}

@@ -7,6 +7,9 @@
 // inventory):
 //
 //   - core:      RQCODE concepts (Checkable / Enforceable requirements)
+//   - engine:    fault-tolerant execution (panic recovery, retry/backoff,
+//     worker pools, deterministic fault injection) behind every audit
+//     and monitor poll
 //   - temporal:  the temporal pattern monitors (MonitoringLoop family)
 //   - tctl:      TCTL formulas, parser, trace evaluation, SPS patterns
 //   - automata:  timed automata + PSP observer templates

@@ -12,6 +12,7 @@ import (
 
 	"veridevops/internal/automata"
 	"veridevops/internal/core"
+	"veridevops/internal/engine"
 	"veridevops/internal/extract"
 	"veridevops/internal/gwt"
 	"veridevops/internal/host"
@@ -262,6 +263,68 @@ func E7Tears(seed int64) *report.Table {
 	return t
 }
 
+// E7bEngineRobustness measures the fault-tolerant audit engine under
+// deterministic fault injection: the hardened Ubuntu STIG catalogue is
+// wrapped in seeded injectors (panicking, transiently failing and slow
+// checks) and audited with and without a retry budget, plus an
+// unreachable-host scenario where every probe panics. The audit always
+// completes; retries convert transient faults back into real verdicts;
+// panics surface as ERROR, never a crash.
+func E7bEngineRobustness(seed int64) *report.Table {
+	t := report.New("E7b: engine robustness under fault injection",
+		"scenario", "workers", "attempt-budget", "pass", "error", "incomplete",
+		"attempts", "retries", "panics-recovered", "wall-ms")
+	t.Note = "fault plan per requirement: 4% panic, 30% transient, 10% slow (seeded); a retry budget recovers transients and most panics, and an unreachable host degrades to all-ERROR instead of crashing the audit"
+
+	audit := func(scenario string, cat *core.Catalog, workers, attempts int) {
+		pol := engine.Policy{MaxAttempts: attempts, Sleep: func(time.Duration) {}}
+		rep, st := cat.RunEngine(core.RunOptions{Mode: core.CheckOnly, Workers: workers, Checks: pol})
+		pass, errs, inc := 0, 0, 0
+		for _, r := range rep.Results {
+			switch r.After {
+			case core.CheckPass:
+				pass++
+			case core.CheckError:
+				errs++
+			case core.CheckIncomplete:
+				inc++
+			}
+		}
+		t.AddRow(scenario, workers, attempts, pass, errs, inc,
+			st.Attempts, st.Retries, st.Panics, report.Millis(st.Wall))
+	}
+
+	plan := engine.FaultPlan{
+		PanicProb: 0.04, TransientProb: 0.30,
+		SlowProb: 0.10, SlowDelay: 100 * time.Microsecond,
+	}
+	mk := func(inject bool) (*core.Catalog, *host.Linux) {
+		h := host.NewUbuntu1804()
+		cat := stig.UbuntuCatalog(h)
+		cat.Run(core.CheckAndEnforce) // harden: a clean audit passes everywhere
+		if !inject {
+			return cat, h
+		}
+		faulted := core.NewCatalog()
+		for i, r := range cat.All() {
+			faulted.MustRegister(core.InjectFaults(r,
+				engine.NewFaultInjector(seed+int64(i), plan)))
+		}
+		return faulted, h
+	}
+
+	clean, _ := mk(false)
+	audit("clean", clean, 8, 1)
+	noRetry, _ := mk(true)
+	audit("faulted, no retry", noRetry, 8, 1)
+	retried, _ := mk(true)
+	audit("faulted, retry", retried, 8, 6)
+	down, h := mk(false)
+	h.SetUnreachable(true)
+	audit("unreachable host", down, 8, 2)
+	return t
+}
+
 // E8Extract measures NL-to-pattern formalisation accuracy per behaviour
 // class.
 func E8Extract() *report.Table {
@@ -490,6 +553,7 @@ func All(seed int64) []*report.Table {
 		E6Pipeline(seed),
 		E6bEconomics(seed),
 		E7Tears(seed),
+		E7bEngineRobustness(seed),
 		E8Extract(),
 		E9Liveness(),
 		E10ComplianceSeries(seed),

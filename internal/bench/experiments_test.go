@@ -233,8 +233,8 @@ func TestE3cAdaptiveSavesPolls(t *testing.T) {
 
 func TestAllProducesEveryTable(t *testing.T) {
 	tables := All(1)
-	if len(tables) != 15 {
-		t.Fatalf("All = %d tables, want 15", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("All = %d tables, want 16", len(tables))
 	}
 	for _, tbl := range tables {
 		if !strings.HasPrefix(tbl.Title, "E") {
@@ -243,5 +243,39 @@ func TestAllProducesEveryTable(t *testing.T) {
 		if len(tbl.Rows) == 0 {
 			t.Errorf("table %q is empty", tbl.Title)
 		}
+	}
+}
+
+func TestE7bAuditAlwaysCompletes(t *testing.T) {
+	tbl := E7bEngineRobustness(1)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 scenarios", len(tbl.Rows))
+	}
+	// Columns: scenario, workers, attempt-budget, pass, error, incomplete, ...
+	total := func(row []string) int {
+		n := 0
+		for _, c := range row[3:6] {
+			v, err := strconv.Atoi(c)
+			if err != nil {
+				t.Fatalf("bad cell %q: %v", c, err)
+			}
+			n += v
+		}
+		return n
+	}
+	reqs := total(tbl.Rows[0])
+	for _, row := range tbl.Rows {
+		if total(row) != reqs {
+			t.Errorf("scenario %q: %d verdicts, want %d (audit must complete)", row[0], total(row), reqs)
+		}
+	}
+	if clean := tbl.Rows[0]; clean[4] != "0" || clean[5] != "0" {
+		t.Errorf("clean row has errors/incompletes: %v", clean)
+	}
+	if retry := tbl.Rows[2]; retry[5] != "0" || retry[7] == "0" {
+		t.Errorf("retry row must recover transients via retries: %v", retry)
+	}
+	if down := tbl.Rows[3]; down[3] != "0" || down[4] != strconv.Itoa(reqs) {
+		t.Errorf("unreachable row must be all-ERROR: %v", down)
 	}
 }

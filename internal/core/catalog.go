@@ -101,7 +101,9 @@ type Report struct {
 	Results []Result
 }
 
-// Counts returns how many results ended in each final status.
+// Counts returns how many results ended in each final status. ERROR
+// results (checks that panicked or timed out) count as incomplete: no
+// verdict was obtained.
 func (r Report) Counts() (pass, fail, incomplete int) {
 	for _, res := range r.Results {
 		switch res.After {
@@ -168,22 +170,10 @@ const (
 
 // Run executes every catalogue entry in finding-ID order. In
 // CheckAndEnforce mode, entries whose check does not pass are enforced and
-// re-checked.
+// re-checked. Execution goes through the fault-tolerant engine (see
+// RunEngine): a panicking check yields an ERROR result instead of
+// crashing the audit.
 func (c *Catalog) Run(mode RunMode) Report {
-	var rep Report
-	for _, req := range c.All() {
-		res := Result{
-			FindingID: req.FindingID(),
-			Severity:  req.Severity(),
-			Before:    req.Check(),
-		}
-		res.After = res.Before
-		if mode == CheckAndEnforce && res.Before != CheckPass {
-			res.Enforced = true
-			res.Enforcement = req.Enforce()
-			res.After = req.Check()
-		}
-		rep.Results = append(rep.Results, res)
-	}
+	rep, _ := c.RunEngine(RunOptions{Mode: mode, Workers: 1})
 	return rep
 }

@@ -22,6 +22,11 @@ const (
 	// CheckIncomplete means the check could not determine a verdict
 	// (for example, the probed subsystem was unreachable).
 	CheckIncomplete
+	// CheckError means the check itself misbehaved — it panicked or
+	// exceeded its time budget — and produced no verdict. The execution
+	// engine substitutes this status instead of letting a broken check
+	// crash the audit; Report.Counts buckets it with INCOMPLETE.
+	CheckError
 )
 
 // String returns the STIG-viewer style name of the status.
@@ -33,6 +38,8 @@ func (s CheckStatus) String() string {
 		return "FAIL"
 	case CheckIncomplete:
 		return "INCOMPLETE"
+	case CheckError:
+		return "ERROR"
 	default:
 		return "UNKNOWN"
 	}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"time"
+
+	"veridevops/internal/engine"
+)
+
+// Fault-injecting decorators: wrap a requirement so its Check misbehaves
+// on a deterministic, seeded schedule. The robustness tests and the E7b
+// experiment audit catalogues of these to prove the engine survives
+// panicking, flaky and slow checks.
+
+// FaultyCheck decorates a Checkable with injected faults. Each Check call
+// asks the injector for a fault first: panic (with
+// engine.ErrInjectedPanic), a transient INCOMPLETE verdict, a SlowDelay
+// stall before delegating, or a clean pass-through.
+type FaultyCheck struct {
+	Inner    Checkable
+	Injector *engine.FaultInjector
+	// Sleep implements FaultSlow stalls; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Check applies the next scheduled fault, then delegates.
+func (f *FaultyCheck) Check() CheckStatus {
+	switch f.Injector.Next() {
+	case engine.FaultPanic:
+		panic(engine.ErrInjectedPanic)
+	case engine.FaultTransient:
+		return CheckIncomplete
+	case engine.FaultSlow:
+		sleep := f.Sleep
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		sleep(f.Injector.Plan().SlowDelay)
+	}
+	return f.Inner.Check()
+}
+
+// FaultyRequirement is a full requirement whose Check is routed through a
+// FaultyCheck; metadata and Enforce pass through untouched.
+type FaultyRequirement struct {
+	CheckableEnforceableRequirement
+	faulty FaultyCheck
+}
+
+// InjectFaults wraps a requirement with the injector's fault schedule.
+func InjectFaults(r CheckableEnforceableRequirement, fi *engine.FaultInjector) *FaultyRequirement {
+	return &FaultyRequirement{
+		CheckableEnforceableRequirement: r,
+		faulty:                          FaultyCheck{Inner: r, Injector: fi},
+	}
+}
+
+// Check applies the injected fault schedule.
+func (f *FaultyRequirement) Check() CheckStatus { return f.faulty.Check() }

@@ -1,49 +1,17 @@
 package core
 
-import "sync"
-
 // RunParallel executes the catalogue with a bounded worker pool: fleets of
 // simulated hosts and large generated catalogues (vulnerability scans)
 // check mostly-independent requirements, so the audit parallelises well.
 // Results keep the deterministic finding-ID order of Run. Requirements
 // must be safe for concurrent checking against their host (the simulated
 // hosts serialise internally).
+//
+// Execution goes through the fault-tolerant engine (see RunEngine), so a
+// panicking requirement yields an ERROR result and never takes down the
+// worker pool. Callers that also want per-check retries or telemetry use
+// RunEngine directly.
 func (c *Catalog) RunParallel(mode RunMode, workers int) Report {
-	reqs := c.All()
-	if workers <= 1 || len(reqs) <= 1 {
-		return c.Run(mode)
-	}
-	if workers > len(reqs) {
-		workers = len(reqs)
-	}
-	results := make([]Result, len(reqs))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				req := reqs[i]
-				res := Result{
-					FindingID: req.FindingID(),
-					Severity:  req.Severity(),
-					Before:    req.Check(),
-				}
-				res.After = res.Before
-				if mode == CheckAndEnforce && res.Before != CheckPass {
-					res.Enforced = true
-					res.Enforcement = req.Enforce()
-					res.After = req.Check()
-				}
-				results[i] = res
-			}
-		}()
-	}
-	for i := range reqs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return Report{Results: results}
+	rep, _ := c.RunEngine(RunOptions{Mode: mode, Workers: workers})
+	return rep
 }

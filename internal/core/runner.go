@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"veridevops/internal/engine"
+	"veridevops/internal/report"
+)
+
+// This file is the single execution path of the catalogue: Run,
+// RunParallel, the monitor scheduler and the CLIs all funnel through
+// RunEngine, which builds on internal/engine for panic isolation, retry
+// with backoff, per-attempt timeouts and run telemetry.
+
+// RunOptions configures an engine-backed catalogue run.
+type RunOptions struct {
+	// Mode selects audit-only or audit-and-remediate.
+	Mode RunMode
+	// Workers bounds the worker pool; values <= 1 run sequentially (same
+	// results, same order — parallelism never changes the report).
+	Workers int
+	// Checks is the per-check resilience policy. The zero value means one
+	// attempt, no timeout: exactly the historical Run semantics plus panic
+	// recovery. With MaxAttempts > 1, INCOMPLETE verdicts, panics and
+	// timeouts are retried with exponential backoff; PASS and FAIL are
+	// final and never retried. Enforcement is never retried (mutating a
+	// host twice is not idempotent in general) but is panic-isolated: a
+	// panicking Enforce yields FAILURE.
+	Checks engine.Policy
+}
+
+// ReqStats is the per-requirement telemetry of an engine run.
+type ReqStats struct {
+	FindingID string
+	// Status is the requirement's final check status.
+	Status CheckStatus
+	// Attempts counts check executions (initial check plus the re-check
+	// after enforcement, plus any retries of either).
+	Attempts int
+	// Retries is how many of those attempts were retries.
+	Retries int
+	// Panics counts recovered panics (check and enforce).
+	Panics int
+	// Timeouts counts attempts abandoned at the policy deadline.
+	Timeouts int
+	// Enforced reports whether remediation was attempted.
+	Enforced bool
+	// Duration is wall time spent on this requirement, backoffs included.
+	Duration time.Duration
+}
+
+// RunStats aggregates the telemetry of one engine run.
+type RunStats struct {
+	Requirements int
+	Workers      int
+	// Wall is the elapsed time of the run; Busy the summed per-requirement
+	// durations (Busy/Wall measures effective parallelism).
+	Wall time.Duration
+	Busy time.Duration
+	// Attempts / Retries / Panics / Timeouts are summed over requirements.
+	Attempts int
+	Retries  int
+	Panics   int
+	Timeouts int
+	// Errors counts requirements whose final status is ERROR.
+	Errors int
+	// PerRequirement holds the per-requirement rows in finding-ID order.
+	PerRequirement []ReqStats
+}
+
+// Utilization is Busy / (Workers * Wall) in [0,1].
+func (s RunStats) Utilization() float64 {
+	return engine.PoolStats{Workers: s.Workers, Wall: s.Wall, Busy: s.Busy}.Utilization()
+}
+
+// Summary renders the aggregate telemetry as one line.
+func (s RunStats) Summary() string {
+	return fmt.Sprintf(
+		"engine: %d requirements, %d workers, %d attempts (%d retries, %d panics recovered, %d timeouts), %d errors, wall %s ms, utilization %s",
+		s.Requirements, s.Workers, s.Attempts, s.Retries, s.Panics, s.Timeouts,
+		s.Errors, report.Millis(s.Wall), report.Percent(s.Utilization()))
+}
+
+// Table renders the per-requirement telemetry for cmd/vdo-bench and the
+// CLIs' -telemetry flag.
+func (s RunStats) Table(title string) *report.Table {
+	t := report.New(title, "finding", "status", "attempts", "retries", "panics", "timeouts", "enforced", "ms")
+	for _, r := range s.PerRequirement {
+		t.AddRow(r.FindingID, r.Status, r.Attempts, r.Retries, r.Panics, r.Timeouts,
+			r.Enforced, report.Millis(r.Duration))
+	}
+	t.Note = s.Summary()
+	return t
+}
+
+// engineOutcome pairs a report row with its telemetry row.
+type engineOutcome struct {
+	res Result
+	st  ReqStats
+}
+
+// runRequirement executes one catalogue entry under the policy. Every
+// check goes through engine.Attempt: panics and timeouts become ERROR,
+// INCOMPLETE is retried while the policy allows.
+func runRequirement(req CheckableEnforceableRequirement, mode RunMode, pol engine.Policy) engineOutcome {
+	start := time.Now()
+	var st ReqStats
+	check := func() CheckStatus {
+		v, cst := engine.Attempt(req.Check,
+			func(s CheckStatus) bool { return s == CheckIncomplete },
+			func(error) CheckStatus { return CheckError },
+			pol)
+		st.Attempts += cst.Attempts
+		st.Retries += cst.Retries
+		st.Panics += cst.Panics
+		st.Timeouts += cst.Timeouts
+		return v
+	}
+	res := Result{FindingID: req.FindingID(), Severity: req.Severity()}
+	res.Before = check()
+	res.After = res.Before
+	if mode == CheckAndEnforce && res.Before != CheckPass {
+		res.Enforced = true
+		st.Enforced = true
+		enf, est := engine.Attempt(req.Enforce, nil,
+			func(error) EnforcementStatus { return EnforceFailure },
+			engine.Policy{AttemptTimeout: pol.AttemptTimeout, Sleep: pol.Sleep})
+		st.Attempts += est.Attempts
+		st.Panics += est.Panics
+		st.Timeouts += est.Timeouts
+		res.Enforcement = enf
+		res.After = check()
+	}
+	st.FindingID = res.FindingID
+	st.Status = res.After
+	st.Duration = time.Since(start)
+	return engineOutcome{res: res, st: st}
+}
+
+// RunEngine executes every catalogue entry in finding-ID order on the
+// fault-tolerant engine and returns the report plus run telemetry. It is
+// the single execution path behind Run and RunParallel.
+func (c *Catalog) RunEngine(opts RunOptions) (Report, RunStats) {
+	reqs := c.All()
+	outs, ps := engine.Map(reqs, opts.Workers,
+		func(i int, req CheckableEnforceableRequirement) engineOutcome {
+			return runRequirement(req, opts.Mode, opts.Checks)
+		})
+	stats := RunStats{
+		Requirements: len(reqs),
+		Workers:      ps.Workers,
+		Wall:         ps.Wall,
+		Busy:         ps.Busy,
+	}
+	var rep Report
+	if len(outs) > 0 {
+		rep.Results = make([]Result, len(outs))
+		stats.PerRequirement = make([]ReqStats, len(outs))
+	}
+	for i, o := range outs {
+		rep.Results[i] = o.res
+		stats.PerRequirement[i] = o.st
+		stats.Attempts += o.st.Attempts
+		stats.Retries += o.st.Retries
+		stats.Panics += o.st.Panics
+		stats.Timeouts += o.st.Timeouts
+		if o.res.After == CheckError {
+			stats.Errors++
+		}
+	}
+	return rep, stats
+}

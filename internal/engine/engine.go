@@ -1,0 +1,199 @@
+// Package engine is the fault-tolerant execution substrate shared by the
+// RQCODE catalogue runners (internal/core), the reactive-protection
+// scheduler (internal/monitor) and the CLIs. It provides three building
+// blocks:
+//
+//   - Attempt: run one operation with panic recovery, per-attempt timeouts,
+//     and retry with exponential backoff under a configurable attempt/time
+//     budget — a misbehaving check yields a verdict, never a crash.
+//   - Map: a bounded worker pool that preserves input order and reports
+//     wall/busy time and worker utilisation.
+//   - FaultInjector: a seeded, deterministic source of injected panics,
+//     transient failures and slowdowns for robustness testing (the E7b
+//     experiment).
+//
+// The package is deliberately generic — it knows nothing about
+// requirements or check statuses — so internal/core can build its
+// execution path on top of it without an import cycle.
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Policy configures how Attempt runs one operation. The zero value means
+// "one attempt, no timeout, no budget": exactly the semantics of calling
+// the operation directly, plus panic recovery.
+type Policy struct {
+	// MaxAttempts is the total number of tries per operation (first try
+	// included). Values below 1 are treated as 1.
+	MaxAttempts int
+	// InitialBackoff is the delay before the first retry (default 1ms when
+	// retries are enabled).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 100ms).
+	MaxBackoff time.Duration
+	// BackoffFactor multiplies the delay after each retry (default 2).
+	BackoffFactor float64
+	// AttemptTimeout bounds one attempt's wall-clock time; 0 disables it.
+	// A timed-out attempt counts as a retryable failure. The abandoned
+	// attempt's goroutine is left to finish in the background (its result
+	// is discarded), mirroring how real audit agents abandon stuck probes.
+	AttemptTimeout time.Duration
+	// Budget bounds the total wall-clock time across attempts and
+	// backoffs; 0 disables it. Retries stop once the budget would be
+	// exceeded.
+	Budget time.Duration
+	// Sleep is the backoff sleeper, injectable for tests and for
+	// virtual-time schedulers; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Retry is a convenience Policy with n total attempts and fast default
+// backoff.
+func Retry(n int) Policy { return Policy{MaxAttempts: n} }
+
+func (p Policy) normalized() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.BackoffFactor < 1 {
+		p.BackoffFactor = 2
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// Stats is the telemetry of one Attempt call.
+type Stats struct {
+	// Attempts is how many times the operation ran (>= 1).
+	Attempts int
+	// Retries is Attempts beyond the first that were actually taken.
+	Retries int
+	// Panics counts attempts that ended in a recovered panic.
+	Panics int
+	// Timeouts counts attempts abandoned at AttemptTimeout.
+	Timeouts int
+	// Duration is total wall time spent, backoffs included.
+	Duration time.Duration
+	// Err is the failure of the last attempt when no attempt produced a
+	// value (recovered panic or timeout); nil otherwise.
+	Err error
+}
+
+// PanicError wraps a recovered panic value.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("engine: recovered panic: %v", e.Value) }
+
+// TimeoutError reports an attempt abandoned at its deadline.
+type TimeoutError struct{ Timeout time.Duration }
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("engine: attempt abandoned after %v", e.Timeout)
+}
+
+// Attempt runs op under the policy. A panicking or timed-out attempt is
+// retried while attempts and budget remain; a returned value is retried
+// only while retryable reports it transient (nil retryable means any value
+// is final). When every attempt fails without producing a value, fallback
+// maps the last error to the result (nil fallback returns the zero value).
+// The final value of a retry-exhausted transient verdict is that verdict
+// itself — it is a legitimate outcome, not an error.
+func Attempt[R any](op func() R, retryable func(R) bool, fallback func(error) R, p Policy) (R, Stats) {
+	p = p.normalized()
+	start := time.Now()
+	var st Stats
+	var last R
+	hasValue := false
+	backoff := p.InitialBackoff
+	for {
+		st.Attempts++
+		v, err := runProtected(op, p.AttemptTimeout)
+		if err == nil {
+			last, hasValue = v, true
+			st.Err = nil
+			if retryable == nil || !retryable(v) {
+				break
+			}
+		} else {
+			hasValue = false
+			st.Err = err
+			switch err.(type) {
+			case *PanicError:
+				st.Panics++
+			case *TimeoutError:
+				st.Timeouts++
+			}
+		}
+		if st.Attempts >= p.MaxAttempts {
+			break
+		}
+		if p.Budget > 0 && time.Since(start)+backoff > p.Budget {
+			break
+		}
+		st.Retries++
+		p.Sleep(backoff)
+		backoff = time.Duration(float64(backoff) * p.BackoffFactor)
+		if backoff > p.MaxBackoff {
+			backoff = p.MaxBackoff
+		}
+	}
+	st.Duration = time.Since(start)
+	if hasValue {
+		return last, st
+	}
+	var zero R
+	if fallback != nil {
+		return fallback(st.Err), st
+	}
+	return zero, st
+}
+
+// runProtected executes op once with panic recovery and an optional
+// wall-clock deadline.
+func runProtected[R any](op func() R, timeout time.Duration) (R, error) {
+	if timeout <= 0 {
+		return runRecovered(op)
+	}
+	type outcome struct {
+		v   R
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := runRecovered(op)
+		ch <- outcome{v, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-timer.C:
+		var zero R
+		return zero, &TimeoutError{Timeout: timeout}
+	}
+}
+
+func runRecovered[R any](op func() R) (v R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return op(), nil
+}

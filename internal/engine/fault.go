@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Fault is one injected misbehaviour class.
+type Fault int
+
+const (
+	// FaultNone lets the call through untouched.
+	FaultNone Fault = iota
+	// FaultPanic makes the call panic (with ErrInjectedPanic).
+	FaultPanic
+	// FaultTransient makes the call report a transient, retryable failure
+	// (an INCOMPLETE verdict at the requirement layer).
+	FaultTransient
+	// FaultSlow delays the call by the plan's SlowDelay before letting it
+	// through.
+	FaultSlow
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultPanic:
+		return "panic"
+	case FaultTransient:
+		return "transient"
+	case FaultSlow:
+		return "slow"
+	default:
+		return "fault(?)"
+	}
+}
+
+// ErrInjectedPanic is the payload of every injected panic, so recovery
+// paths and tests can tell injected faults from real bugs.
+var ErrInjectedPanic = errors.New("engine: injected fault")
+
+// FaultPlan parameterises an injector. Probabilities are evaluated in
+// order panic, transient, slow against a single draw per call, so their
+// sum should stay <= 1.
+type FaultPlan struct {
+	// FailFirst makes the first N calls transient failures regardless of
+	// the probabilities — the deterministic "flaky host that recovers"
+	// shape (fails N times, then behaves).
+	FailFirst int
+	// PanicProb, TransientProb, SlowProb are per-call fault probabilities.
+	PanicProb, TransientProb, SlowProb float64
+	// SlowDelay is how long a FaultSlow call stalls.
+	SlowDelay time.Duration
+}
+
+// FaultInjector deterministically decides a fault for each call from a
+// seeded RNG. It is safe for concurrent use; under concurrency the global
+// draw order follows the interleaving, so deterministic tests should give
+// each wrapped requirement its own injector.
+type FaultInjector struct {
+	mu    sync.Mutex
+	plan  FaultPlan
+	rng   *rand.Rand
+	calls int
+	count map[Fault]int
+}
+
+// NewFaultInjector returns an injector for the plan, seeded for
+// reproducibility.
+func NewFaultInjector(seed int64, plan FaultPlan) *FaultInjector {
+	return &FaultInjector{
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(seed)),
+		count: map[Fault]int{},
+	}
+}
+
+// Plan returns the injector's plan.
+func (fi *FaultInjector) Plan() FaultPlan { return fi.plan }
+
+// Next decides the fault for the next call.
+func (fi *FaultInjector) Next() Fault {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.calls++
+	f := fi.decide()
+	fi.count[f]++
+	return f
+}
+
+func (fi *FaultInjector) decide() Fault {
+	if fi.calls <= fi.plan.FailFirst {
+		return FaultTransient
+	}
+	r := fi.rng.Float64()
+	switch {
+	case r < fi.plan.PanicProb:
+		return FaultPanic
+	case r < fi.plan.PanicProb+fi.plan.TransientProb:
+		return FaultTransient
+	case r < fi.plan.PanicProb+fi.plan.TransientProb+fi.plan.SlowProb:
+		return FaultSlow
+	default:
+		return FaultNone
+	}
+}
+
+// Calls reports how many faults have been decided.
+func (fi *FaultInjector) Calls() int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.calls
+}
+
+// Injected reports how many times the given fault was decided.
+func (fi *FaultInjector) Injected(f Fault) int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.count[f]
+}

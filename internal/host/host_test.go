@@ -303,3 +303,26 @@ func TestDriftWindowsDisablesAuditing(t *testing.T) {
 		t.Error("drift should have disabled some subcategory")
 	}
 }
+
+func TestUnreachableHostPanicsAndRecovers(t *testing.T) {
+	h := NewUbuntu1804()
+	h.SetUnreachable(true)
+	trap := func(f func()) (v interface{}) {
+		defer func() { v = recover() }()
+		f()
+		return nil
+	}
+	if got := trap(func() { h.Installed("sudo") }); got != ErrUnreachable {
+		t.Errorf("probe panic = %v, want ErrUnreachable", got)
+	}
+	if got := trap(func() { h.Install("nis", "1") }); got != ErrUnreachable {
+		t.Errorf("mutation panic = %v, want ErrUnreachable", got)
+	}
+	if got := trap(func() { h.Config("/etc/login.defs", "ENCRYPT_METHOD") }); got != ErrUnreachable {
+		t.Errorf("config probe panic = %v, want ErrUnreachable", got)
+	}
+	h.SetUnreachable(false)
+	if !h.Installed("sudo") {
+		t.Error("host state must survive the outage")
+	}
+}

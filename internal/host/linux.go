@@ -8,6 +8,7 @@
 package host
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -41,6 +42,36 @@ type Linux struct {
 	// the enforcement agent lacks privileges — the failure-injection hook
 	// for testing EnforcementStatus FAILURE paths.
 	readOnly bool
+	// unreachable makes every probe and mutation panic with ErrUnreachable,
+	// modelling a host that dropped off the network mid-audit — the fault
+	// hook that exercises the engine's panic isolation through real STIG
+	// requirements (the check drivers of the VeriDevOps prototype fail this
+	// way when ssh/WinRM transport dies).
+	unreachable bool
+}
+
+// ErrUnreachable is the panic value every Linux operation raises while the
+// host is marked unreachable. The fault-tolerant engine recovers it into a
+// CheckError verdict; code calling hosts directly will crash, which is the
+// point of the hook.
+var ErrUnreachable = errors.New("host: unreachable")
+
+// SetUnreachable toggles the connectivity fault. While set, every probe
+// and mutation panics with ErrUnreachable. Toggling back restores normal
+// operation; host state is unaffected by the outage.
+func (l *Linux) SetUnreachable(down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.unreachable = down
+}
+
+// ping panics when the host is unreachable; callers hold l.mu (every
+// public method locks with a deferred unlock, so the panic unwinds
+// cleanly and the host stays usable once reachable again).
+func (l *Linux) ping() {
+	if l.unreachable {
+		panic(ErrUnreachable)
+	}
 }
 
 // SetReadOnly toggles mutation denial. While read-only, Install, Remove,
@@ -91,6 +122,7 @@ func (l *Linux) Log() *EventLog { return l.log }
 func (l *Linux) Install(name, version string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	if l.denied("apt.install", name) {
 		return
 	}
@@ -109,6 +141,7 @@ func (l *Linux) Install(name, version string) {
 func (l *Linux) Remove(name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	if l.denied("apt.remove", name) {
 		return
 	}
@@ -123,6 +156,7 @@ func (l *Linux) Remove(name string) {
 func (l *Linux) Version(name string) string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	if p, ok := l.packages[name]; ok && p.Installed {
 		return p.Version
 	}
@@ -133,6 +167,7 @@ func (l *Linux) Version(name string) string {
 func (l *Linux) Installed(name string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	p, ok := l.packages[name]
 	return ok && p.Installed
 }
@@ -141,6 +176,7 @@ func (l *Linux) Installed(name string) bool {
 func (l *Linux) Packages() []string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	var out []string
 	for _, p := range l.packages {
 		if p.Installed {
@@ -155,6 +191,7 @@ func (l *Linux) Packages() []string {
 func (l *Linux) EnableService(name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	if l.denied("systemctl.enable", name) {
 		return
 	}
@@ -172,6 +209,7 @@ func (l *Linux) EnableService(name string) {
 func (l *Linux) DisableService(name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	if l.denied("systemctl.disable", name) {
 		return
 	}
@@ -186,6 +224,7 @@ func (l *Linux) DisableService(name string) {
 func (l *Linux) ServiceActive(name string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	s, ok := l.services[name]
 	return ok && s.Enabled && s.Running
 }
@@ -194,6 +233,7 @@ func (l *Linux) ServiceActive(name string) bool {
 func (l *Linux) SetConfig(file, key, value string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	if l.denied("config.set", file+":"+key) {
 		return
 	}
@@ -210,6 +250,7 @@ func (l *Linux) SetConfig(file, key, value string) {
 func (l *Linux) Config(file, key string) (string, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	f, ok := l.config[file]
 	if !ok {
 		return "", false
@@ -222,6 +263,7 @@ func (l *Linux) Config(file, key string) (string, bool) {
 func (l *Linux) UnsetConfig(file, key string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.ping()
 	if l.denied("config.unset", file+":"+key) {
 		return
 	}

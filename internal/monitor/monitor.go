@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"veridevops/internal/core"
+	"veridevops/internal/engine"
 	"veridevops/internal/temporal"
 	"veridevops/internal/trace"
 )
@@ -73,11 +74,24 @@ type Scheduler struct {
 	AutoEnforce bool
 	// Adaptive, when non-nil, enables backoff polling.
 	Adaptive *AdaptivePolicy
+	// Checks is the per-check resilience policy: every poll check runs
+	// through the fault-tolerant engine, so a panicking requirement
+	// raises an alarm (fail-closed, status ERROR) instead of killing the
+	// scheduler. The zero value means one attempt, no timeout. Retry
+	// backoff sleeps in real time — configure Policy.Sleep when driving a
+	// virtual clock.
+	Checks engine.Policy
 
 	entries []*entry
 	alarms  []Alarm
 	// Polls counts polling rounds performed by Run.
 	Polls int
+	// CheckAttempts / CheckRetries / CheckPanics / EnforcePanics are the
+	// engine telemetry accumulated over the run.
+	CheckAttempts int
+	CheckRetries  int
+	CheckPanics   int
+	EnforcePanics int
 }
 
 // NewScheduler returns a scheduler with the given polling period over a
@@ -165,13 +179,16 @@ func (s *Scheduler) adaptiveParams() (maxPeriod trace.Time, cleanStreak int) {
 	return
 }
 
-// poll checks every entry once, handles violations, and reports whether
-// any entry was in violation this round.
+// poll checks every entry once through the engine, handles violations,
+// and reports whether any entry was in violation this round. A check that
+// panics or times out yields ERROR and is treated as a violation
+// (fail-closed): an unobservable requirement must alarm, not pass
+// silently.
 func (s *Scheduler) poll(now trace.Time) bool {
 	s.Polls++
 	violated := false
 	for _, en := range s.entries {
-		status := en.c.Check()
+		status := s.check(en)
 		switch {
 		case status == core.CheckPass:
 			en.inViolation = false
@@ -181,8 +198,8 @@ func (s *Scheduler) poll(now trace.Time) bool {
 			a := Alarm{At: now, Requirement: en.name, RepairedAt: -1}
 			if s.AutoEnforce && en.e != nil {
 				a.Enforced = true
-				a.Enforcement = en.e.Enforce()
-				if en.c.Check() == core.CheckPass {
+				a.Enforcement = s.enforce(en)
+				if s.check(en) == core.CheckPass {
 					a.RepairedAt = now
 					en.inViolation = false
 				}
@@ -195,6 +212,28 @@ func (s *Scheduler) poll(now trace.Time) bool {
 	return violated
 }
 
+// check runs one entry's Check on the engine under s.Checks.
+func (s *Scheduler) check(en *entry) core.CheckStatus {
+	status, st := engine.Attempt(en.c.Check,
+		func(v core.CheckStatus) bool { return v == core.CheckIncomplete },
+		func(error) core.CheckStatus { return core.CheckError },
+		s.Checks)
+	s.CheckAttempts += st.Attempts
+	s.CheckRetries += st.Retries
+	s.CheckPanics += st.Panics
+	return status
+}
+
+// enforce runs one entry's Enforce panic-isolated (never retried: host
+// mutations are not idempotent in general).
+func (s *Scheduler) enforce(en *entry) core.EnforcementStatus {
+	status, st := engine.Attempt(en.e.Enforce, nil,
+		func(error) core.EnforcementStatus { return core.EnforceFailure },
+		engine.Policy{})
+	s.EnforcePanics += st.Panics
+	return status
+}
+
 // Stats summarises a run against known injection times.
 type Stats struct {
 	Alarms   int
@@ -205,17 +244,48 @@ type Stats struct {
 }
 
 // LatencyStats matches alarms against the injection times of violations
-// (by requirement name) and computes detection statistics.
+// (by requirement name) and computes detection statistics. Each injection
+// is matched to its first subsequent alarm only: repeat violation
+// episodes of the same requirement raise further alarms, and counting
+// those against the one injection time would inflate the mean latency.
 func LatencyStats(alarms []Alarm, injections map[string]trace.Time) Stats {
+	multi := make(map[string][]trace.Time, len(injections))
+	for req, at := range injections {
+		multi[req] = []trace.Time{at}
+	}
+	return LatencyStatsMulti(alarms, multi)
+}
+
+// LatencyStatsMulti is LatencyStats for repeated violation episodes: each
+// requirement maps to all of its injection times, and every injection is
+// matched, in time order, to the first alarm at or after it that no
+// earlier injection already claimed.
+func LatencyStatsMulti(alarms []Alarm, injections map[string][]trace.Time) Stats {
 	st := Stats{Alarms: len(alarms), MeanDetectionLatency: -1}
-	total, matched := 0.0, 0
+	alarmTimes := map[string][]trace.Time{}
 	for _, a := range alarms {
 		if a.RepairedAt >= 0 {
 			st.Repaired++
 		}
-		if inj, ok := injections[a.Requirement]; ok && a.At >= inj {
-			total += float64(a.At - inj)
+		alarmTimes[a.Requirement] = append(alarmTimes[a.Requirement], a.At)
+	}
+	total, matched := 0.0, 0
+	for req, injs := range injections {
+		times := alarmTimes[req]
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		injs = append([]trace.Time{}, injs...)
+		sort.Slice(injs, func(i, j int) bool { return injs[i] < injs[j] })
+		next := 0
+		for _, inj := range injs {
+			for next < len(times) && times[next] < inj {
+				next++
+			}
+			if next == len(times) {
+				break
+			}
+			total += float64(times[next] - inj)
 			matched++
+			next++
 		}
 	}
 	if matched > 0 {

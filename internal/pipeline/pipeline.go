@@ -9,6 +9,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -93,6 +94,71 @@ type Config struct {
 	// PCode is the probability a commit carries a code violation; PDrift
 	// the probability a drift violation appears during a commit interval.
 	PCode, PDrift float64
+}
+
+// Validate reports why the configuration would make a simulation
+// meaningless: non-positive periods (which used to crash Simulate with an
+// integer divide-by-zero) and probabilities or recall outside [0,1]. A nil
+// return means Simulate will use the configuration exactly as given.
+func (c Config) Validate() error {
+	var problems []string
+	if c.Interarrival <= 0 {
+		problems = append(problems, fmt.Sprintf("Interarrival must be positive, got %d", c.Interarrival))
+	}
+	if c.Protection && c.MonitorPeriod <= 0 {
+		problems = append(problems, fmt.Sprintf("MonitorPeriod must be positive when Protection is on, got %d", c.MonitorPeriod))
+	}
+	if c.GateLatency < 0 {
+		problems = append(problems, fmt.Sprintf("GateLatency must be non-negative, got %d", c.GateLatency))
+	}
+	if c.BuildLatency < 0 {
+		problems = append(problems, fmt.Sprintf("BuildLatency must be non-negative, got %d", c.BuildLatency))
+	}
+	if c.GateRecall < 0 || c.GateRecall > 1 {
+		problems = append(problems, fmt.Sprintf("GateRecall must be in [0,1], got %g", c.GateRecall))
+	}
+	if c.PCode < 0 || c.PCode > 1 {
+		problems = append(problems, fmt.Sprintf("PCode must be in [0,1], got %g", c.PCode))
+	}
+	if c.PDrift < 0 || c.PDrift > 1 {
+		problems = append(problems, fmt.Sprintf("PDrift must be in [0,1], got %g", c.PDrift))
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return errors.New("pipeline: invalid config: " + strings.Join(problems, "; "))
+}
+
+// normalized replaces invalid fields with the DefaultConfig values (and
+// clamps probabilities into [0,1]) so Simulate never panics. Callers that
+// want a hard error instead call Validate first.
+func (c Config) normalized() Config {
+	d := DefaultConfig()
+	if c.Interarrival <= 0 {
+		c.Interarrival = d.Interarrival
+	}
+	if c.MonitorPeriod <= 0 {
+		c.MonitorPeriod = d.MonitorPeriod
+	}
+	if c.GateLatency < 0 {
+		c.GateLatency = 0
+	}
+	if c.BuildLatency < 0 {
+		c.BuildLatency = 0
+	}
+	clamp01 := func(p float64) float64 {
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	c.GateRecall = clamp01(c.GateRecall)
+	c.PCode = clamp01(c.PCode)
+	c.PDrift = clamp01(c.PDrift)
+	return c
 }
 
 // DefaultConfig returns the baseline configuration of the E6 experiment.
@@ -197,8 +263,11 @@ func (r Result) String() string {
 }
 
 // Simulate runs nCommits commits through the pipeline. Deterministic in
-// rng.
+// rng. Invalid configurations are normalised (see Config.Validate and
+// normalized) rather than panicking; Result.Config records the
+// configuration actually simulated.
 func Simulate(cfg Config, nCommits int, rng *rand.Rand) Result {
+	cfg = cfg.normalized()
 	res := Result{Config: cfg, Commits: nCommits}
 	horizon := trace.Time(nCommits+1) * cfg.Interarrival
 	res.Horizon = horizon
@@ -207,6 +276,20 @@ func Simulate(cfg Config, nCommits int, rng *rand.Rand) Result {
 		// First monitor poll at or after t.
 		k := (t + cfg.MonitorPeriod - 1) / cfg.MonitorPeriod
 		return k * cfg.MonitorPeriod
+	}
+
+	// detect resolves runtime detection of a violation active at `active`:
+	// the first monitor poll, unless that poll falls past the simulation
+	// horizon — no monitor runs after the horizon, so the end-of-horizon
+	// audit catches it instead.
+	detect := func(active trace.Time) (Phase, trace.Time) {
+		if !cfg.Protection {
+			return AtAudit, horizon
+		}
+		if p := nextPoll(active); p <= horizon {
+			return AtOps, p
+		}
+		return AtAudit, horizon
 	}
 
 	for i := 0; i < nCommits; i++ {
@@ -231,13 +314,7 @@ func Simulate(cfg Config, nCommits int, rng *rand.Rand) Result {
 					deploy += cfg.GateLatency
 				}
 				v.ActiveAt = deploy
-				if cfg.Protection {
-					v.Phase = AtOps
-					v.DetectedAt = nextPoll(deploy)
-				} else {
-					v.Phase = AtAudit
-					v.DetectedAt = horizon
-				}
+				v.Phase, v.DetectedAt = detect(deploy)
 			}
 			res.Violations = append(res.Violations, v)
 		}
@@ -246,13 +323,7 @@ func Simulate(cfg Config, nCommits int, rng *rand.Rand) Result {
 		if rng.Float64() < cfg.PDrift {
 			occur := at + trace.Time(rng.Int63n(int64(cfg.Interarrival)))
 			v := Violation{Kind: DriftViolation, IntroducedAt: occur, ActiveAt: occur, DetectedAt: -1}
-			if cfg.Protection {
-				v.Phase = AtOps
-				v.DetectedAt = nextPoll(occur)
-			} else {
-				v.Phase = AtAudit
-				v.DetectedAt = horizon
-			}
+			v.Phase, v.DetectedAt = detect(occur)
 			res.Violations = append(res.Violations, v)
 		}
 	}

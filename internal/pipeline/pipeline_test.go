@@ -164,6 +164,117 @@ func TestStringsRender(t *testing.T) {
 	}
 }
 
+func TestHorizonClampsLateDetections(t *testing.T) {
+	// Regression: with a monitor period so long that the first poll after a
+	// violation falls past the horizon, the old code still reported AtOps
+	// with DetectedAt = nextPoll > horizon — a detection by a poll that
+	// never runs. Those violations must fall to the end-of-horizon audit.
+	cfg := DefaultConfig()
+	cfg.Prevention = false
+	cfg.MonitorPeriod = 7000 // horizon = 51*100 = 5100 < first poll
+	r := Simulate(cfg, 50, rand.New(rand.NewSource(11)))
+	if len(r.Violations) == 0 {
+		t.Fatal("seed produced no violations; pick another seed")
+	}
+	for _, v := range r.Violations {
+		if v.DetectedAt > r.Horizon {
+			t.Errorf("detection past the horizon: %+v (horizon %d)", v, r.Horizon)
+		}
+		if v.Phase != AtAudit || v.DetectedAt != r.Horizon {
+			t.Errorf("no poll fits before the horizon, want audit at %d: %+v", r.Horizon, v)
+		}
+	}
+}
+
+func TestHorizonClampOnlyAffectsTail(t *testing.T) {
+	// With a period that doesn't divide the horizon, only violations whose
+	// next poll overshoots may be clamped; everything else stays AtOps.
+	cfg := DefaultConfig()
+	cfg.Prevention = false
+	cfg.MonitorPeriod = 73
+	r := Simulate(cfg, 500, rand.New(rand.NewSource(12)))
+	nextPoll := func(tt int64) int64 {
+		k := (tt + 73 - 1) / 73
+		return k * 73
+	}
+	ops := 0
+	for _, v := range r.Violations {
+		switch v.Phase {
+		case AtOps:
+			ops++
+			if v.DetectedAt > r.Horizon {
+				t.Errorf("ops detection past horizon: %+v", v)
+			}
+		case AtAudit:
+			if nextPoll(int64(v.ActiveAt)) <= int64(r.Horizon) {
+				t.Errorf("clamped to audit although a poll fit: %+v", v)
+			}
+			if v.DetectedAt != r.Horizon {
+				t.Errorf("audit detection must be at the horizon: %+v", v)
+			}
+		}
+	}
+	if ops == 0 {
+		t.Error("expected most violations still caught at ops")
+	}
+}
+
+func TestSimulateSurvivesNonPositivePeriods(t *testing.T) {
+	// Regression: MonitorPeriod <= 0 crashed nextPoll with an integer
+	// divide-by-zero, and Interarrival <= 0 crashed rng.Int63n.
+	cfg := Config{Protection: true} // both periods zero
+	r := Simulate(cfg, 20, rand.New(rand.NewSource(13)))
+	d := DefaultConfig()
+	if r.Config.Interarrival != d.Interarrival || r.Config.MonitorPeriod != d.MonitorPeriod {
+		t.Errorf("invalid periods must normalise to defaults, got %+v", r.Config)
+	}
+	neg := DefaultConfig()
+	neg.Interarrival = -5
+	neg.MonitorPeriod = -1
+	neg.PCode = 3 // clamps to 1: every commit violates, still no panic
+	r = Simulate(neg, 20, rand.New(rand.NewSource(13)))
+	if len(r.Violations) < 20 {
+		t.Errorf("PCode clamped to 1 must violate every commit, got %d", len(r.Violations))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config must validate, got %v", err)
+	}
+	bad := Config{Protection: true}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("zero periods must not validate")
+	}
+	for _, want := range []string{"Interarrival", "MonitorPeriod"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// MonitorPeriod only matters when Protection is on.
+	off := DefaultConfig()
+	off.Protection = false
+	off.MonitorPeriod = 0
+	if err := off.Validate(); err != nil {
+		t.Errorf("MonitorPeriod unused without protection, got %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.GateRecall = 1.5 },
+		func(c *Config) { c.PCode = -0.1 },
+		func(c *Config) { c.PDrift = 2 },
+		func(c *Config) { c.GateLatency = -1 },
+		func(c *Config) { c.BuildLatency = -1 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d must not validate: %+v", i, c)
+		}
+	}
+}
+
 func TestGateCostScalesWithCommits(t *testing.T) {
 	cfg := DefaultConfig()
 	r := Simulate(cfg, 100, rand.New(rand.NewSource(10)))

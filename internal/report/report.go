@@ -9,7 +9,19 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
+
+// Millis renders a duration as fractional milliseconds, the unit the
+// experiment tables and engine telemetry report wall/busy times in.
+func Millis(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
+}
+
+// Percent renders a fraction in [0,1] as a whole percentage.
+func Percent(f float64) string {
+	return fmt.Sprintf("%.0f%%", 100*f)
+}
 
 // Table is a titled grid of cells.
 type Table struct {

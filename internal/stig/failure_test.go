@@ -111,3 +111,30 @@ func TestMonitorRecordsFailedRepairs(t *testing.T) {
 		t.Errorf("alarm = %+v, want failed enforcement with no repair", a)
 	}
 }
+
+func TestUnreachableHostAuditCompletesAllError(t *testing.T) {
+	// Connectivity fault: every probe panics. The engine must recover each
+	// panic into an ERROR verdict and the audit must still complete.
+	h := host.NewUbuntu1804()
+	cat := UbuntuCatalog(h)
+	cat.Run(core.CheckAndEnforce) // harden while reachable
+	h.SetUnreachable(true)
+
+	rep, st := cat.RunEngine(core.RunOptions{Mode: core.CheckOnly, Workers: 4})
+	if len(rep.Results) != len(cat.All()) {
+		t.Fatalf("results = %d, want %d (audit must complete)", len(rep.Results), len(cat.All()))
+	}
+	for _, r := range rep.Results {
+		if r.After != core.CheckError {
+			t.Errorf("%s = %v, want ERROR while unreachable", r.FindingID, r.After)
+		}
+	}
+	if st.Errors != len(rep.Results) || st.Panics < len(rep.Results) {
+		t.Errorf("telemetry = %+v, want every requirement errored via a recovered panic", st)
+	}
+
+	h.SetUnreachable(false)
+	if c := cat.Run(core.CheckOnly).Compliance(); c != 1 {
+		t.Errorf("compliance after reconnect = %v, want 1 (outage must not corrupt state)", c)
+	}
+}
