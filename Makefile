@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench tables
+.PHONY: check vet build test race fleet-race bench bench-fleet tables
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the engine, core and monitor packages are
-# concurrent by construction, so -race is not optional).
+# concurrent by construction, so -race is not optional). fleet-race is
+# part of race via ./..., listed separately for a focused re-run.
 check: vet build race
 
 vet:
@@ -19,10 +20,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# fleet-race exercises just the concurrency-heavy fleet paths under the
+# race detector (already covered by race; this is the quick loop).
+fleet-race:
+	$(GO) test -race ./internal/fleet/ ./internal/engine/ ./internal/core/
+
 # bench runs the experiment benchmarks once each (correctness smoke, not a
-# timing run).
-bench:
+# timing run), then the fleet + catalogue timing benchmarks with -benchmem
+# and regenerates the BENCH_fleet.json perf record.
+bench: bench-fleet
 	$(GO) test -run=^$$ -bench=. -benchtime=1x .
+
+bench-fleet:
+	$(GO) test -run=^$$ -bench='BenchmarkFleet|BenchmarkCatalog' -benchmem ./internal/fleet/ .
+	$(GO) run ./cmd/fleetaudit -bench -o BENCH_fleet.json
 
 # tables regenerates every EXPERIMENTS.md table on stdout.
 tables:

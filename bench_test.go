@@ -248,6 +248,39 @@ func BenchmarkE12SecurityLevels(b *testing.B) {
 	}
 }
 
+// BenchmarkE13FleetAudit regenerates the E13 table (sharded fleet audit
+// with incremental caching).
+func BenchmarkE13FleetAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.E13FleetAudit(1)
+	}
+}
+
+// BenchmarkCatalogIDs measures repeated sorted-ID listing, the kernel the
+// catalogue's sort cache accelerates (before the cache this re-sorted on
+// every call).
+func BenchmarkCatalogIDs(b *testing.B) {
+	h := host.NewUbuntu1804()
+	cat := stig.UbuntuCatalog(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat.IDs()
+	}
+}
+
+// BenchmarkCatalogRunEngineSweep measures repeated check-only engine
+// sweeps of an unchanged catalogue — the fleet steady-state hot path that
+// the cached sorted order speeds up (All() no longer re-sorts per sweep).
+func BenchmarkCatalogRunEngineSweep(b *testing.B) {
+	h := host.NewUbuntu1804()
+	cat := stig.UbuntuCatalog(h)
+	cat.Run(core.CheckAndEnforce)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat.RunEngine(core.RunOptions{Mode: core.CheckOnly, Workers: 1})
+	}
+}
+
 // BenchmarkTctlEval measures offline TCTL evaluation over a trace, used
 // across E3b and the protection experiments.
 func BenchmarkTctlEval(b *testing.B) {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"veridevops/internal/report"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanFleetIsCompliant(t *testing.T) {
+	code, out, _ := runCapture(t, "-hosts", "4", "-shards", "2", "-drift", "0")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "fleet compliant: 32 requirements pass on 4 hosts") {
+		t.Errorf("missing compliance line:\n%s", out)
+	}
+}
+
+func TestDriftedFleetExitsNonZero(t *testing.T) {
+	code, out, _ := runCapture(t, "-hosts", "4", "-shards", "2", "-drift", "2", "-seed", "3")
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "fleet non-compliant") {
+		t.Errorf("missing non-compliance line:\n%s", out)
+	}
+}
+
+func TestEnforceRemediatesDrift(t *testing.T) {
+	code, out, _ := runCapture(t, "-hosts", "4", "-shards", "2", "-drift", "3", "-enforce")
+	if code != 0 {
+		t.Fatalf("enforced fleet must end compliant, exit = %d\n%s", code, out)
+	}
+}
+
+func TestUnreachableHostDegrades(t *testing.T) {
+	code, out, _ := runCapture(t, "-hosts", "4", "-shards", "2", "-drift", "0", "-down", "1")
+	if code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "true") || !strings.Contains(out, "degraded") {
+		t.Errorf("degraded host not visible:\n%s", out)
+	}
+}
+
+func TestIncrementalReSweepShowsCacheHits(t *testing.T) {
+	code, out, _ := runCapture(t, "-hosts", "8", "-shards", "4", "-drift", "0", "-incremental", "-telemetry")
+	if code != 1 { // the injected drift leaves a violation open
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "incremental re-sweep") {
+		t.Fatalf("missing incremental section:\n%s", out)
+	}
+	if !strings.Contains(out, "7 hosts cached") {
+		t.Errorf("expected 7 cached hosts in summary:\n%s", out)
+	}
+	if !strings.Contains(out, "shards") || !strings.Contains(out, "wall-ms") {
+		t.Errorf("telemetry tables missing:\n%s", out)
+	}
+}
+
+func TestFaultInjectionWithRetriesStillCompletes(t *testing.T) {
+	code, out, _ := runCapture(t, "-hosts", "4", "-shards", "2", "-drift", "0", "-faults", "-retries", "6")
+	// Retries recover transients; rare residual panics may leave errors,
+	// but every requirement must have a verdict either way.
+	if code != 0 && code != 1 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "32 requirements") {
+		t.Errorf("audit did not cover the whole fleet:\n%s", out)
+	}
+}
+
+func TestBenchWritesJSON(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	code, out, _ := runCapture(t, "-bench", "-o", p)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl report.Table
+	if err := json.Unmarshal(data, &tbl); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Errorf("rows = %d, want 5 scenarios", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.Rows[0][0], "sequential") {
+		t.Errorf("first row must be the sequential baseline: %v", tbl.Rows[0])
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-hosts", "0"},
+		{"-drift", "9", "-hosts", "4"},
+		{"-down", "9", "-hosts", "4"},
+		{"-retries", "0"},
+		{"-nonsense"},
+	} {
+		if code, _, _ := runCapture(t, args...); code != 2 {
+			t.Errorf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}

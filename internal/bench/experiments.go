@@ -14,6 +14,7 @@ import (
 	"veridevops/internal/core"
 	"veridevops/internal/engine"
 	"veridevops/internal/extract"
+	"veridevops/internal/fleet"
 	"veridevops/internal/gwt"
 	"veridevops/internal/host"
 	"veridevops/internal/iec62443"
@@ -540,6 +541,62 @@ func E12SecurityLevels(seed int64) *report.Table {
 	return t
 }
 
+// E13FleetAudit measures the sharded fleet coordinator: sequential
+// per-host auditing versus sharded sweeps at growing shard counts, the
+// incremental re-sweep with one changed host, and an unreachable host
+// degrading its shard to ERROR verdicts without stalling the fleet. Every
+// check pays a simulated 50µs probe round-trip (the live-audit transport
+// cost that makes sharding pay); cmd/fleetaudit -bench records the same
+// matrix into BENCH_fleet.json at the full 100µs setting.
+func E13FleetAudit(seed int64) *report.Table {
+	const nHosts = 16
+	t := report.New("E13: sharded fleet audit (16 hosts, 50us probe round-trip)",
+		"scenario", "shards", "workers", "requirements-run", "cache-hit-rate",
+		"errors", "degraded-hosts", "wall-ms", "speedup")
+	t.Note = "host-affine shards cut wall time near-linearly; the incremental cache re-executes only the changed host; an unreachable host degrades to ERROR without stalling the sweep"
+
+	mk := func() ([]fleet.Target, []*host.Linux) {
+		targets, machines := fleet.LinuxFleet(nHosts)
+		for i := range targets {
+			targets[i] = fleet.WithProbeDelay(targets[i], 50*time.Microsecond)
+		}
+		return targets, machines
+	}
+
+	targets, _ := mk()
+	t0 := time.Now()
+	for _, tg := range targets {
+		tg.Catalog.RunEngine(core.RunOptions{Mode: core.CheckOnly, Workers: 1})
+	}
+	seqWall := time.Since(t0)
+	speedup := func(w time.Duration) float64 { return float64(seqWall) / float64(w) }
+	t.AddRow("sequential per-host RunEngine", 1, 1, nHosts*8, "-", 0, 0,
+		report.Millis(seqWall), 1.0)
+
+	for _, shards := range []int{1, 4, 16} {
+		targets, _ := mk()
+		_, st := fleet.Sweep(targets, fleet.Options{Shards: shards, Workers: 4})
+		t.AddRow("full sharded sweep", shards, 4, st.Requirements, "-", st.Errors,
+			st.DegradedHosts, report.Millis(st.Wall), speedup(st.Wall))
+	}
+
+	targets, machines := mk()
+	coord := fleet.NewCoordinator()
+	coord.Sweep(targets, fleet.Options{Shards: 16, Workers: 4})
+	host.DriftLinux(machines[3], 3, rand.New(rand.NewSource(seed)))
+	_, st := coord.Sweep(targets, fleet.Options{Shards: 16, Workers: 4, Incremental: true})
+	t.AddRow("incremental re-sweep (1/16 changed)", 16, 4, st.CacheMisses,
+		report.Percent(st.CacheHitRate()), st.Errors, st.DegradedHosts,
+		report.Millis(st.Wall), speedup(st.Wall))
+
+	targets, machines = mk()
+	machines[5].SetUnreachable(true)
+	_, st = fleet.Sweep(targets, fleet.Options{Shards: 4, Workers: 4})
+	t.AddRow("one host unreachable", 4, 4, st.Requirements, "-", st.Errors,
+		st.DegradedHosts, report.Millis(st.Wall), speedup(st.Wall))
+	return t
+}
+
 // All returns every experiment table in order.
 func All(seed int64) []*report.Table {
 	return []*report.Table{
@@ -559,5 +616,6 @@ func All(seed int64) []*report.Table {
 		E10ComplianceSeries(seed),
 		E11VulnScan(seed),
 		E12SecurityLevels(seed),
+		E13FleetAudit(seed),
 	}
 }

@@ -233,8 +233,8 @@ func TestE3cAdaptiveSavesPolls(t *testing.T) {
 
 func TestAllProducesEveryTable(t *testing.T) {
 	tables := All(1)
-	if len(tables) != 16 {
-		t.Fatalf("All = %d tables, want 16", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("All = %d tables, want 17", len(tables))
 	}
 	for _, tbl := range tables {
 		if !strings.HasPrefix(tbl.Title, "E") {
@@ -242,6 +242,35 @@ func TestAllProducesEveryTable(t *testing.T) {
 		}
 		if len(tbl.Rows) == 0 {
 			t.Errorf("table %q is empty", tbl.Title)
+		}
+	}
+}
+
+func TestE13FleetShape(t *testing.T) {
+	tbl := E13FleetAudit(1)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 scenarios", len(tbl.Rows))
+	}
+	// Columns: scenario, shards, workers, requirements-run,
+	// cache-hit-rate, errors, degraded-hosts, wall-ms, speedup.
+	incr := tbl.Rows[4]
+	if !strings.Contains(incr[0], "incremental") {
+		t.Fatalf("row 4 = %v, want the incremental scenario", incr)
+	}
+	if incr[3] != "8" {
+		t.Errorf("incremental re-sweep re-executed %s requirements, want 8 (one host)", incr[3])
+	}
+	if incr[4] != "94%" {
+		t.Errorf("cache hit rate = %s, want 94%% (120/128)", incr[4])
+	}
+	down := tbl.Rows[5]
+	if down[5] != "8" || down[6] != "1" {
+		t.Errorf("unreachable scenario must show 8 errors on 1 degraded host: %v", down)
+	}
+	// Clean full sweeps end error-free.
+	for _, row := range tbl.Rows[:5] {
+		if row[5] != "0" {
+			t.Errorf("scenario %q has errors: %v", row[0], row)
 		}
 	}
 }

@@ -13,6 +13,10 @@ import (
 type Catalog struct {
 	mu   sync.RWMutex
 	byID map[string]CheckableEnforceableRequirement
+	// sorted caches the finding IDs in sorted order so repeated audit
+	// sweeps (IDs, All, RunEngine) don't re-sort an unchanged catalogue.
+	// nil means stale; Register invalidates, IDs rebuilds on demand.
+	sorted []string
 }
 
 // NewCatalog returns an empty catalogue.
@@ -34,6 +38,7 @@ func (c *Catalog) Register(r CheckableEnforceableRequirement) error {
 		return fmt.Errorf("core: duplicate requirement %q", id)
 	}
 	c.byID[id] = r
+	c.sorted = nil
 	return nil
 }
 
@@ -60,23 +65,56 @@ func (c *Catalog) Len() int {
 	return len(c.byID)
 }
 
-// IDs returns the sorted finding IDs of all registered requirements.
+// IDs returns the sorted finding IDs of all registered requirements. The
+// sorted order is computed once and cached until the next Register, so the
+// cost of repeated sweeps is one copy, not one sort.
 func (c *Catalog) IDs() []string {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	ids := make([]string, 0, len(c.byID))
-	for id := range c.byID {
-		ids = append(ids, id)
+	if c.sorted != nil {
+		out := make([]string, len(c.sorted))
+		copy(out, c.sorted)
+		c.mu.RUnlock()
+		return out
 	}
-	sort.Strings(ids)
-	return ids
+	c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.sortedLocked()
+	out := make([]string, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// sortedLocked returns the cached sorted order, rebuilding it if stale.
+// Callers must hold the write lock.
+func (c *Catalog) sortedLocked() []string {
+	if c.sorted == nil {
+		ids := make([]string, 0, len(c.byID))
+		for id := range c.byID {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		c.sorted = ids
+	}
+	return c.sorted
 }
 
 // All returns all requirements ordered by finding ID.
 func (c *Catalog) All() []CheckableEnforceableRequirement {
-	ids := c.IDs()
 	c.mu.RLock()
-	defer c.mu.RUnlock()
+	if c.sorted != nil {
+		out := c.allLocked(c.sorted)
+		c.mu.RUnlock()
+		return out
+	}
+	c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allLocked(c.sortedLocked())
+}
+
+// allLocked materialises the requirements for ids; callers hold c.mu.
+func (c *Catalog) allLocked(ids []string) []CheckableEnforceableRequirement {
 	out := make([]CheckableEnforceableRequirement, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, c.byID[id])

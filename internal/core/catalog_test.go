@@ -71,6 +71,46 @@ func TestCatalogIDsSorted(t *testing.T) {
 	}
 }
 
+func TestCatalogSortedCacheInvalidatedByRegister(t *testing.T) {
+	c := NewCatalog()
+	c.MustRegister(newFake("V-5", "low", true, true))
+	c.MustRegister(newFake("V-1", "low", true, true))
+	first := c.IDs() // primes the cache
+	if len(first) != 2 || first[0] != "V-1" {
+		t.Fatalf("IDs = %v", first)
+	}
+	c.MustRegister(newFake("V-3", "low", true, true))
+	got := c.IDs()
+	want := []string{"V-1", "V-3", "V-5"}
+	if len(got) != len(want) {
+		t.Fatalf("IDs after Register = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs after Register = %v, want %v", got, want)
+		}
+	}
+	// All must see the new entry in the same order.
+	all := c.All()
+	for i, r := range all {
+		if r.FindingID() != want[i] {
+			t.Fatalf("All[%d] = %s, want %s", i, r.FindingID(), want[i])
+		}
+	}
+}
+
+func TestCatalogIDsReturnsPrivateCopy(t *testing.T) {
+	c := NewCatalog()
+	c.MustRegister(newFake("V-1", "low", true, true))
+	c.MustRegister(newFake("V-2", "low", true, true))
+	ids := c.IDs()
+	ids[0] = "mutated"
+	again := c.IDs()
+	if again[0] != "V-1" {
+		t.Errorf("caller mutation leaked into the cache: %v", again)
+	}
+}
+
 func TestRunCheckOnly(t *testing.T) {
 	c := NewCatalog()
 	bad := newFake("V-2", "high", false, true)

@@ -188,6 +188,45 @@ func TestMapPanicIsolation(t *testing.T) {
 	}
 }
 
+func TestMapWorkersExceedItems(t *testing.T) {
+	out, st := Map([]int{1, 2, 3}, 64, func(i, v int) int { return v * 2 })
+	if st.Workers != 3 {
+		t.Errorf("workers = %d, want clamp to 3 items", st.Workers)
+	}
+	for i, v := range out {
+		if v != (i+1)*2 {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestMapNonPositiveWorkers(t *testing.T) {
+	for _, workers := range []int{0, -1, -100} {
+		out, st := Map([]int{5, 6}, workers, func(i, v int) int { return v })
+		if st.Workers != 1 {
+			t.Errorf("workers=%d: Workers = %d, want 1", workers, st.Workers)
+		}
+		if len(out) != 2 || out[0] != 5 || out[1] != 6 {
+			t.Errorf("workers=%d: out = %v", workers, out)
+		}
+	}
+}
+
+func TestMapAllItemsPanic(t *testing.T) {
+	// A shard whose every item panics must still complete, with every
+	// result at the zero value and every panic counted.
+	items := make([]int, 16)
+	out, st := Map(items, 4, func(i, v int) int { panic("total loss") })
+	if st.Panics != 16 {
+		t.Errorf("panics = %d, want 16", st.Panics)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Errorf("out[%d] = %d, want zero value", i, v)
+		}
+	}
+}
+
 func TestMapBusyAndUtilization(t *testing.T) {
 	var ran atomic.Int32
 	_, st := Map(make([]int, 8), 4, func(i, v int) int {

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+)
+
+// The fleet benchmarks model the live-audit shape: every check pays a
+// probe round-trip (100µs here), so wall-clock scales with parallelism.
+// `make bench` runs these with -benchmem and regenerates BENCH_fleet.json
+// via cmd/fleetaudit -bench.
+
+const benchProbeDelay = 100 * time.Microsecond
+
+func benchFleet(n int) []Target {
+	targets, _ := LinuxFleet(n)
+	for i := range targets {
+		targets[i] = WithProbeDelay(targets[i], benchProbeDelay)
+	}
+	return targets
+}
+
+// BenchmarkFleetSequentialBaseline is the pre-fleet shape: one RunEngine
+// per host, one after another, single worker.
+func BenchmarkFleetSequentialBaseline(b *testing.B) {
+	targets := benchFleet(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range targets {
+			t.Catalog.RunEngine(core.RunOptions{Mode: core.CheckOnly, Workers: 1})
+		}
+	}
+}
+
+// BenchmarkFleetSweep measures a full sharded sweep of 16 hosts at 1, 4
+// and 16 shards (4 workers per shard).
+func BenchmarkFleetSweep(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "shards-1", 4: "shards-4", 16: "shards-16"}[shards], func(b *testing.B) {
+			targets := benchFleet(16)
+			opts := Options{Shards: shards, Workers: 4}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Sweep(targets, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFleetIncrementalSweep measures the steady-state re-sweep: one
+// host of 16 drifts between sweeps, the other 15 replay from cache.
+func BenchmarkFleetIncrementalSweep(b *testing.B) {
+	targets, hosts := LinuxFleet(16)
+	for i := range targets {
+		targets[i] = WithProbeDelay(targets[i], benchProbeDelay)
+	}
+	coord := NewCoordinator()
+	opts := Options{Shards: 16, Workers: 4, Incremental: true}
+	coord.Sweep(targets, Options{Shards: 16, Workers: 4}) // prime
+	rng := newRng(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host.DriftLinux(hosts[i%16], 1, rng)
+		coord.Sweep(targets, opts)
+	}
+}

@@ -1,0 +1,274 @@
+// Package fleet is the operations-scale layer of the VeriDevOps
+// reproduction: a coordinator that audits N hosts × M requirements by
+// sharding (host, catalogue) work units across a two-level worker pool —
+// engine.Map over shards, and engine.Map workers inside each host's
+// catalogue run. Scheduling is host-affine: a host's checks always land on
+// the same shard (a stable hash of the host name), so per-host transport
+// state, caches and rate limits stay shard-local across sweeps.
+//
+// A Coordinator carries an incremental-audit cache between sweeps, keyed
+// on each host's monotonic state version (host.EventLog.Version): a
+// re-sweep re-runs only hosts whose state advanced since the last pass and
+// replays the cached report for the rest, so steady-state fleet sweeps are
+// dominated by changed hosts only. Any cache miss falls back to a full
+// run of that host.
+//
+// Unreachable hosts (host.Linux.SetUnreachable) degrade instead of
+// stalling the fleet: their probes panic, the fault-tolerant engine
+// recovers each panic into an ERROR verdict, and the remaining shards
+// proceed untouched.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"veridevops/internal/core"
+	"veridevops/internal/engine"
+)
+
+// Target is one audited host: a name, its requirement catalogue, and an
+// optional state-version probe for incremental sweeps.
+type Target struct {
+	// Name identifies the host; it is the cache key and the affinity key,
+	// so it must be unique and stable across sweeps.
+	Name string
+	// Catalog is the host's requirement catalogue.
+	Catalog *core.Catalog
+	// Version reports the host's monotonic state version (typically the
+	// host event log's Version method). nil disables incremental caching
+	// for this target: every sweep re-audits it.
+	Version func() uint64
+}
+
+// Options configures one fleet sweep.
+type Options struct {
+	// Mode selects audit-only or audit-and-remediate.
+	Mode core.RunMode
+	// Shards is the host-level parallelism: how many shard goroutines run
+	// catalogues concurrently. Clamped to [1, number of targets].
+	Shards int
+	// Workers is the engine.Map pool size inside each host's catalogue
+	// run; values <= 1 run a host's checks sequentially.
+	Workers int
+	// Checks is the per-check resilience policy (see core.RunOptions).
+	Checks engine.Policy
+	// Incremental reuses cached per-host reports for targets whose state
+	// version is unchanged since the coordinator last audited them.
+	Incremental bool
+}
+
+func (o Options) normalized(targets int) Options {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if targets > 0 && o.Shards > targets {
+		o.Shards = targets
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// HostResult is the outcome of auditing one target.
+type HostResult struct {
+	Target string
+	// Shard is the shard the target's work ran on (its affinity home,
+	// also when the result was replayed from cache).
+	Shard int
+	// FromCache marks a result replayed from the incremental cache; its
+	// Stats are zero because nothing executed.
+	FromCache bool
+	// Degraded marks a host whose every check ended in ERROR — the
+	// unreachable-host shape.
+	Degraded bool
+	Report   core.Report
+	Stats    core.RunStats
+}
+
+// FleetReport aggregates the per-host reports of one sweep, ordered by
+// target name.
+type FleetReport struct {
+	Hosts []HostResult
+}
+
+// Counts sums the final-status buckets over every host.
+func (r FleetReport) Counts() (pass, fail, incomplete int) {
+	for _, h := range r.Hosts {
+		p, f, i := h.Report.Counts()
+		pass, fail, incomplete = pass+p, fail+f, incomplete+i
+	}
+	return
+}
+
+// Compliance is the fraction of all requirements across the fleet whose
+// final status is PASS; an empty fleet is fully compliant.
+func (r FleetReport) Compliance() float64 {
+	pass, fail, inc := r.Counts()
+	total := pass + fail + inc
+	if total == 0 {
+		return 1
+	}
+	return float64(pass) / float64(total)
+}
+
+// Failing returns "host/finding" identifiers for every requirement whose
+// final status is not PASS.
+func (r FleetReport) Failing() []string {
+	var out []string
+	for _, h := range r.Hosts {
+		for _, id := range h.Report.Failing() {
+			out = append(out, h.Target+"/"+id)
+		}
+	}
+	return out
+}
+
+// cacheEntry is one host's memoised audit outcome.
+type cacheEntry struct {
+	// version is the host state version observed immediately before the
+	// cached run. Capturing the pre-run version is conservative: any
+	// mutation during or after the run (drift, enforcement, an outage
+	// flip) advances the live version past it and forces a re-audit.
+	version uint64
+	report  core.Report
+}
+
+// Coordinator shards fleet sweeps and carries the incremental cache
+// between them. The zero value is not usable; call NewCoordinator. A
+// Coordinator is safe for concurrent use by its own shard workers, but
+// Sweep calls themselves must not overlap.
+type Coordinator struct {
+	mu    sync.Mutex
+	cache map[string]cacheEntry
+}
+
+// NewCoordinator returns a coordinator with an empty cache.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{cache: make(map[string]cacheEntry)}
+}
+
+// Invalidate drops one host's cached report, forcing its next incremental
+// audit to run fully.
+func (c *Coordinator) Invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cache, name)
+}
+
+// InvalidateAll drops the whole cache.
+func (c *Coordinator) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = make(map[string]cacheEntry)
+}
+
+// CachedHosts reports how many hosts currently have a cached report.
+func (c *Coordinator) CachedHosts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+func (c *Coordinator) lookup(name string) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.cache[name]
+	return e, ok
+}
+
+func (c *Coordinator) store(name string, version uint64, rep core.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache[name] = cacheEntry{version: version, report: rep}
+}
+
+// Affinity returns the shard a host name is pinned to under the given
+// shard count: a stable FNV-1a hash, so a host keeps its shard across
+// sweeps and across fleets that contain different co-tenants.
+func Affinity(name string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Sweep is a one-shot fleet audit with no cache carried over; equivalent
+// to NewCoordinator().Sweep(targets, opts).
+func Sweep(targets []Target, opts Options) (FleetReport, FleetStats) {
+	return NewCoordinator().Sweep(targets, opts)
+}
+
+// Sweep audits every target and returns the merged report and telemetry.
+// Targets are bucketed onto shards by name affinity; shards run
+// concurrently on an engine.Map pool, and within a shard each host's
+// catalogue runs on its own engine.Map pool of opts.Workers. The report
+// lists hosts in name order regardless of shard interleaving.
+func (c *Coordinator) Sweep(targets []Target, opts Options) (FleetReport, FleetStats) {
+	opts = opts.normalized(len(targets))
+	if len(targets) == 0 {
+		return FleetReport{}, FleetStats{Shards: 0, Workers: opts.Workers}
+	}
+
+	ts := make([]Target, len(targets))
+	copy(ts, targets)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
+
+	buckets := make([][]int, opts.Shards)
+	for i, t := range ts {
+		s := Affinity(t.Name, opts.Shards)
+		buckets[s] = append(buckets[s], i)
+	}
+
+	// results is written at distinct indices by distinct shard goroutines.
+	results := make([]HostResult, len(ts))
+	shardWalls, ps := engine.Map(buckets, opts.Shards, func(si int, bucket []int) time.Duration {
+		t0 := time.Now()
+		for _, i := range bucket {
+			results[i] = c.auditOne(ts[i], si, opts)
+		}
+		return time.Since(t0)
+	})
+
+	rep := FleetReport{Hosts: results}
+	return rep, aggregate(results, shardWalls, ps, opts)
+}
+
+// auditOne audits a single target, consulting and priming the incremental
+// cache when the target exposes a version probe.
+func (c *Coordinator) auditOne(t Target, shard int, opts Options) HostResult {
+	hr := HostResult{Target: t.Name, Shard: shard}
+	if t.Catalog == nil {
+		return hr
+	}
+	versioned := t.Version != nil
+	var version uint64
+	if versioned {
+		version = t.Version()
+		if opts.Incremental {
+			if e, ok := c.lookup(t.Name); ok && e.version == version {
+				hr.FromCache = true
+				hr.Report = e.report
+				return hr
+			}
+		}
+	}
+	rep, st := t.Catalog.RunEngine(core.RunOptions{
+		Mode:    opts.Mode,
+		Workers: opts.Workers,
+		Checks:  opts.Checks,
+	})
+	hr.Report, hr.Stats = rep, st
+	hr.Degraded = st.Requirements > 0 && st.Errors == st.Requirements
+	if versioned {
+		// Prime the cache on every versioned run — full sweeps included —
+		// so the first incremental sweep after a full one already hits.
+		c.store(t.Name, version, rep)
+	}
+	return hr
+}

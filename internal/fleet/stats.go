@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"veridevops/internal/engine"
+	"veridevops/internal/report"
+)
+
+// ShardStats is the per-shard telemetry of one sweep.
+type ShardStats struct {
+	Shard int
+	// Hosts is how many targets have affinity to this shard; Cached how
+	// many of them were replayed from the incremental cache.
+	Hosts  int
+	Cached int
+	// Requirements counts verdicts produced by the shard, cached included.
+	Requirements int
+	// Wall is the shard goroutine's elapsed time; Busy the summed
+	// per-requirement durations of its executed hosts.
+	Wall time.Duration
+	Busy time.Duration
+	// Attempts / Retries / Panics / Timeouts / Errors sum the executed
+	// hosts' run telemetry.
+	Attempts int
+	Retries  int
+	Panics   int
+	Timeouts int
+	Errors   int
+}
+
+// HostStats is the compact per-host row of a FleetStats.
+type HostStats struct {
+	Target       string
+	Shard        int
+	Requirements int
+	Errors       int
+	FromCache    bool
+	Degraded     bool
+	Wall         time.Duration
+}
+
+// FleetStats merges the per-shard RunStats of one sweep into a fleet-wide
+// roll-up: the telemetry cmd/fleetaudit renders and BENCH_fleet.json
+// records.
+type FleetStats struct {
+	Hosts   int
+	Shards  int
+	Workers int
+	// Requirements counts verdicts across the fleet, cached included.
+	Requirements int
+	// Wall is the whole sweep's elapsed time; Busy the summed
+	// per-requirement durations across every executed host
+	// (Busy / (Shards*Workers*Wall) measures pool utilisation).
+	Wall time.Duration
+	Busy time.Duration
+	// Attempts / Retries / Panics / Timeouts / Errors sum over executed
+	// hosts.
+	Attempts int
+	Retries  int
+	Panics   int
+	Timeouts int
+	Errors   int
+	// CachedHosts counts targets replayed from the incremental cache;
+	// DegradedHosts targets whose every verdict was ERROR.
+	CachedHosts   int
+	DegradedHosts int
+	// CacheHits / CacheMisses count requirement verdicts replayed versus
+	// re-executed. They are only accounted on incremental sweeps; a full
+	// sweep reports 0/0.
+	CacheHits   int
+	CacheMisses int
+	// PerShard and PerHost hold the detail rows, ordered by shard index
+	// and target name respectively.
+	PerShard []ShardStats
+	PerHost  []HostStats
+}
+
+// CacheHitRate is CacheHits / (CacheHits + CacheMisses) in [0,1]; 0 when
+// the sweep was not incremental.
+func (s FleetStats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Utilization is Busy / (Shards * Workers * Wall) in [0,1]: how much of
+// the two-level pool's total capacity the sweep kept busy.
+func (s FleetStats) Utilization() float64 {
+	return engine.PoolStats{Workers: s.Shards * s.Workers, Wall: s.Wall, Busy: s.Busy}.Utilization()
+}
+
+// Summary renders the roll-up as one line.
+func (s FleetStats) Summary() string {
+	return fmt.Sprintf(
+		"fleet: %d hosts over %d shards x %d workers, %d requirements (%d hosts cached, hit rate %s), %d attempts (%d retries, %d panics recovered, %d timeouts), %d errors (%d hosts degraded), wall %s ms, utilization %s",
+		s.Hosts, s.Shards, s.Workers, s.Requirements, s.CachedHosts,
+		report.Percent(s.CacheHitRate()), s.Attempts, s.Retries, s.Panics,
+		s.Timeouts, s.Errors, s.DegradedHosts, report.Millis(s.Wall),
+		report.Percent(s.Utilization()))
+}
+
+// ShardTable renders the per-shard telemetry.
+func (s FleetStats) ShardTable(title string) *report.Table {
+	t := report.New(title, "shard", "hosts", "cached", "requirements",
+		"attempts", "retries", "panics", "timeouts", "errors", "wall-ms")
+	for _, sh := range s.PerShard {
+		t.AddRow(sh.Shard, sh.Hosts, sh.Cached, sh.Requirements, sh.Attempts,
+			sh.Retries, sh.Panics, sh.Timeouts, sh.Errors, report.Millis(sh.Wall))
+	}
+	t.Note = s.Summary()
+	return t
+}
+
+// HostTable renders the per-host telemetry.
+func (s FleetStats) HostTable(title string) *report.Table {
+	t := report.New(title, "host", "shard", "requirements", "errors", "cached", "degraded", "wall-ms")
+	for _, h := range s.PerHost {
+		t.AddRow(h.Target, h.Shard, h.Requirements, h.Errors, h.FromCache,
+			h.Degraded, report.Millis(h.Wall))
+	}
+	t.Note = s.Summary()
+	return t
+}
+
+// Canonical returns the stats with every timing field zeroed — the form
+// the determinism tests compare. Everything else (verdict counts, cache
+// accounting, shard assignment, attempt/panic telemetry) is a
+// deterministic function of the fleet, the seed and the fault plan.
+func (s FleetStats) Canonical() FleetStats {
+	s.Wall, s.Busy = 0, 0
+	shards := make([]ShardStats, len(s.PerShard))
+	copy(shards, s.PerShard)
+	for i := range shards {
+		shards[i].Wall, shards[i].Busy = 0, 0
+	}
+	s.PerShard = shards
+	hosts := make([]HostStats, len(s.PerHost))
+	copy(hosts, s.PerHost)
+	for i := range hosts {
+		hosts[i].Wall = 0
+	}
+	s.PerHost = hosts
+	return s
+}
+
+// aggregate folds per-host results and shard walls into the roll-up.
+func aggregate(results []HostResult, shardWalls []time.Duration, ps engine.PoolStats, opts Options) FleetStats {
+	st := FleetStats{
+		Hosts:    len(results),
+		Shards:   opts.Shards,
+		Workers:  opts.Workers,
+		Wall:     ps.Wall,
+		PerShard: make([]ShardStats, opts.Shards),
+		PerHost:  make([]HostStats, 0, len(results)),
+	}
+	for i := range st.PerShard {
+		st.PerShard[i].Shard = i
+		if i < len(shardWalls) {
+			st.PerShard[i].Wall = shardWalls[i]
+		}
+	}
+	for _, hr := range results {
+		sh := &st.PerShard[hr.Shard]
+		reqs := len(hr.Report.Results)
+		st.Requirements += reqs
+		sh.Hosts++
+		sh.Requirements += reqs
+		st.PerHost = append(st.PerHost, HostStats{
+			Target:       hr.Target,
+			Shard:        hr.Shard,
+			Requirements: reqs,
+			Errors:       hr.Stats.Errors,
+			FromCache:    hr.FromCache,
+			Degraded:     hr.Degraded,
+			Wall:         hr.Stats.Wall,
+		})
+		if hr.FromCache {
+			st.CachedHosts++
+			sh.Cached++
+			st.CacheHits += reqs
+			continue
+		}
+		if opts.Incremental {
+			st.CacheMisses += reqs
+		}
+		if hr.Degraded {
+			st.DegradedHosts++
+		}
+		st.Busy += hr.Stats.Busy
+		sh.Busy += hr.Stats.Busy
+		st.Attempts += hr.Stats.Attempts
+		sh.Attempts += hr.Stats.Attempts
+		st.Retries += hr.Stats.Retries
+		sh.Retries += hr.Stats.Retries
+		st.Panics += hr.Stats.Panics
+		sh.Panics += hr.Stats.Panics
+		st.Timeouts += hr.Stats.Timeouts
+		sh.Timeouts += hr.Stats.Timeouts
+		st.Errors += hr.Stats.Errors
+		sh.Errors += hr.Stats.Errors
+	}
+	return st
+}

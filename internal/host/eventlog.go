@@ -19,10 +19,15 @@ func (e Event) String() string {
 }
 
 // EventLog is an append-only, concurrency-safe record of host mutations.
-// The reactive-protection monitors consume it to detect drift at runtime.
+// The reactive-protection monitors consume it to detect drift at runtime,
+// and the fleet auditor's incremental cache keys on its version counter.
 type EventLog struct {
 	mu     sync.Mutex
 	events []Event
+	// version counts appends ever made. It equals Len today, but stays
+	// monotonic even if the log later gains truncation or compaction, so
+	// cache keys built on it never go backwards.
+	version uint64
 }
 
 // NewEventLog returns an empty log.
@@ -34,7 +39,18 @@ func (l *EventLog) Append(action, detail string) int {
 	defer l.mu.Unlock()
 	seq := len(l.events)
 	l.events = append(l.events, Event{Seq: seq, At: time.Now(), Action: action, Detail: detail})
+	l.version++
 	return seq
+}
+
+// Version returns the log's monotonic state version: it advances on every
+// Append and never decreases. Consumers that cache per-host results (the
+// fleet auditor's incremental sweeps) compare versions to decide whether a
+// host's state moved since the last audit.
+func (l *EventLog) Version() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.version
 }
 
 // Len returns the number of recorded events.

@@ -1,0 +1,67 @@
+package host
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEventLogVersionAdvancesPerAppend(t *testing.T) {
+	l := NewEventLog()
+	if v := l.Version(); v != 0 {
+		t.Fatalf("fresh log Version = %d, want 0", v)
+	}
+	for i := 1; i <= 5; i++ {
+		l.Append("op", "x")
+		if v := l.Version(); v != uint64(i) {
+			t.Fatalf("Version after %d appends = %d", i, v)
+		}
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len = %d, want 5", l.Len())
+	}
+}
+
+func TestEventLogVersionMonotonicUnderConcurrency(t *testing.T) {
+	l := NewEventLog()
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Append("op", "x")
+				l.Version()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := l.Version(); v != writers*per {
+		t.Errorf("Version = %d, want %d", v, writers*per)
+	}
+}
+
+func TestSetUnreachableLogsTransitions(t *testing.T) {
+	l := NewLinux()
+	v0 := l.Log().Version()
+
+	l.SetUnreachable(true)
+	l.SetUnreachable(true) // repeated flip must not re-log
+	l.SetUnreachable(false)
+
+	events := l.Log().Since(int(v0))
+	if len(events) != 2 {
+		t.Fatalf("got %d net events, want 2: %v", len(events), events)
+	}
+	if events[0].Action != "net.down" || events[1].Action != "net.up" {
+		t.Errorf("events = %v, want net.down then net.up", events)
+	}
+	if l.Log().Version() != v0+2 {
+		t.Errorf("Version = %d, want %d (one advance per transition)", l.Log().Version(), v0+2)
+	}
+	// The host must be fully usable after the outage ends.
+	l.Install("aide", "1")
+	if !l.Installed("aide") {
+		t.Error("host unusable after outage cleared")
+	}
+}

@@ -58,11 +58,22 @@ var ErrUnreachable = errors.New("host: unreachable")
 
 // SetUnreachable toggles the connectivity fault. While set, every probe
 // and mutation panics with ErrUnreachable. Toggling back restores normal
-// operation; host state is unaffected by the outage.
+// operation; host state is unaffected by the outage. Each transition is
+// recorded in the event log (net.down / net.up) so post-mortem traces show
+// when the transport was lost and regained — and so the fleet auditor's
+// version-keyed cache re-audits the host after an outage.
 func (l *Linux) SetUnreachable(down bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.unreachable == down {
+		return
+	}
 	l.unreachable = down
+	if down {
+		l.log.Append("net.down", "transport lost")
+	} else {
+		l.log.Append("net.up", "transport restored")
+	}
 }
 
 // ping panics when the host is unreachable; callers hold l.mu (every

@@ -1,0 +1,108 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"veridevops/internal/core"
+	"veridevops/internal/engine"
+)
+
+// panicky is a Checkable that panics until calm, then passes.
+type panicky struct {
+	calls int
+	calm  bool
+}
+
+func (p *panicky) Check() core.CheckStatus {
+	p.calls++
+	if !p.calm {
+		panic("probe exploded")
+	}
+	return core.CheckPass
+}
+
+func newBudgetScheduler(attempts int) *Scheduler {
+	s := NewScheduler(10)
+	s.Checks = engine.Policy{MaxAttempts: attempts, Sleep: func(time.Duration) {}}
+	s.RetryBudget = &RetryBudgetPolicy{PanicStreak: 2}
+	return s
+}
+
+func TestRetryBudgetShrinksForChronicPanics(t *testing.T) {
+	s := newBudgetScheduler(8)
+	p := &panicky{}
+	s.Watch("V-BAD", p)
+
+	// Each poll panics through the whole budget. PanicStreak=2 halves the
+	// budget every second poll: 8 -> 4 -> 2 -> 1.
+	for i := 0; i < 6; i++ {
+		s.poll(0)
+	}
+	if got := s.RetryBudgets()["V-BAD"]; got != 1 {
+		t.Errorf("budget after 6 panicking polls = %d, want 1", got)
+	}
+
+	// At the floor, one poll costs exactly one attempt.
+	before := s.CheckAttempts
+	s.poll(0)
+	if spent := s.CheckAttempts - before; spent != 1 {
+		t.Errorf("floored poll spent %d attempts, want 1", spent)
+	}
+}
+
+func TestRetryBudgetRestoredByCleanPoll(t *testing.T) {
+	s := newBudgetScheduler(4)
+	p := &panicky{}
+	s.Watch("V-FLAKY", p)
+
+	for i := 0; i < 4; i++ {
+		s.poll(0) // shrink: 4 -> 2 -> 1
+	}
+	if got := s.RetryBudgets()["V-FLAKY"]; got != 1 {
+		t.Fatalf("budget = %d, want 1 after chronic panics", got)
+	}
+	p.calm = true
+	s.poll(0)
+	if got := s.RetryBudgets()["V-FLAKY"]; got != 4 {
+		t.Errorf("budget after clean poll = %d, want base 4", got)
+	}
+}
+
+func TestRetryBudgetLeavesHealthyEntriesAlone(t *testing.T) {
+	s := newBudgetScheduler(4)
+	s.Watch("V-OK", core.Const(core.CheckPass))
+	s.Watch("V-BAD", &panicky{})
+	for i := 0; i < 4; i++ {
+		s.poll(0)
+	}
+	budgets := s.RetryBudgets()
+	if budgets["V-OK"] != 4 {
+		t.Errorf("healthy entry budget = %d, want 4", budgets["V-OK"])
+	}
+	if budgets["V-BAD"] != 1 {
+		t.Errorf("panicking entry budget = %d, want 1", budgets["V-BAD"])
+	}
+}
+
+func TestRetryBudgetDisabledKeepsFullBudget(t *testing.T) {
+	s := NewScheduler(10)
+	s.Checks = engine.Policy{MaxAttempts: 4, Sleep: func(time.Duration) {}}
+	p := &panicky{}
+	s.Watch("V-BAD", p)
+	for i := 0; i < 5; i++ {
+		s.poll(0)
+	}
+	// Without RetryBudget every poll burns the whole 4-attempt budget.
+	if s.CheckAttempts != 20 {
+		t.Errorf("CheckAttempts = %d, want 20 (no budget adaptation)", s.CheckAttempts)
+	}
+}
+
+func TestRetryBudgetDefaults(t *testing.T) {
+	p := &RetryBudgetPolicy{}
+	minAttempts, streak := p.normalized()
+	if minAttempts != 1 || streak != 3 {
+		t.Errorf("defaults = (%d,%d), want (1,3)", minAttempts, streak)
+	}
+}
