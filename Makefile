@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fleet-race bench bench-fleet tables
+.PHONY: check vet build test race fleet-race bench bench-fleet bench-steal tables
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the engine, core and monitor packages are
@@ -23,7 +23,12 @@ race:
 # fleet-race exercises just the concurrency-heavy fleet paths under the
 # race detector (already covered by race; this is the quick loop).
 fleet-race:
-	$(GO) test -race ./internal/fleet/ ./internal/engine/ ./internal/core/
+	$(GO) test -race ./internal/fleet/ ./internal/engine/ ./internal/core/ ./cmd/fleetaudit/
+
+# bench-steal runs the scheduler-focused pair: skewed-fleet static vs
+# work-stealing, and dedup off vs on.
+bench-steal:
+	$(GO) test -run=^$$ -bench='BenchmarkFleetSkewedSweep|BenchmarkFleetDedupSweep' -benchmem ./internal/fleet/
 
 # bench runs the experiment benchmarks once each (correctness smoke, not a
 # timing run), then the fleet + catalogue timing benchmarks with -benchmem

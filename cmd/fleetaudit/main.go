@@ -1,16 +1,20 @@
 // Command fleetaudit audits a simulated fleet of hardened Ubuntu hosts
-// through the sharded fleet coordinator: N hosts' STIG catalogues are
-// spread across shard goroutines with host-affinity scheduling, each
+// through the work-stealing fleet coordinator: N hosts' STIG catalogues
+// are pulled off affinity-seeded shard queues (idle shards steal from
+// loaded ones; -sched static restores pure affinity bucketing), each
 // shard running its hosts' checks on an engine worker pool. Drifted,
 // faulty and unreachable hosts exercise the degradation paths; the
-// incremental mode demonstrates the version-keyed audit cache.
+// incremental mode demonstrates the version-keyed audit cache, -dedup
+// the cross-host check memo, and -cache-file persists the incremental
+// cache across invocations.
 //
 // Usage:
 //
 //	fleetaudit [-hosts N] [-shards N] [-workers N] [-drift N] [-down N]
 //	           [-faults] [-retries N] [-seed N] [-incremental] [-enforce]
-//	           [-telemetry]
-//	fleetaudit -bench [-o BENCH_fleet.json] [-seed N]
+//	           [-sched steal|static] [-dedup] [-cache-file PATH]
+//	           [-telemetry] [-cpuprofile PATH] [-memprofile PATH]
+//	fleetaudit -bench [-o BENCH_fleet.json] [-seed N] [-commit HASH]
 //
 // Exit status: 0 fleet fully compliant, 1 violations or errors open,
 // 2 usage error.
@@ -22,6 +26,9 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"veridevops/internal/core"
@@ -48,9 +55,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "seed for drift and fault injection")
 	incremental := fs.Bool("incremental", false, "after the full sweep, drift one host and re-sweep incrementally")
 	enforce := fs.Bool("enforce", false, "remediate failing requirements (CheckAndEnforce)")
+	sched := fs.String("sched", "steal", "host scheduling: steal (work-stealing, default) or static (pure affinity)")
+	dedup := fs.Bool("dedup", false, "dedup identical checks across hosts within a sweep (audit-only)")
+	cacheFile := fs.String("cache-file", "", "persist the incremental cache here across invocations")
 	telemetry := fs.Bool("telemetry", false, "print per-shard and per-host engine telemetry")
-	benchMode := fs.Bool("bench", false, "run the sharding/caching benchmark matrix instead of one audit")
+	benchMode := fs.Bool("bench", false, "run the sharding/stealing/dedup/caching benchmark matrix instead of one audit")
 	out := fs.String("o", "BENCH_fleet.json", "output file for -bench JSON")
+	commit := fs.String("commit", "", "commit hash recorded in -bench provenance (default: build info)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,9 +75,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "fleetaudit: -drift and -down cannot exceed -hosts")
 		return 2
 	}
+	scheduling := fleet.ScheduleWorkStealing
+	switch *sched {
+	case "steal":
+	case "static":
+		scheduling = fleet.ScheduleStatic
+	default:
+		fmt.Fprintln(stderr, "fleetaudit: -sched must be steal or static")
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetaudit: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "fleetaudit: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "fleetaudit: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "fleetaudit: %v\n", err)
+			}
+		}()
+	}
 
 	if *benchMode {
-		return runBench(stdout, stderr, *seed, *out)
+		return runBench(stdout, stderr, *seed, *out, *commit)
 	}
 
 	targets, machines := fleet.LinuxFleet(*hosts)
@@ -86,16 +136,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := fleet.Options{
-		Mode:    core.CheckOnly,
-		Shards:  *shards,
-		Workers: *workers,
-		Checks:  engine.Policy{MaxAttempts: *retries},
+		Mode:       core.CheckOnly,
+		Shards:     *shards,
+		Workers:    *workers,
+		Checks:     engine.Policy{MaxAttempts: *retries},
+		Scheduling: scheduling,
+		Dedup:      *dedup,
 	}
 	if *enforce {
 		opts.Mode = core.CheckAndEnforce
 	}
 
 	coord := fleet.NewCoordinator()
+	if *cacheFile != "" {
+		if err := coord.LoadCache(*cacheFile); err != nil {
+			if os.IsNotExist(err) {
+				fmt.Fprintf(stdout, "cache file %s absent, starting cold\n", *cacheFile)
+			} else {
+				fmt.Fprintf(stderr, "fleetaudit: cache discarded, starting cold: %v\n", err)
+			}
+		} else {
+			fmt.Fprintf(stdout, "resumed %d cached hosts from %s\n", coord.CachedHosts(), *cacheFile)
+			opts.Incremental = true
+		}
+	}
 	rep, st := coord.Sweep(targets, opts)
 	printSweep(stdout, "full sweep", rep, st, *telemetry)
 
@@ -105,6 +169,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep, st = coord.Sweep(targets, opts)
 		fmt.Fprintln(stdout)
 		printSweep(stdout, "incremental re-sweep (1 host drifted)", rep, st, *telemetry)
+	}
+
+	if *cacheFile != "" {
+		if err := coord.SaveCache(*cacheFile); err != nil {
+			fmt.Fprintf(stderr, "fleetaudit: save cache: %v\n", err)
+		} else {
+			fmt.Fprintf(stdout, "saved %d cached hosts to %s\n", coord.CachedHosts(), *cacheFile)
+		}
 	}
 
 	pass, fail, inc := rep.Counts()
@@ -130,11 +202,37 @@ func printSweep(w io.Writer, title string, rep fleet.FleetReport, st fleet.Fleet
 	}
 }
 
-// runBench produces the BENCH_fleet.json perf record: sequential per-host
-// auditing versus the sharded sweep at 1/4/16 shards, plus the
-// incremental re-sweep with 1/16 hosts changed. Every check pays a 100µs
-// simulated probe round-trip, the live-audit shape where sharding pays.
-func runBench(stdout, stderr io.Writer, seed int64, out string) int {
+// provenance records the machine and revision a bench run came from.
+func provenance(commit string) map[string]string {
+	if commit == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					commit = s.Value
+					break
+				}
+			}
+		}
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	return map[string]string{
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"cpus":   fmt.Sprintf("%d", runtime.NumCPU()),
+		"go":     runtime.Version(),
+		"commit": commit,
+	}
+}
+
+// runBench produces the BENCH_fleet.json perf record (E13 + E14): the
+// sequential baseline versus the sharded sweep at 1/4/16 shards, the
+// incremental re-sweep, static versus work-stealing scheduling on a
+// skewed fleet, cross-host dedup off/on, and a restart-resume through the
+// persistent cache file. Every check pays a simulated probe round-trip,
+// the live-audit shape where all four mechanisms pay.
+func runBench(stdout, stderr io.Writer, seed int64, out, commit string) int {
 	const (
 		nHosts     = 16
 		probeDelay = 100 * time.Microsecond
@@ -147,8 +245,9 @@ func runBench(stdout, stderr io.Writer, seed int64, out string) int {
 		return targets, machines
 	}
 
-	t := report.New("fleet benchmark: 16 hosts x 8 requirements, 100us probe round-trip",
+	t := report.New("fleet benchmark: 16 hosts x 8 requirements, 100us probe round-trip (skew rows: 160 hosts, 1ms probes, one host 10x slower)",
 		"scenario", "shards", "workers", "requirements-run", "cache-hit-rate", "wall-ms", "speedup-vs-sequential", "errors")
+	t.Meta = provenance(commit)
 
 	// Sequential baseline: per-host RunEngine, one worker, one at a time.
 	targets, _ := mkFleet()
@@ -176,10 +275,66 @@ func runBench(stdout, stderr io.Writer, seed int64, out string) int {
 	t.AddRow("incremental re-sweep (1/16 hosts changed)", 16, 4,
 		st.CacheMisses, report.Percent(st.CacheHitRate()),
 		report.Millis(st.Wall), speedup(st.Wall), st.Errors)
+	incrNote := fmt.Sprintf(
+		"incremental sweep re-executed %d of %d requirements (cache hit rate %s)",
+		st.CacheMisses, st.CacheHits+st.CacheMisses, report.Percent(st.CacheHitRate()))
+
+	// E14a — static versus work-stealing on the skewed fleet: 160 hosts
+	// over 16 shards with a 1ms probe round-trip, one host (from the most
+	// populated affinity bucket, so it has the most shard co-tenants) 10x
+	// slower than the rest. One worker per shard keeps the rows
+	// sleep-dominated so the comparison isolates scheduling; the fleet is
+	// sized so the slow host's own wall sits near total-work/shards, the
+	// regime where stealing's floor is the theoretical optimum. Both
+	// coordinators sweep once to learn per-host costs, then the measured
+	// sweep runs.
+	skewWall := map[fleet.Scheduling]time.Duration{}
+	skewImbalance := map[fleet.Scheduling]float64{}
+	var skewSteals int
+	for _, sched := range []fleet.Scheduling{fleet.ScheduleStatic, fleet.ScheduleWorkStealing} {
+		skTargets, _ := fleet.SkewedFleet(160, 16, time.Millisecond, 10)
+		skCoord := fleet.NewCoordinator()
+		skOpts := fleet.Options{Shards: 16, Workers: 1, Scheduling: sched}
+		skCoord.Sweep(skTargets, skOpts) // cost-learning pass
+		_, skSt := skCoord.Sweep(skTargets, skOpts)
+		skewWall[sched] = skSt.Wall
+		skewImbalance[sched] = skSt.LoadImbalance
+		name := "skewed fleet, static affinity"
+		if sched == fleet.ScheduleWorkStealing {
+			name = "skewed fleet, work-stealing"
+			skewSteals = skSt.Steals
+		}
+		t.AddRow(name, 16, 1, skSt.Requirements, "-", report.Millis(skSt.Wall), "-", skSt.Errors)
+	}
+	stealGain := 1 - float64(skewWall[fleet.ScheduleWorkStealing])/float64(skewWall[fleet.ScheduleStatic])
+
+	// E14b — cross-host dedup on the homogeneous 16-host fleet.
+	var dedupRate float64
+	for _, dedup := range []bool{false, true} {
+		ddTargets, _ := mkFleet()
+		_, ddSt := fleet.Sweep(ddTargets, fleet.Options{Shards: 4, Workers: 4, Dedup: dedup})
+		name, executed := "homogeneous fleet, dedup off", ddSt.Requirements
+		if dedup {
+			name, executed = "homogeneous fleet, dedup on", ddSt.DedupMisses
+			dedupRate = ddSt.DedupRate()
+		}
+		t.AddRow(name, 4, 4, executed, "-", report.Millis(ddSt.Wall), speedup(ddSt.Wall), ddSt.Errors)
+	}
+
+	// E14c — restart-resume: persist the primed cache, reload it in a
+	// fresh coordinator, and re-sweep incrementally with 1 host drifted.
+	cachePath, err := persistAndResume(seed, t)
+	if err != nil {
+		fmt.Fprintf(stderr, "fleetaudit: %v\n", err)
+		return 2
+	}
+	defer os.Remove(cachePath)
+
 	t.Note = fmt.Sprintf(
-		"seed %d; sequential baseline %s ms; incremental sweep re-executed %d of %d requirements (cache hit rate %s)",
-		seed, report.Millis(seqWall), st.CacheMisses, st.CacheHits+st.CacheMisses,
-		report.Percent(st.CacheHitRate()))
+		"seed %d; sequential baseline %s ms; %s; work stealing cut the skewed-fleet wall by %.0f%% (%d hosts stolen, load imbalance %.2f -> %.2f); dedup executed 8 of 128 checks (rate %s)",
+		seed, report.Millis(seqWall), incrNote, 100*stealGain, skewSteals,
+		skewImbalance[fleet.ScheduleStatic], skewImbalance[fleet.ScheduleWorkStealing],
+		report.Percent(dedupRate))
 
 	t.WriteText(stdout)
 	f, err := os.Create(out)
@@ -194,4 +349,38 @@ func runBench(stdout, stderr io.Writer, seed int64, out string) int {
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", out)
 	return 0
+}
+
+// persistAndResume primes a coordinator on a probe-delayed fleet, saves
+// its cache to a temp file, resumes a fresh coordinator from it and adds
+// the restart-resume row: the resumed sweep must hit exactly like the
+// uninterrupted one would.
+func persistAndResume(seed int64, t *report.Table) (string, error) {
+	const nHosts = 16
+	targets, machines := fleet.LinuxFleet(nHosts)
+	for i := range targets {
+		targets[i] = fleet.WithProbeDelay(targets[i], 100*time.Microsecond)
+	}
+	coord := fleet.NewCoordinator()
+	coord.Sweep(targets, fleet.Options{Shards: 16, Workers: 4})
+	f, err := os.CreateTemp("", "fleet-cache-*.json")
+	if err != nil {
+		return "", err
+	}
+	path := f.Name()
+	f.Close()
+	if err := coord.SaveCache(path); err != nil {
+		return path, err
+	}
+
+	host.DriftLinux(machines[5], 3, rand.New(rand.NewSource(seed+7)))
+	resumed := fleet.NewCoordinator()
+	if err := resumed.LoadCache(path); err != nil {
+		return path, err
+	}
+	_, st := resumed.Sweep(targets, fleet.Options{Shards: 16, Workers: 4, Incremental: true})
+	t.AddRow("restart-resume from cache file (1/16 hosts changed)", 16, 4,
+		st.CacheMisses, report.Percent(st.CacheHitRate()),
+		report.Millis(st.Wall), "-", st.Errors)
+	return path, nil
 }

@@ -85,7 +85,7 @@ func TestFaultInjectionWithRetriesStillCompletes(t *testing.T) {
 
 func TestBenchWritesJSON(t *testing.T) {
 	p := filepath.Join(t.TempDir(), "BENCH_fleet.json")
-	code, out, _ := runCapture(t, "-bench", "-o", p)
+	code, out, _ := runCapture(t, "-bench", "-o", p, "-commit", "deadbeef")
 	if code != 0 {
 		t.Fatalf("exit = %d\n%s", code, out)
 	}
@@ -97,11 +97,105 @@ func TestBenchWritesJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &tbl); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(tbl.Rows) != 5 {
-		t.Errorf("rows = %d, want 5 scenarios", len(tbl.Rows))
+	if len(tbl.Rows) != 10 {
+		t.Errorf("rows = %d, want 10 scenarios", len(tbl.Rows))
 	}
 	if !strings.Contains(tbl.Rows[0][0], "sequential") {
 		t.Errorf("first row must be the sequential baseline: %v", tbl.Rows[0])
+	}
+	var scenarios []string
+	for _, row := range tbl.Rows {
+		scenarios = append(scenarios, row[0])
+	}
+	joined := strings.Join(scenarios, "\n")
+	for _, want := range []string{"work-stealing", "static affinity", "dedup on", "dedup off", "restart-resume"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("bench matrix missing the %q scenario:\n%s", want, joined)
+		}
+	}
+	// Provenance travels with the record.
+	for _, key := range []string{"goos", "goarch", "cpus", "commit"} {
+		if tbl.Meta[key] == "" {
+			t.Errorf("bench meta missing %q: %v", key, tbl.Meta)
+		}
+	}
+	if tbl.Meta["commit"] != "deadbeef" {
+		t.Errorf("commit = %q, want the -commit override", tbl.Meta["commit"])
+	}
+}
+
+func TestCacheFilePersistsAcrossInvocations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	// First invocation: cold start, saves the cache.
+	code, out, _ := runCapture(t, "-hosts", "6", "-shards", "3", "-drift", "0", "-cache-file", path)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "starting cold") || !strings.Contains(out, "saved 6 cached hosts") {
+		t.Errorf("first run must start cold and save:\n%s", out)
+	}
+	// Second invocation resumes: every host replays from the file.
+	code, out, _ = runCapture(t, "-hosts", "6", "-shards", "3", "-drift", "0", "-cache-file", path)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "resumed 6 cached hosts") {
+		t.Errorf("second run must resume from the cache file:\n%s", out)
+	}
+	if !strings.Contains(out, "6 hosts cached, hit rate 100%") {
+		t.Errorf("resumed sweep must be all cache hits:\n%s", out)
+	}
+}
+
+func TestCorruptCacheFileFallsBackCold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCapture(t, "-hosts", "4", "-shards", "2", "-drift", "0", "-cache-file", path)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(errOut, "cache discarded") {
+		t.Errorf("corrupt cache must be reported:\n%s", errOut)
+	}
+	if !strings.Contains(out, "saved 4 cached hosts") {
+		t.Errorf("cold fallback must still audit and re-save:\n%s", out)
+	}
+}
+
+func TestDedupFlagReportsDedupTraffic(t *testing.T) {
+	code, out, _ := runCapture(t, "-hosts", "8", "-shards", "4", "-drift", "0", "-dedup")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "dedup 88%") {
+		t.Errorf("8 identical hosts must dedup 7/8 of checks:\n%s", out)
+	}
+}
+
+func TestSchedFlagValidated(t *testing.T) {
+	if code, _, _ := runCapture(t, "-sched", "nonsense"); code != 2 {
+		t.Error("invalid -sched must be a usage error")
+	}
+	code, out, _ := runCapture(t, "-hosts", "4", "-shards", "2", "-drift", "0", "-sched", "static")
+	if code != 0 {
+		t.Fatalf("static scheduling run failed: %d\n%s", code, out)
+	}
+}
+
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	code, out, _ := runCapture(t, "-hosts", "4", "-shards", "2", "-drift", "0",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }
 

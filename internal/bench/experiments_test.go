@@ -233,8 +233,8 @@ func TestE3cAdaptiveSavesPolls(t *testing.T) {
 
 func TestAllProducesEveryTable(t *testing.T) {
 	tables := All(1)
-	if len(tables) != 17 {
-		t.Fatalf("All = %d tables, want 17", len(tables))
+	if len(tables) != 18 {
+		t.Fatalf("All = %d tables, want 18", len(tables))
 	}
 	for _, tbl := range tables {
 		if !strings.HasPrefix(tbl.Title, "E") {
@@ -272,6 +272,40 @@ func TestE13FleetShape(t *testing.T) {
 		if row[5] != "0" {
 			t.Errorf("scenario %q has errors: %v", row[0], row)
 		}
+	}
+}
+
+func TestE14SchedulerShape(t *testing.T) {
+	tbl := E14FleetScheduler(1)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 scenarios", len(tbl.Rows))
+	}
+	// Columns: scenario, shards, workers, requirements-run, rate, steals,
+	// load-imbalance, wall-ms. Wall times and steal placement are
+	// timing-dependent; the totals asserted here are not.
+	static, steal := tbl.Rows[0], tbl.Rows[1]
+	if !strings.Contains(static[0], "static") || !strings.Contains(steal[0], "work-stealing") {
+		t.Fatalf("skew rows out of order: %v / %v", static, steal)
+	}
+	if static[5] != "0" {
+		t.Errorf("static scheduling stole %s hosts, want 0", static[5])
+	}
+	if n, _ := strconv.Atoi(steal[5]); n == 0 {
+		t.Errorf("work stealing moved no hosts off the slow shard: %v", steal)
+	}
+	dedupOn := tbl.Rows[3]
+	if dedupOn[3] != "8" || dedupOn[4] != "94%" {
+		t.Errorf("dedup must execute 8 of 128 checks at rate 94%%: %v", dedupOn)
+	}
+	incr, resumed := tbl.Rows[4], tbl.Rows[5]
+	if !strings.Contains(resumed[0], "restart-resume") {
+		t.Fatalf("row 5 = %v, want the restart-resume scenario", resumed)
+	}
+	if incr[3] != resumed[3] || incr[4] != resumed[4] {
+		t.Errorf("resumed coordinator diverges from the uninterrupted sweep: %v vs %v", incr, resumed)
+	}
+	if resumed[4] != "94%" {
+		t.Errorf("restart-resume hit rate = %s, want 94%% (15/16 hosts replayed)", resumed[4])
 	}
 }
 

@@ -10,6 +10,8 @@
 // CheckableEnforceableRequirement.
 package core
 
+import "context"
+
 // CheckStatus is the verdict of a requirement check, mirroring the
 // rqcode.concepts.Checkable.CheckStatus enumeration.
 type CheckStatus int
@@ -88,6 +90,18 @@ type Checkable interface {
 type Enforceable interface {
 	// Enforce modifies the hosting environment to satisfy the requirement.
 	Enforce() EnforcementStatus
+}
+
+// ContextChecker is an optional extension of Checkable for checks whose
+// probes observe a context: the execution engine passes each attempt a
+// context that is cancelled when the attempt is abandoned at its timeout
+// (engine.AttemptCtx), so a cooperative check can unwind at the next
+// probe boundary and release its worker goroutine instead of running to
+// completion in the background. Checks that do not implement it are run
+// through plain Check and keep the abandon-in-background semantics.
+type ContextChecker interface {
+	// CheckCtx is Check with cooperative cancellation.
+	CheckCtx(ctx context.Context) CheckStatus
 }
 
 // CheckFunc adapts an ordinary function to the Checkable interface.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"veridevops/internal/engine"
@@ -24,17 +25,36 @@ type FaultyCheck struct {
 
 // Check applies the next scheduled fault, then delegates.
 func (f *FaultyCheck) Check() CheckStatus {
+	return f.CheckCtx(context.Background())
+}
+
+// CheckCtx is Check with cooperative cancellation: a FaultSlow stall
+// observes ctx and returns ERROR instead of sleeping on when the attempt
+// is abandoned, and the inner check's CheckCtx is used when it has one.
+func (f *FaultyCheck) CheckCtx(ctx context.Context) CheckStatus {
 	switch f.Injector.Next() {
 	case engine.FaultPanic:
 		panic(engine.ErrInjectedPanic)
 	case engine.FaultTransient:
 		return CheckIncomplete
 	case engine.FaultSlow:
-		sleep := f.Sleep
-		if sleep == nil {
-			sleep = time.Sleep
+		delay := f.Injector.Plan().SlowDelay
+		if f.Sleep != nil {
+			f.Sleep(delay)
+		} else if ctx == nil || ctx.Done() == nil {
+			time.Sleep(delay)
+		} else {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return CheckError
+			}
 		}
-		sleep(f.Injector.Plan().SlowDelay)
+	}
+	if cc, ok := f.Inner.(ContextChecker); ok && ctx != nil {
+		return cc.CheckCtx(ctx)
 	}
 	return f.Inner.Check()
 }
@@ -56,3 +76,26 @@ func InjectFaults(r CheckableEnforceableRequirement, fi *engine.FaultInjector) *
 
 // Check applies the injected fault schedule.
 func (f *FaultyRequirement) Check() CheckStatus { return f.faulty.Check() }
+
+// CheckCtx applies the injected fault schedule with cooperative
+// cancellation (see FaultyCheck.CheckCtx).
+func (f *FaultyRequirement) CheckCtx(ctx context.Context) CheckStatus {
+	return f.faulty.CheckCtx(ctx)
+}
+
+// CheckStateDigest forwards the inner requirement's digest only when the
+// injected fault plan is latency-only (slow stalls never change a
+// verdict). Any plan that can panic or flip a verdict INCOMPLETE makes
+// the check nondeterministic per call, so the requirement refuses a
+// fingerprint and dedup stays off for it.
+func (f *FaultyRequirement) CheckStateDigest() (string, bool) {
+	p := f.faulty.Injector.Plan()
+	if p.PanicProb > 0 || p.TransientProb > 0 || p.FailFirst > 0 {
+		return "", false
+	}
+	sd, ok := f.CheckableEnforceableRequirement.(StateDigester)
+	if !ok {
+		return "", false
+	}
+	return sd.CheckStateDigest()
+}

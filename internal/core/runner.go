@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -28,6 +29,13 @@ type RunOptions struct {
 	// host twice is not idempotent in general) but is panic-isolated: a
 	// panicking Enforce yields FAILURE.
 	Checks engine.Policy
+	// Memo, when non-nil, dedups check executions across catalogue runs
+	// sharing the memo: requirements that fingerprint their read state
+	// (CheckFingerprint) execute once per distinct fingerprint and replay
+	// the verdict elsewhere. Consulted only in CheckOnly mode —
+	// enforcement mutates per-host state and is never deduped. The fleet
+	// coordinator shares one memo across all hosts of one sweep.
+	Memo *CheckMemo
 }
 
 // ReqStats is the per-requirement telemetry of an engine run.
@@ -46,6 +54,9 @@ type ReqStats struct {
 	Timeouts int
 	// Enforced reports whether remediation was attempted.
 	Enforced bool
+	// DedupHit marks a verdict replayed from the shared check memo; its
+	// attempt counters are zero because nothing executed here.
+	DedupHit bool
 	// Duration is wall time spent on this requirement, backoffs included.
 	Duration time.Duration
 }
@@ -65,6 +76,12 @@ type RunStats struct {
 	Timeouts int
 	// Errors counts requirements whose final status is ERROR.
 	Errors int
+	// DedupHits counts requirements whose verdict was replayed from the
+	// shared check memo; DedupMisses counts memoisable requirements this
+	// run executed as the fingerprint's first arrival. Both stay 0 when
+	// RunOptions.Memo is nil.
+	DedupHits   int
+	DedupMisses int
 	// PerRequirement holds the per-requirement rows in finding-ID order.
 	PerRequirement []ReqStats
 }
@@ -94,20 +111,57 @@ func (s RunStats) Table(title string) *report.Table {
 	return t
 }
 
-// engineOutcome pairs a report row with its telemetry row.
+// engineOutcome pairs a report row with its telemetry row. dedupMiss
+// marks a memoisable requirement this run executed as the fingerprint's
+// first arrival.
 type engineOutcome struct {
-	res Result
-	st  ReqStats
+	res       Result
+	st        ReqStats
+	dedupMiss bool
 }
 
-// runRequirement executes one catalogue entry under the policy. Every
-// check goes through engine.Attempt: panics and timeouts become ERROR,
-// INCOMPLETE is retried while the policy allows.
-func runRequirement(req CheckableEnforceableRequirement, mode RunMode, pol engine.Policy) engineOutcome {
+// runRequirement resolves one catalogue entry: through the shared check
+// memo when the entry is dedupable and a memo is wired (CheckOnly runs
+// only), through a live engine execution otherwise. The memo is
+// single-flight, so the first arrival for a fingerprint executes while
+// identical co-tenants wait and replay its verdict.
+func runRequirement(req CheckableEnforceableRequirement, mode RunMode, pol engine.Policy, memo *CheckMemo) engineOutcome {
+	if memo == nil || mode != CheckOnly {
+		return runRequirementLive(req, mode, pol)
+	}
+	key, ok := CheckFingerprint(req)
+	if !ok {
+		return runRequirementLive(req, mode, pol)
+	}
+	if res, hit := memo.acquire(key); hit {
+		return engineOutcome{res: res, st: ReqStats{
+			FindingID: res.FindingID,
+			Status:    res.After,
+			DedupHit:  true,
+		}}
+	}
+	out := runRequirementLive(req, mode, pol)
+	memo.fulfill(key, out.res)
+	out.dedupMiss = true
+	return out
+}
+
+// runRequirementLive executes one catalogue entry under the policy. Every
+// check goes through engine.AttemptCtx: panics and timeouts become ERROR,
+// INCOMPLETE is retried while the policy allows, and checks implementing
+// ContextChecker can observe an abandoned attempt's cancelled context at
+// their probe boundaries.
+func runRequirementLive(req CheckableEnforceableRequirement, mode RunMode, pol engine.Policy) engineOutcome {
 	start := time.Now()
 	var st ReqStats
+	checkOp := func(ctx context.Context) CheckStatus {
+		if cc, ok := req.(ContextChecker); ok {
+			return cc.CheckCtx(ctx)
+		}
+		return req.Check()
+	}
 	check := func() CheckStatus {
-		v, cst := engine.Attempt(req.Check,
+		v, cst := engine.AttemptCtx(checkOp,
 			func(s CheckStatus) bool { return s == CheckIncomplete },
 			func(error) CheckStatus { return CheckError },
 			pol)
@@ -145,7 +199,7 @@ func (c *Catalog) RunEngine(opts RunOptions) (Report, RunStats) {
 	reqs := c.All()
 	outs, ps := engine.Map(reqs, opts.Workers,
 		func(i int, req CheckableEnforceableRequirement) engineOutcome {
-			return runRequirement(req, opts.Mode, opts.Checks)
+			return runRequirement(req, opts.Mode, opts.Checks, opts.Memo)
 		})
 	stats := RunStats{
 		Requirements: len(reqs),
@@ -167,6 +221,11 @@ func (c *Catalog) RunEngine(opts RunOptions) (Report, RunStats) {
 		stats.Timeouts += o.st.Timeouts
 		if o.res.After == CheckError {
 			stats.Errors++
+		}
+		if o.st.DedupHit {
+			stats.DedupHits++
+		} else if o.dedupMiss {
+			stats.DedupMisses++
 		}
 	}
 	return rep, stats

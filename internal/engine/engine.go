@@ -18,6 +18,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"time"
@@ -41,6 +42,10 @@ type Policy struct {
 	// A timed-out attempt counts as a retryable failure. The abandoned
 	// attempt's goroutine is left to finish in the background (its result
 	// is discarded), mirroring how real audit agents abandon stuck probes.
+	// Operations run through AttemptCtx receive a context that is
+	// cancelled at the deadline, so cooperative probes can notice the
+	// abandonment and release their goroutine early instead of running to
+	// completion.
 	AttemptTimeout time.Duration
 	// Budget bounds the total wall-clock time across attempts and
 	// backoffs; 0 disables it. Retries stop once the budget would be
@@ -114,6 +119,17 @@ func (e *TimeoutError) Error() string {
 // The final value of a retry-exhausted transient verdict is that verdict
 // itself — it is a legitimate outcome, not an error.
 func Attempt[R any](op func() R, retryable func(R) bool, fallback func(error) R, p Policy) (R, Stats) {
+	return AttemptCtx(func(context.Context) R { return op() }, retryable, fallback, p)
+}
+
+// AttemptCtx is Attempt for context-aware operations: each attempt
+// receives a context that is cancelled when the attempt is abandoned at
+// AttemptTimeout (and when the attempt completes). Cooperative operations
+// — host probes checking the context at probe boundaries — can use it to
+// unwind early and release their goroutine instead of running to
+// completion in the background. Without an AttemptTimeout the context is
+// never cancelled mid-attempt.
+func AttemptCtx[R any](op func(context.Context) R, retryable func(R) bool, fallback func(error) R, p Policy) (R, Stats) {
 	p = p.normalized()
 	start := time.Now()
 	var st Stats
@@ -164,26 +180,28 @@ func Attempt[R any](op func() R, retryable func(R) bool, fallback func(error) R,
 }
 
 // runProtected executes op once with panic recovery and an optional
-// wall-clock deadline.
-func runProtected[R any](op func() R, timeout time.Duration) (R, error) {
+// wall-clock deadline. With a deadline, op's context is cancelled both at
+// the deadline (so an abandoned probe can unwind cooperatively) and after
+// a completed attempt (releasing the timer).
+func runProtected[R any](op func(context.Context) R, timeout time.Duration) (R, error) {
 	if timeout <= 0 {
-		return runRecovered(op)
+		return runRecovered(func() R { return op(context.Background()) })
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	type outcome struct {
 		v   R
 		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		v, err := runRecovered(op)
+		v, err := runRecovered(func() R { return op(ctx) })
 		ch <- outcome{v, err}
 	}()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	select {
 	case out := <-ch:
 		return out.v, out.err
-	case <-timer.C:
+	case <-ctx.Done():
 		var zero R
 		return zero, &TimeoutError{Timeout: timeout}
 	}

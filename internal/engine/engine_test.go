@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -291,5 +292,105 @@ func TestFaultNames(t *testing.T) {
 	if FaultNone.String() != "none" || FaultPanic.String() != "panic" ||
 		FaultTransient.String() != "transient" || FaultSlow.String() != "slow" {
 		t.Error("fault names wrong")
+	}
+}
+
+func TestAttemptCtxCancelsAbandonedAttempt(t *testing.T) {
+	// A cooperative op blocks until its context is cancelled at the
+	// attempt deadline, then signals that it released its goroutine.
+	released := make(chan struct{})
+	op := func(ctx context.Context) int {
+		<-ctx.Done()
+		close(released)
+		return -1
+	}
+	v, st := AttemptCtx(op, nil, func(error) int { return 99 },
+		noSleep(Policy{AttemptTimeout: 5 * time.Millisecond}))
+	if v != 99 {
+		t.Fatalf("v = %d, want fallback 99", v)
+	}
+	if st.Timeouts != 1 {
+		t.Errorf("stats = %+v, want 1 timeout", st)
+	}
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("abandoned attempt never observed its cancelled context")
+	}
+}
+
+func TestAttemptCtxNoTimeoutContextNeverCancelled(t *testing.T) {
+	v, st := AttemptCtx(func(ctx context.Context) int {
+		if ctx.Err() != nil {
+			t.Error("context cancelled without an AttemptTimeout")
+		}
+		return 5
+	}, nil, nil, Policy{})
+	if v != 5 || st.Attempts != 1 {
+		t.Fatalf("v=%d stats=%+v", v, st)
+	}
+}
+
+func TestPullDrainsSharedQueue(t *testing.T) {
+	var next atomic.Int64
+	const n = 100
+	var done atomic.Int64
+	walls, ps := Pull(4, func(int) (func(), bool) {
+		i := next.Add(1) - 1
+		if i >= n {
+			return nil, false
+		}
+		return func() { done.Add(1) }, true
+	})
+	if done.Load() != n {
+		t.Fatalf("ran %d tasks, want %d", done.Load(), n)
+	}
+	if len(walls) != 4 || ps.Workers != 4 {
+		t.Errorf("walls=%d workers=%d, want 4", len(walls), ps.Workers)
+	}
+	for w, d := range walls {
+		if d <= 0 {
+			t.Errorf("worker %d wall = %v, want > 0", w, d)
+		}
+	}
+}
+
+func TestPullPanicDoesNotKillWorker(t *testing.T) {
+	var next atomic.Int64
+	var clean atomic.Int64
+	_, ps := Pull(2, func(int) (func(), bool) {
+		i := next.Add(1) - 1
+		if i >= 10 {
+			return nil, false
+		}
+		if i%2 == 0 {
+			return func() { panic("boom") }, true
+		}
+		return func() { clean.Add(1) }, true
+	})
+	if ps.Panics != 5 {
+		t.Errorf("panics = %d, want 5", ps.Panics)
+	}
+	if clean.Load() != 5 {
+		t.Errorf("clean tasks = %d, want 5: a panic must not retire the worker", clean.Load())
+	}
+}
+
+func TestPullSingleWorkerInline(t *testing.T) {
+	order := []int{}
+	i := 0
+	Pull(1, func(w int) (func(), bool) {
+		if w != 0 {
+			t.Fatalf("worker = %d, want 0", w)
+		}
+		if i >= 3 {
+			return nil, false
+		}
+		j := i
+		i++
+		return func() { order = append(order, j) }, true
+	})
+	if len(order) != 3 || order[0] != 0 || order[2] != 2 {
+		t.Errorf("order = %v", order)
 	}
 }

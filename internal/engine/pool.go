@@ -92,3 +92,60 @@ func Map[T, R any](items []T, workers int, f func(int, T) R) ([]R, PoolStats) {
 		Panics:  int(panics.Load()),
 	}
 }
+
+// Pull is the pull-based counterpart of Map for callers whose work list
+// is dynamic: a pool of workers repeatedly asks next for a task until it
+// reports no more work. next is called with the worker index and must be
+// safe for concurrent use — it is the scheduler (a shared queue, a
+// work-stealing heap); returning ok=false retires the asking worker. A
+// panic escaping a task is counted in PoolStats.Panics and does not kill
+// its worker. Returns each worker's wall time (pool start to that
+// worker's retirement) alongside the pool telemetry. A single worker
+// runs inline with no goroutines.
+func Pull(workers int, next func(worker int) (task func(), ok bool)) ([]time.Duration, PoolStats) {
+	if workers < 1 {
+		workers = 1
+	}
+	walls := make([]time.Duration, workers)
+	var busy, panics atomic.Int64
+	start := time.Now()
+	runTask := func(task func()) {
+		t0 := time.Now()
+		defer func() {
+			busy.Add(int64(time.Since(t0)))
+			if r := recover(); r != nil {
+				panics.Add(1)
+			}
+		}()
+		task()
+	}
+	worker := func(w int) {
+		for {
+			task, ok := next(w)
+			if !ok {
+				break
+			}
+			runTask(task)
+		}
+		walls[w] = time.Since(start)
+	}
+	if workers == 1 {
+		worker(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				worker(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	return walls, PoolStats{
+		Workers: workers,
+		Wall:    time.Since(start),
+		Busy:    time.Duration(busy.Load()),
+		Panics:  int(panics.Load()),
+	}
+}

@@ -50,6 +50,49 @@ func BenchmarkFleetSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetSkewedSweep measures the work-stealing win on the skewed
+// fleet shape: one host 10× slower than its shard co-tenants. Static
+// scheduling paces the sweep at the slow bucket; stealing drains the
+// bucket's healthy hosts onto idle shards. `make bench-steal` runs this
+// pair side by side.
+func BenchmarkFleetSkewedSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		sched Scheduling
+	}{{"static", ScheduleStatic}, {"stealing", ScheduleWorkStealing}} {
+		b.Run(mode.name, func(b *testing.B) {
+			targets, _ := SkewedFleet(256, 16, 20*time.Microsecond, 10)
+			coord := NewCoordinator()
+			opts := Options{Shards: 16, Workers: 4, Scheduling: mode.sched}
+			coord.Sweep(targets, opts) // learn per-host costs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				coord.Sweep(targets, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFleetDedupSweep measures cross-host check dedup on a
+// homogeneous probe-delayed fleet: with dedup on, each distinct check
+// executes once per sweep instead of once per host.
+func BenchmarkFleetDedupSweep(b *testing.B) {
+	for _, dedup := range []bool{false, true} {
+		name := "off"
+		if dedup {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			targets := benchFleet(16)
+			opts := Options{Shards: 4, Workers: 4, Dedup: dedup}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Sweep(targets, opts)
+			}
+		})
+	}
+}
+
 // BenchmarkFleetIncrementalSweep measures the steady-state re-sweep: one
 // host of 16 drifts between sweeps, the other 15 replay from cache.
 func BenchmarkFleetIncrementalSweep(b *testing.B) {

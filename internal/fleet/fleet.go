@@ -1,17 +1,34 @@
 // Package fleet is the operations-scale layer of the VeriDevOps
-// reproduction: a coordinator that audits N hosts × M requirements by
-// sharding (host, catalogue) work units across a two-level worker pool —
-// engine.Map over shards, and engine.Map workers inside each host's
-// catalogue run. Scheduling is host-affine: a host's checks always land on
-// the same shard (a stable hash of the host name), so per-host transport
-// state, caches and rate limits stay shard-local across sweeps.
+// reproduction: a coordinator that audits N hosts × M requirements across
+// a two-level worker pool — shard goroutines pulling hosts from a dynamic
+// scheduler, and engine.Map workers inside each host's catalogue run.
+//
+// Scheduling is work-stealing with affinity as the tiebreak. Each shard's
+// queue is seeded with its affinity hosts (a stable FNV-1a hash of the
+// host name) ordered most-expensive-first, using the per-host audit costs
+// the coordinator observed on earlier sweeps (LPT); a shard whose queue
+// drains steals the most expensive remaining host from the most loaded
+// shard instead of idling. On a balanced fleet every host runs on its
+// home shard — transport state and caches stay shard-local, exactly the
+// old static placement — while a skewed fleet (one slow host, uneven
+// buckets) converges towards equal shard walls instead of being paced by
+// the unluckiest bucket. ScheduleStatic restores the pure-affinity
+// behaviour for comparison.
+//
+// Cross-host check dedup (Options.Dedup) exploits fleet homogeneity: on
+// audit-only sweeps, requirements that fingerprint their read state
+// (core.CheckFingerprint) execute once per distinct (finding, state)
+// pair per sweep and replay the verdict to every identical co-tenant,
+// through one single-flight core.CheckMemo shared by all shards.
 //
 // A Coordinator carries an incremental-audit cache between sweeps, keyed
 // on each host's monotonic state version (host.EventLog.Version): a
 // re-sweep re-runs only hosts whose state advanced since the last pass and
 // replays the cached report for the rest, so steady-state fleet sweeps are
 // dominated by changed hosts only. Any cache miss falls back to a full
-// run of that host.
+// run of that host. SaveCache/LoadCache persist the cache (and the
+// observed cost table) across coordinator restarts; a corrupt or
+// unrecognised cache file degrades to a cold start.
 //
 // Unreachable hosts (host.Linux.SetUnreachable) degrade instead of
 // stalling the fleet: their probes panic, the fault-tolerant engine
@@ -58,6 +75,14 @@ type Options struct {
 	// Incremental reuses cached per-host reports for targets whose state
 	// version is unchanged since the coordinator last audited them.
 	Incremental bool
+	// Scheduling selects host placement; the zero value is
+	// ScheduleWorkStealing (see the package comment).
+	Scheduling Scheduling
+	// Dedup enables cross-host check dedup on audit-only sweeps: checks
+	// with equal fingerprints execute once per sweep and replay
+	// everywhere else. Ignored in CheckAndEnforce mode — enforcement
+	// mutates per-host state and is never deduped.
+	Dedup bool
 }
 
 func (o Options) normalized(targets int) Options {
@@ -76,9 +101,12 @@ func (o Options) normalized(targets int) Options {
 // HostResult is the outcome of auditing one target.
 type HostResult struct {
 	Target string
-	// Shard is the shard the target's work ran on (its affinity home,
-	// also when the result was replayed from cache).
+	// Shard is the shard the target's work ran on: its affinity home
+	// unless the host was stolen by an idle shard.
 	Shard int
+	// Stolen marks a host executed away from its affinity home by the
+	// work-stealing scheduler.
+	Stolen bool
 	// FromCache marks a result replayed from the incremental cache; its
 	// Stats are zero because nothing executed.
 	FromCache bool
@@ -144,11 +172,19 @@ type cacheEntry struct {
 type Coordinator struct {
 	mu    sync.Mutex
 	cache map[string]cacheEntry
+	// costs is the observed per-host audit wall of the most recent
+	// executed (non-cached) run, the LPT estimate the scheduler orders
+	// queues by. Hosts never audited cost 0 (the scheduler substitutes
+	// the fleet mean).
+	costs map[string]time.Duration
 }
 
 // NewCoordinator returns a coordinator with an empty cache.
 func NewCoordinator() *Coordinator {
-	return &Coordinator{cache: make(map[string]cacheEntry)}
+	return &Coordinator{
+		cache: make(map[string]cacheEntry),
+		costs: make(map[string]time.Duration),
+	}
 }
 
 // Invalidate drops one host's cached report, forcing its next incremental
@@ -186,6 +222,28 @@ func (c *Coordinator) store(name string, version uint64, rep core.Report) {
 	c.cache[name] = cacheEntry{version: version, report: rep}
 }
 
+// snapshotCosts returns the observed audit cost of each target, indexed
+// like ts; 0 for hosts never executed.
+func (c *Coordinator) snapshotCosts(ts []Target) []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(ts))
+	for i, t := range ts {
+		out[i] = c.costs[t.Name]
+	}
+	return out
+}
+
+// recordCost remembers an executed host's audit wall for future LPT
+// ordering.
+func (c *Coordinator) recordCost(name string, wall time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if wall > 0 {
+		c.costs[name] = wall
+	}
+}
+
 // Affinity returns the shard a host name is pinned to under the given
 // shard count: a stable FNV-1a hash, so a host keeps its shard across
 // sweeps and across fleets that contain different co-tenants.
@@ -205,10 +263,12 @@ func Sweep(targets []Target, opts Options) (FleetReport, FleetStats) {
 }
 
 // Sweep audits every target and returns the merged report and telemetry.
-// Targets are bucketed onto shards by name affinity; shards run
-// concurrently on an engine.Map pool, and within a shard each host's
-// catalogue runs on its own engine.Map pool of opts.Workers. The report
-// lists hosts in name order regardless of shard interleaving.
+// Shard goroutines pull hosts from the work-stealing scheduler (see the
+// package comment; ScheduleStatic restores pure affinity buckets), and
+// within a shard each host's catalogue runs on its own engine.Map pool of
+// opts.Workers. The report lists hosts in name order regardless of shard
+// interleaving; verdicts never depend on placement, only placement
+// telemetry does.
 func (c *Coordinator) Sweep(targets []Target, opts Options) (FleetReport, FleetStats) {
 	opts = opts.normalized(len(targets))
 	if len(targets) == 0 {
@@ -219,29 +279,39 @@ func (c *Coordinator) Sweep(targets []Target, opts Options) (FleetReport, FleetS
 	copy(ts, targets)
 	sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
 
-	buckets := make([][]int, opts.Shards)
-	for i, t := range ts {
-		s := Affinity(t.Name, opts.Shards)
-		buckets[s] = append(buckets[s], i)
+	var memo *core.CheckMemo
+	if opts.Dedup && opts.Mode == core.CheckOnly {
+		memo = core.NewCheckMemo()
 	}
+	sched := newStealScheduler(len(ts), opts.Shards,
+		func(i int) int { return Affinity(ts[i].Name, opts.Shards) },
+		c.snapshotCosts(ts), opts.Scheduling == ScheduleStatic)
 
-	// results is written at distinct indices by distinct shard goroutines.
+	// results is written at distinct indices: the scheduler hands each
+	// host index out exactly once.
 	results := make([]HostResult, len(ts))
-	shardWalls, ps := engine.Map(buckets, opts.Shards, func(si int, bucket []int) time.Duration {
-		t0 := time.Now()
-		for _, i := range bucket {
-			results[i] = c.auditOne(ts[i], si, opts)
+	shardWalls, ps := engine.Pull(opts.Shards, func(shard int) (func(), bool) {
+		i, stolen, ok := sched.next(shard)
+		if !ok {
+			return nil, false
 		}
-		return time.Since(t0)
+		return func() {
+			hr := c.auditOne(ts[i], shard, opts, memo)
+			hr.Stolen = stolen
+			results[i] = hr
+		}, true
 	})
 
 	rep := FleetReport{Hosts: results}
-	return rep, aggregate(results, shardWalls, ps, opts)
+	st := aggregate(results, shardWalls, ps, opts)
+	sched.apply(&st)
+	return rep, st
 }
 
 // auditOne audits a single target, consulting and priming the incremental
-// cache when the target exposes a version probe.
-func (c *Coordinator) auditOne(t Target, shard int, opts Options) HostResult {
+// cache when the target exposes a version probe, and routing checks
+// through the sweep's shared dedup memo when one is wired.
+func (c *Coordinator) auditOne(t Target, shard int, opts Options, memo *core.CheckMemo) HostResult {
 	hr := HostResult{Target: t.Name, Shard: shard}
 	if t.Catalog == nil {
 		return hr
@@ -258,11 +328,14 @@ func (c *Coordinator) auditOne(t Target, shard int, opts Options) HostResult {
 			}
 		}
 	}
+	t0 := time.Now()
 	rep, st := t.Catalog.RunEngine(core.RunOptions{
 		Mode:    opts.Mode,
 		Workers: opts.Workers,
 		Checks:  opts.Checks,
+		Memo:    memo,
 	})
+	c.recordCost(t.Name, time.Since(t0))
 	hr.Report, hr.Stats = rep, st
 	hr.Degraded = st.Requirements > 0 && st.Errors == st.Requirements
 	if versioned {

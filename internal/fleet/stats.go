@@ -28,6 +28,12 @@ type ShardStats struct {
 	Panics   int
 	Timeouts int
 	Errors   int
+	// Steals counts hosts this shard executed from another shard's queue;
+	// QueueWait sums, over the hosts this shard dispatched, the time each
+	// spent enqueued before dispatch. Both are placement telemetry and
+	// depend on runtime timing under work stealing.
+	Steals    int
+	QueueWait time.Duration
 }
 
 // HostStats is the compact per-host row of a FleetStats.
@@ -37,8 +43,10 @@ type HostStats struct {
 	Requirements int
 	Errors       int
 	FromCache    bool
-	Degraded     bool
-	Wall         time.Duration
+	// Stolen marks a host executed away from its affinity home.
+	Stolen   bool
+	Degraded bool
+	Wall     time.Duration
 }
 
 // FleetStats merges the per-shard RunStats of one sweep into a fleet-wide
@@ -71,6 +79,26 @@ type FleetStats struct {
 	// sweep reports 0/0.
 	CacheHits   int
 	CacheMisses int
+	// DedupHits / DedupMisses count check executions saved versus paid by
+	// cross-host dedup (Options.Dedup): a miss is the first arrival that
+	// executed a distinct fingerprint, a hit a verdict replayed from the
+	// sweep's shared memo. Both stay 0 when dedup is off. The totals are
+	// deterministic; which host pays the miss is not.
+	DedupHits   int
+	DedupMisses int
+	// Steals counts hosts executed away from their affinity home;
+	// QueueWait sums dispatch latency across shards. Both are placement
+	// telemetry (see ShardStats).
+	Steals    int
+	QueueWait time.Duration
+	// ActiveShards counts shards that executed or replayed at least one
+	// host. Affinity hashing can leave buckets empty under static
+	// scheduling, so capacity-derived metrics use this, not Shards.
+	ActiveShards int
+	// LoadImbalance is max(shard wall) / mean(active shard wall), >= 1
+	// when measurable and 0 when not: 1.0 means perfectly balanced
+	// shards, the value work stealing pushes towards.
+	LoadImbalance float64
 	// PerShard and PerHost hold the detail rows, ordered by shard index
 	// and target name respectively.
 	PerShard []ShardStats
@@ -87,29 +115,45 @@ func (s FleetStats) CacheHitRate() float64 {
 	return float64(s.CacheHits) / float64(total)
 }
 
-// Utilization is Busy / (Shards * Workers * Wall) in [0,1]: how much of
-// the two-level pool's total capacity the sweep kept busy.
+// DedupRate is DedupHits / (DedupHits + DedupMisses) in [0,1]; 0 when
+// dedup was off or nothing was memoisable.
+func (s FleetStats) DedupRate() float64 {
+	total := s.DedupHits + s.DedupMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DedupHits) / float64(total)
+}
+
+// Utilization is Busy / (ActiveShards * Workers * Wall) in [0,1]: how
+// much of the capacity the sweep actually deployed it kept busy. The
+// denominator counts active shards, not configured ones — affinity
+// hashing can leave buckets empty (most visibly with Shards near the
+// host count), and an idle-by-construction shard is not wasted capacity
+// the sweep could have used.
 func (s FleetStats) Utilization() float64 {
-	return engine.PoolStats{Workers: s.Shards * s.Workers, Wall: s.Wall, Busy: s.Busy}.Utilization()
+	return engine.PoolStats{Workers: s.ActiveShards * s.Workers, Wall: s.Wall, Busy: s.Busy}.Utilization()
 }
 
 // Summary renders the roll-up as one line.
 func (s FleetStats) Summary() string {
 	return fmt.Sprintf(
-		"fleet: %d hosts over %d shards x %d workers, %d requirements (%d hosts cached, hit rate %s), %d attempts (%d retries, %d panics recovered, %d timeouts), %d errors (%d hosts degraded), wall %s ms, utilization %s",
-		s.Hosts, s.Shards, s.Workers, s.Requirements, s.CachedHosts,
-		report.Percent(s.CacheHitRate()), s.Attempts, s.Retries, s.Panics,
-		s.Timeouts, s.Errors, s.DegradedHosts, report.Millis(s.Wall),
+		"fleet: %d hosts over %d shards (%d active) x %d workers, %d requirements (%d hosts cached, hit rate %s, dedup %s), %d attempts (%d retries, %d panics recovered, %d timeouts), %d errors (%d hosts degraded), %d stolen, wall %s ms, utilization %s",
+		s.Hosts, s.Shards, s.ActiveShards, s.Workers, s.Requirements,
+		s.CachedHosts, report.Percent(s.CacheHitRate()),
+		report.Percent(s.DedupRate()), s.Attempts, s.Retries, s.Panics,
+		s.Timeouts, s.Errors, s.DegradedHosts, s.Steals, report.Millis(s.Wall),
 		report.Percent(s.Utilization()))
 }
 
 // ShardTable renders the per-shard telemetry.
 func (s FleetStats) ShardTable(title string) *report.Table {
-	t := report.New(title, "shard", "hosts", "cached", "requirements",
-		"attempts", "retries", "panics", "timeouts", "errors", "wall-ms")
+	t := report.New(title, "shard", "hosts", "cached", "stolen", "requirements",
+		"attempts", "retries", "panics", "timeouts", "errors", "wait-ms", "wall-ms")
 	for _, sh := range s.PerShard {
-		t.AddRow(sh.Shard, sh.Hosts, sh.Cached, sh.Requirements, sh.Attempts,
-			sh.Retries, sh.Panics, sh.Timeouts, sh.Errors, report.Millis(sh.Wall))
+		t.AddRow(sh.Shard, sh.Hosts, sh.Cached, sh.Steals, sh.Requirements, sh.Attempts,
+			sh.Retries, sh.Panics, sh.Timeouts, sh.Errors,
+			report.Millis(sh.QueueWait), report.Millis(sh.Wall))
 	}
 	t.Note = s.Summary()
 	return t
@@ -117,31 +161,34 @@ func (s FleetStats) ShardTable(title string) *report.Table {
 
 // HostTable renders the per-host telemetry.
 func (s FleetStats) HostTable(title string) *report.Table {
-	t := report.New(title, "host", "shard", "requirements", "errors", "cached", "degraded", "wall-ms")
+	t := report.New(title, "host", "shard", "requirements", "errors", "cached", "stolen", "degraded", "wall-ms")
 	for _, h := range s.PerHost {
 		t.AddRow(h.Target, h.Shard, h.Requirements, h.Errors, h.FromCache,
-			h.Degraded, report.Millis(h.Wall))
+			h.Stolen, h.Degraded, report.Millis(h.Wall))
 	}
 	t.Note = s.Summary()
 	return t
 }
 
-// Canonical returns the stats with every timing field zeroed — the form
-// the determinism tests compare. Everything else (verdict counts, cache
-// accounting, shard assignment, attempt/panic telemetry) is a
-// deterministic function of the fleet, the seed and the fault plan.
+// Canonical returns the stats with every timing- and placement-dependent
+// field zeroed — the form the determinism tests compare. Verdict counts,
+// cache accounting, dedup totals and attempt/panic telemetry are
+// deterministic functions of the fleet, the seed and the fault plan;
+// which shard a host lands on under work stealing is not, so Canonical
+// drops the per-shard rows and neutralises per-host placement the same
+// way it neutralises wall clocks.
 func (s FleetStats) Canonical() FleetStats {
 	s.Wall, s.Busy = 0, 0
-	shards := make([]ShardStats, len(s.PerShard))
-	copy(shards, s.PerShard)
-	for i := range shards {
-		shards[i].Wall, shards[i].Busy = 0, 0
-	}
-	s.PerShard = shards
+	s.Steals, s.QueueWait = 0, 0
+	s.ActiveShards = 0
+	s.LoadImbalance = 0
+	s.PerShard = nil
 	hosts := make([]HostStats, len(s.PerHost))
 	copy(hosts, s.PerHost)
 	for i := range hosts {
 		hosts[i].Wall = 0
+		hosts[i].Shard = 0
+		hosts[i].Stolen = false
 	}
 	s.PerHost = hosts
 	return s
@@ -175,6 +222,7 @@ func aggregate(results []HostResult, shardWalls []time.Duration, ps engine.PoolS
 			Requirements: reqs,
 			Errors:       hr.Stats.Errors,
 			FromCache:    hr.FromCache,
+			Stolen:       hr.Stolen,
 			Degraded:     hr.Degraded,
 			Wall:         hr.Stats.Wall,
 		})
@@ -202,6 +250,23 @@ func aggregate(results []HostResult, shardWalls []time.Duration, ps engine.PoolS
 		sh.Timeouts += hr.Stats.Timeouts
 		st.Errors += hr.Stats.Errors
 		sh.Errors += hr.Stats.Errors
+		st.DedupHits += hr.Stats.DedupHits
+		st.DedupMisses += hr.Stats.DedupMisses
+	}
+	var wallSum time.Duration
+	var wallMax time.Duration
+	for _, sh := range st.PerShard {
+		if sh.Hosts == 0 {
+			continue
+		}
+		st.ActiveShards++
+		wallSum += sh.Wall
+		if sh.Wall > wallMax {
+			wallMax = sh.Wall
+		}
+	}
+	if st.ActiveShards > 0 && wallSum > 0 {
+		st.LoadImbalance = float64(wallMax) * float64(st.ActiveShards) / float64(wallSum)
 	}
 	return st
 }

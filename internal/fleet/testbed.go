@@ -50,6 +50,35 @@ func WithProbeDelay(t Target, delay time.Duration) Target {
 	return t
 }
 
+// SkewedFleet builds the work-stealing benchmark shape: n probe-delayed
+// hosts of which one — picked deterministically from the most populated
+// affinity bucket at the given shard count, where static scheduling hurts
+// the most co-tenants — pays skew× the probe delay. It returns the
+// targets and the slow host's name.
+func SkewedFleet(n, shards int, delay time.Duration, skew int) ([]Target, string) {
+	targets, _ := LinuxFleet(n)
+	buckets := make([]int, shards)
+	for _, t := range targets {
+		buckets[Affinity(t.Name, shards)]++
+	}
+	biggest := 0
+	for s, c := range buckets {
+		if c > buckets[biggest] {
+			biggest = s
+		}
+	}
+	slow := ""
+	for i := range targets {
+		d := delay
+		if slow == "" && Affinity(targets[i].Name, shards) == biggest {
+			slow = targets[i].Name
+			d = delay * time.Duration(skew)
+		}
+		targets[i] = WithProbeDelay(targets[i], d)
+	}
+	return targets, slow
+}
+
 // WithFaults replaces a target's catalogue with one whose checks misbehave
 // per plan, one injector per requirement seeded seed+index — the E7b
 // construction, so identical seeds and plans give identical fault

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -325,4 +326,55 @@ func TestUnreachableHostPanicsAndRecovers(t *testing.T) {
 	if !h.Installed("sudo") {
 		t.Error("host state must survive the outage")
 	}
+}
+
+func TestCtxProbesPanicOnCanceledContext(t *testing.T) {
+	l := NewUbuntu1804()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, probe := range map[string]func(){
+		"InstalledCtx":     func() { l.InstalledCtx(ctx, "sudo") },
+		"ConfigCtx":        func() { l.ConfigCtx(ctx, "/etc/login.defs", "ENCRYPT_METHOD") },
+		"ServiceActiveCtx": func() { l.ServiceActiveCtx(ctx, "sshd") },
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != ErrCanceled {
+					t.Errorf("%s: recovered %v, want ErrCanceled", name, r)
+				}
+			}()
+			probe()
+			t.Errorf("%s: canceled probe did not panic", name)
+		}()
+	}
+	// The unwind left the host lock released and the host usable.
+	if !l.Installed("sudo") {
+		t.Error("host unusable after canceled probe")
+	}
+}
+
+func TestCtxProbesPassThroughLiveContext(t *testing.T) {
+	l := NewUbuntu1804()
+	if !l.InstalledCtx(context.Background(), "sudo") {
+		t.Error("live-context probe diverges from Installed")
+	}
+	if v, ok := l.ConfigCtx(context.Background(), "/etc/login.defs", "ENCRYPT_METHOD"); !ok || v != "SHA512" {
+		t.Errorf("ConfigCtx = %q,%t", v, ok)
+	}
+	// nil context degrades to the plain probe.
+	if !l.InstalledCtx(nil, "sudo") {
+		t.Error("nil-context probe diverges from Installed")
+	}
+}
+
+func TestCtxProbeUnreachableStillPanicsUnreachable(t *testing.T) {
+	l := NewUbuntu1804()
+	l.SetUnreachable(true)
+	defer func() {
+		if r := recover(); r != ErrUnreachable {
+			t.Errorf("recovered %v, want ErrUnreachable", r)
+		}
+	}()
+	l.InstalledCtx(context.Background(), "sudo")
+	t.Error("unreachable probe did not panic")
 }

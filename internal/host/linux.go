@@ -8,6 +8,7 @@
 package host
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -56,6 +57,14 @@ type Linux struct {
 // point of the hook.
 var ErrUnreachable = errors.New("host: unreachable")
 
+// ErrCanceled is the panic value ctx-aware probes raise once the
+// attempt's context is done: the execution engine has already abandoned
+// the attempt (engine.Policy.AttemptTimeout), so unwinding here releases
+// the probe goroutine early instead of letting it run to completion in
+// the background. The engine's panic recovery absorbs the unwind; the
+// discarded attempt's verdict was never going to be read.
+var ErrCanceled = errors.New("host: probe canceled")
+
 // SetUnreachable toggles the connectivity fault. While set, every probe
 // and mutation panics with ErrUnreachable. Toggling back restores normal
 // operation; host state is unaffected by the outage. Each transition is
@@ -83,6 +92,17 @@ func (l *Linux) ping() {
 	if l.unreachable {
 		panic(ErrUnreachable)
 	}
+}
+
+// pingCtx is ping plus cooperative cancellation: an already-cancelled
+// context means the engine abandoned this attempt, so the probe panics
+// with ErrCanceled to unwind and release its goroutine. A nil context
+// degrades to plain ping. Callers hold l.mu.
+func (l *Linux) pingCtx(ctx context.Context) {
+	if ctx != nil && ctx.Err() != nil {
+		panic(ErrCanceled)
+	}
+	l.ping()
 }
 
 // SetReadOnly toggles mutation denial. While read-only, Install, Remove,
@@ -176,9 +196,16 @@ func (l *Linux) Version(name string) string {
 
 // Installed reports whether the named package is installed (dpkg -l).
 func (l *Linux) Installed(name string) bool {
+	return l.InstalledCtx(nil, name)
+}
+
+// InstalledCtx is Installed with cooperative cancellation: the probe
+// checks ctx at its boundary and panics with ErrCanceled when the
+// owning attempt was already abandoned (see engine.AttemptCtx).
+func (l *Linux) InstalledCtx(ctx context.Context, name string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.ping()
+	l.pingCtx(ctx)
 	p, ok := l.packages[name]
 	return ok && p.Installed
 }
@@ -233,9 +260,15 @@ func (l *Linux) DisableService(name string) {
 
 // ServiceActive reports whether the service is enabled and running.
 func (l *Linux) ServiceActive(name string) bool {
+	return l.ServiceActiveCtx(nil, name)
+}
+
+// ServiceActiveCtx is ServiceActive with cooperative cancellation at the
+// probe boundary (see InstalledCtx).
+func (l *Linux) ServiceActiveCtx(ctx context.Context, name string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.ping()
+	l.pingCtx(ctx)
 	s, ok := l.services[name]
 	return ok && s.Enabled && s.Running
 }
@@ -259,9 +292,15 @@ func (l *Linux) SetConfig(file, key, value string) {
 
 // Config returns the value of key in file, with ok=false when unset.
 func (l *Linux) Config(file, key string) (string, bool) {
+	return l.ConfigCtx(nil, file, key)
+}
+
+// ConfigCtx is Config with cooperative cancellation at the probe
+// boundary (see InstalledCtx).
+func (l *Linux) ConfigCtx(ctx context.Context, file, key string) (string, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.ping()
+	l.pingCtx(ctx)
 	f, ok := l.config[file]
 	if !ok {
 		return "", false

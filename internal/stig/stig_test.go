@@ -1,6 +1,7 @@
 package stig
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -269,6 +270,51 @@ func TestWin10FindingIDsMatchDeliverable(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUbuntuCheckStateDigests(t *testing.T) {
+	a, b := host.NewUbuntu1804(), host.NewUbuntu1804()
+	ra, rb := NewV219157(a), NewV219157(b)
+	da, ok := ra.CheckStateDigest()
+	if !ok {
+		t.Fatal("package pattern must digest its state")
+	}
+	db, _ := rb.CheckStateDigest()
+	if da != db {
+		t.Errorf("identical hosts digest differently: %q vs %q", da, db)
+	}
+	// Diverging the read state diverges the digest.
+	b.Install("nis", "0.legacy")
+	if db2, _ := rb.CheckStateDigest(); db2 == da {
+		t.Error("digest ignored the package state the check reads")
+	}
+	// Config pattern likewise.
+	ca, _ := NewV219177(a).CheckStateDigest()
+	cb, _ := NewV219177(b).CheckStateDigest()
+	if ca != cb {
+		t.Errorf("config digests diverge on identical config: %q vs %q", ca, cb)
+	}
+	b.SetConfig("/etc/login.defs", "ENCRYPT_METHOD", "MD5")
+	if cb2, _ := NewV219177(b).CheckStateDigest(); cb2 == ca {
+		t.Error("config digest ignored the value the check reads")
+	}
+	// Nil-host patterns are undigestable, not wrong.
+	if _, ok := (&UbuntuPackagePattern{}).CheckStateDigest(); ok {
+		t.Error("nil host must not digest")
+	}
+}
+
+func TestUbuntuCheckCtxMatchesCheck(t *testing.T) {
+	h := host.NewUbuntu1804()
+	for _, r := range UbuntuCatalog(h).All() {
+		cc, ok := r.(core.ContextChecker)
+		if !ok {
+			t.Fatalf("%s does not implement ContextChecker", r.FindingID())
+		}
+		if got, want := cc.CheckCtx(context.Background()), r.Check(); got != want {
+			t.Errorf("%s: CheckCtx = %s, Check = %s", r.FindingID(), got, want)
 		}
 	}
 }

@@ -6,6 +6,7 @@
 package stig
 
 import (
+	"context"
 	"fmt"
 
 	"veridevops/internal/core"
@@ -26,10 +27,31 @@ type UbuntuPackagePattern struct {
 
 // Check reports whether the package state matches the requirement.
 func (u *UbuntuPackagePattern) Check() core.CheckStatus {
+	return u.CheckCtx(context.Background())
+}
+
+// CheckCtx is Check with cooperative cancellation: the dpkg probe
+// observes ctx at its boundary, so an attempt the engine already
+// abandoned (AttemptTimeout) unwinds instead of running on.
+func (u *UbuntuPackagePattern) CheckCtx(ctx context.Context) core.CheckStatus {
 	if u.Host == nil {
 		return core.CheckIncomplete
 	}
-	return core.CheckBool(u.Host.Installed(u.PackageName) == u.MustBeInstalled)
+	return core.CheckBool(u.Host.InstalledCtx(ctx, u.PackageName) == u.MustBeInstalled)
+}
+
+// CheckStateDigest returns the canonical digest of the host state the
+// check reads — the package's installed flag plus the requirement's
+// expectation — for cross-host dedup of identical check work (see
+// core.CheckFingerprint). The digest probe reads the host inventory
+// directly, modelling a cached fleet inventory snapshot that is far
+// cheaper than the per-check transport round-trip the audit itself pays.
+func (u *UbuntuPackagePattern) CheckStateDigest() (string, bool) {
+	if u.Host == nil {
+		return "", false
+	}
+	return fmt.Sprintf("pkg:%s=%t;want=%t",
+		u.PackageName, u.Host.Installed(u.PackageName), u.MustBeInstalled), true
 }
 
 // Enforce installs or removes the package to satisfy the requirement and
@@ -74,11 +96,28 @@ type UbuntuConfigPattern struct {
 
 // Check reports whether the configuration key has the required value.
 func (u *UbuntuConfigPattern) Check() core.CheckStatus {
+	return u.CheckCtx(context.Background())
+}
+
+// CheckCtx is Check with cooperative cancellation at the config-probe
+// boundary (see UbuntuPackagePattern.CheckCtx).
+func (u *UbuntuConfigPattern) CheckCtx(ctx context.Context) core.CheckStatus {
 	if u.Host == nil {
 		return core.CheckIncomplete
 	}
-	v, ok := u.Host.Config(u.File, u.Key)
+	v, ok := u.Host.ConfigCtx(ctx, u.File, u.Key)
 	return core.CheckBool(ok && v == u.Value)
+}
+
+// CheckStateDigest returns the canonical digest of the configuration
+// state the check reads, for cross-host dedup (see
+// UbuntuPackagePattern.CheckStateDigest).
+func (u *UbuntuConfigPattern) CheckStateDigest() (string, bool) {
+	if u.Host == nil {
+		return "", false
+	}
+	v, ok := u.Host.Config(u.File, u.Key)
+	return fmt.Sprintf("cfg:%s:%s=%q,%t;want=%q", u.File, u.Key, v, ok, u.Value), true
 }
 
 // Enforce writes the required value and verifies it took effect.
