@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fleet-race bench bench-fleet bench-steal tables
+.PHONY: check vet build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry tables
 
 # check is the CI gate: vet, build everything, then the full test suite
 # under the race detector (the engine, core and monitor packages are
@@ -24,6 +24,18 @@ race:
 # race detector (already covered by race; this is the quick loop).
 fleet-race:
 	$(GO) test -race ./internal/fleet/ ./internal/engine/ ./internal/core/ ./cmd/fleetaudit/
+
+# trace-race runs the telemetry-focused tests under the race detector:
+# spans are emitted concurrently from shard goroutines and engine workers,
+# so the tracer's locking is load-bearing.
+trace-race:
+	$(GO) test -race -run 'Trace|Telemetry|Span' ./internal/telemetry/ ./internal/fleet/ ./internal/engine/ ./internal/core/ ./internal/monitor/ ./cmd/fleetaudit/
+
+# bench-telemetry runs the tracing-overhead benchmarks (the disabled path
+# must hold 0 allocs/op) and regenerates the BENCH_telemetry.json record.
+bench-telemetry:
+	$(GO) test -run=^$$ -bench='BenchmarkTelemetry' -benchmem ./internal/telemetry/ ./internal/fleet/
+	$(GO) run ./cmd/fleetaudit -bench-telemetry -o BENCH_telemetry.json
 
 # bench-steal runs the scheduler-focused pair: skewed-fleet static vs
 # work-stealing, and dedup off vs on.

@@ -13,8 +13,10 @@
 //	fleetaudit [-hosts N] [-shards N] [-workers N] [-drift N] [-down N]
 //	           [-faults] [-retries N] [-seed N] [-incremental] [-enforce]
 //	           [-sched steal|static] [-dedup] [-cache-file PATH]
-//	           [-telemetry] [-cpuprofile PATH] [-memprofile PATH]
+//	           [-telemetry] [-trace PATH] [-metrics]
+//	           [-cpuprofile PATH] [-memprofile PATH]
 //	fleetaudit -bench [-o BENCH_fleet.json] [-seed N] [-commit HASH]
+//	fleetaudit -bench-telemetry [-o BENCH_telemetry.json] [-seed N] [-commit HASH]
 //
 // Exit status: 0 fleet fully compliant, 1 violations or errors open,
 // 2 usage error.
@@ -36,6 +38,7 @@ import (
 	"veridevops/internal/fleet"
 	"veridevops/internal/host"
 	"veridevops/internal/report"
+	"veridevops/internal/telemetry"
 )
 
 func main() {
@@ -58,9 +61,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sched := fs.String("sched", "steal", "host scheduling: steal (work-stealing, default) or static (pure affinity)")
 	dedup := fs.Bool("dedup", false, "dedup identical checks across hosts within a sweep (audit-only)")
 	cacheFile := fs.String("cache-file", "", "persist the incremental cache here across invocations")
-	telemetry := fs.Bool("telemetry", false, "print per-shard and per-host engine telemetry")
+	showTelemetry := fs.Bool("telemetry", false, "print per-shard and per-host engine telemetry")
+	tracePath := fs.String("trace", "", "write a JSONL span trace (sweep/shard/host/check/attempt) to this file")
+	showMetrics := fs.Bool("metrics", false, "collect and print the telemetry metrics registry after the run")
 	benchMode := fs.Bool("bench", false, "run the sharding/stealing/dedup/caching benchmark matrix instead of one audit")
-	out := fs.String("o", "BENCH_fleet.json", "output file for -bench JSON")
+	benchTelemetryMode := fs.Bool("bench-telemetry", false, "run the tracing-overhead benchmark matrix instead of one audit")
+	out := fs.String("o", "", "output file for bench JSON (default BENCH_fleet.json, or BENCH_telemetry.json with -bench-telemetry)")
 	commit := fs.String("commit", "", "commit hash recorded in -bench provenance (default: build info)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -113,8 +119,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	if *benchTelemetryMode {
+		if *out == "" {
+			*out = "BENCH_telemetry.json"
+		}
+		return runBenchTelemetry(stdout, stderr, *seed, *out, *commit)
+	}
 	if *benchMode {
+		if *out == "" {
+			*out = "BENCH_fleet.json"
+		}
 		return runBench(stdout, stderr, *seed, *out, *commit)
+	}
+
+	// -trace streams spans to the file; bare -metrics still builds an
+	// aggregate-only tracer so the span-name breakdown can print.
+	var tracer *telemetry.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetaudit: %v\n", err)
+			return 2
+		}
+		traceFile = f
+		tracer = telemetry.New(f)
+	} else if *showMetrics {
+		tracer = telemetry.New(nil)
+	}
+	var mets *telemetry.Metrics
+	if *showMetrics {
+		mets = telemetry.NewMetrics()
 	}
 
 	targets, machines := fleet.LinuxFleet(*hosts)
@@ -142,6 +177,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Checks:     engine.Policy{MaxAttempts: *retries},
 		Scheduling: scheduling,
 		Dedup:      *dedup,
+		Trace:      tracer,
+		Metrics:    mets,
 	}
 	if *enforce {
 		opts.Mode = core.CheckAndEnforce
@@ -161,14 +198,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	rep, st := coord.Sweep(targets, opts)
-	printSweep(stdout, "full sweep", rep, st, *telemetry)
+	printSweep(stdout, "full sweep", rep, st, *showTelemetry)
 
 	if *incremental {
 		host.DriftLinux(machines[rng.Intn(*hosts)], 3, rng)
 		opts.Incremental = true
 		rep, st = coord.Sweep(targets, opts)
 		fmt.Fprintln(stdout)
-		printSweep(stdout, "incremental re-sweep (1 host drifted)", rep, st, *telemetry)
+		printSweep(stdout, "incremental re-sweep (1 host drifted)", rep, st, *showTelemetry)
+	}
+
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fmt.Fprintf(stderr, "fleetaudit: flush trace: %v\n", err)
+			return 2
+		}
+		if traceFile != nil {
+			traceFile.Close()
+			fmt.Fprintf(stdout, "wrote span trace to %s\n", *tracePath)
+		}
+		fmt.Fprintln(stdout)
+		report.SpanTable("where the time went (top 10 span names)", tracer.Breakdown(), 10).WriteText(stdout)
+	}
+	if mets != nil {
+		fmt.Fprintln(stdout)
+		mets.Table("metrics").WriteText(stdout)
 	}
 
 	if *cacheFile != "" {
@@ -335,6 +389,99 @@ func runBench(stdout, stderr io.Writer, seed int64, out, commit string) int {
 		seed, report.Millis(seqWall), incrNote, 100*stealGain, skewSteals,
 		skewImbalance[fleet.ScheduleStatic], skewImbalance[fleet.ScheduleWorkStealing],
 		report.Percent(dedupRate))
+
+	t.WriteText(stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(stderr, "fleetaudit: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	if err := t.WriteJSON(f); err != nil {
+		fmt.Fprintf(stderr, "fleetaudit: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", out)
+	return 0
+}
+
+// lineCountWriter counts JSONL records as they stream past, so the bench
+// can report how many spans a traced sweep emitted without keeping them.
+type lineCountWriter struct{ lines int }
+
+func (c *lineCountWriter) Write(p []byte) (int, error) {
+	for _, b := range p {
+		if b == '\n' {
+			c.lines++
+		}
+	}
+	return len(p), nil
+}
+
+// runBenchTelemetry produces the BENCH_telemetry.json perf record (E15):
+// the full sweep at 1/4/16 shards with telemetry off, spans only, and
+// spans+metrics, plus a fully-cached incremental re-sweep traced end to
+// end — the case whose all-replay stats must stay finite.
+func runBenchTelemetry(stdout, stderr io.Writer, seed int64, out, commit string) int {
+	const (
+		nHosts     = 16
+		probeDelay = 100 * time.Microsecond
+	)
+	mkFleet := func() []fleet.Target {
+		targets, _ := fleet.LinuxFleet(nHosts)
+		for i := range targets {
+			targets[i] = fleet.WithProbeDelay(targets[i], probeDelay)
+		}
+		return targets
+	}
+
+	t := report.New("telemetry overhead: 16 hosts x 8 requirements, 100us probe round-trip",
+		"scenario", "shards", "telemetry", "spans-emitted", "wall-ms", "overhead-vs-off")
+	t.Meta = provenance(commit)
+
+	for _, shards := range []int{1, 4, 16} {
+		var offWall time.Duration
+		for _, mode := range []string{"off", "spans", "spans+metrics"} {
+			targets := mkFleet()
+			opts := fleet.Options{Shards: shards, Workers: 4}
+			var cw *lineCountWriter
+			if mode != "off" {
+				cw = &lineCountWriter{}
+				opts.Trace = telemetry.New(cw)
+			}
+			if mode == "spans+metrics" {
+				opts.Metrics = telemetry.NewMetrics()
+			}
+			_, st := fleet.Sweep(targets, opts)
+			spans, overhead := 0, "-"
+			if cw != nil {
+				opts.Trace.Flush()
+				spans = cw.lines
+				overhead = report.Percent(float64(st.Wall-offWall) / float64(offWall))
+			} else {
+				offWall = st.Wall
+			}
+			t.AddRow("full sweep", shards, mode, spans, report.Millis(st.Wall), overhead)
+		}
+	}
+
+	// The fully-cached re-sweep: every host replays, no check executes,
+	// and the traced stats must render finite (the LoadImbalance guard).
+	targets := mkFleet()
+	coord := fleet.NewCoordinator()
+	coord.Sweep(targets, fleet.Options{Shards: 4, Workers: 4})
+	cw := &lineCountWriter{}
+	tr := telemetry.New(cw)
+	_, st := coord.Sweep(targets, fleet.Options{
+		Shards: 4, Workers: 4, Incremental: true, Trace: tr, Metrics: telemetry.NewMetrics(),
+	})
+	tr.Flush()
+	t.AddRow("fully-cached incremental re-sweep", 4, "spans+metrics",
+		cw.lines, report.Millis(st.Wall), "-")
+
+	t.Note = fmt.Sprintf(
+		"seed %d; overhead = (traced - untraced) / untraced wall per shard count; cached re-sweep hit rate %s, load imbalance %s",
+		seed, report.Percent(st.CacheHitRate()), report.Float(st.LoadImbalance))
 
 	t.WriteText(stdout)
 	f, err := os.Create(out)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rqcode -os ubuntu|win10 [-enforce] [-drift N] [-seed N] [-verbose]
-//	       [-workers N] [-retries N] [-telemetry]
+//	       [-workers N] [-retries N] [-telemetry] [-trace PATH] [-metrics]
 //
 // Exit status: 0 fully compliant, 1 findings open, 2 usage error.
 package main
@@ -20,7 +20,9 @@ import (
 	"veridevops/internal/core"
 	"veridevops/internal/engine"
 	"veridevops/internal/host"
+	"veridevops/internal/report"
 	"veridevops/internal/stig"
+	"veridevops/internal/telemetry"
 )
 
 func main() {
@@ -38,7 +40,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	catalogPath := fs.String("catalog", "", "load an additional JSON catalogue of findings")
 	workers := fs.Int("workers", 1, "audit the catalogue with N parallel workers")
 	retries := fs.Int("retries", 0, "retry INCOMPLETE checks up to N times (exponential backoff)")
-	telemetry := fs.Bool("telemetry", false, "print per-finding engine telemetry (attempts, retries, recovered panics)")
+	showTelemetry := fs.Bool("telemetry", false, "print per-finding engine telemetry (attempts, retries, recovered panics)")
+	tracePath := fs.String("trace", "", "write a JSONL span trace (run/check/attempt) to this file")
+	showMetrics := fs.Bool("metrics", false, "collect and print the telemetry metrics registry after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,17 +104,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *enforce {
 		mode = core.CheckAndEnforce
 	}
+
+	var tracer *telemetry.Tracer
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "rqcode: %v\n", err)
+			return 2
+		}
+		traceFile = f
+		tracer = telemetry.New(f)
+	} else if *showMetrics {
+		tracer = telemetry.New(nil)
+	}
+	var mets *telemetry.Metrics
+	if *showMetrics {
+		mets = telemetry.NewMetrics()
+	}
+	root := tracer.Root("run").Tag("os", *osName)
+
 	rep, st := cat.RunEngine(core.RunOptions{
 		Mode:    mode,
 		Workers: *workers,
 		Checks:  engine.Policy{MaxAttempts: 1 + *retries},
+		Span:    root,
+		Metrics: mets,
 	})
+	root.End()
 	fmt.Fprint(stdout, rep)
-	if *telemetry {
+	if *showTelemetry {
 		if err := st.Table("engine telemetry").WriteText(stdout); err != nil {
 			fmt.Fprintf(stderr, "rqcode: %v\n", err)
 			return 2
 		}
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fmt.Fprintf(stderr, "rqcode: flush trace: %v\n", err)
+			return 2
+		}
+		if traceFile != nil {
+			traceFile.Close()
+			fmt.Fprintf(stdout, "wrote span trace to %s\n", *tracePath)
+		}
+		report.SpanTable("where the time went (top 10 span names)", tracer.Breakdown(), 10).WriteText(stdout)
+	}
+	if mets != nil {
+		mets.Table("metrics").WriteText(stdout)
 	}
 	if rep.Compliance() < 1 {
 		return 1

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"veridevops/internal/telemetry"
+)
+
+// TestTraceFlagWritesRunSpanTree: -trace emits a run → check → attempt
+// tree covering every Ubuntu finding.
+func TestTraceFlagWritesRunSpanTree(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	code, out, errb := runCapture(t, "-os", "ubuntu", "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(out, "wrote span trace to "+path) {
+		t.Errorf("missing trace confirmation:\n%s", out)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("trace not valid JSONL: %v", err)
+	}
+	roots := telemetry.BuildTree(recs)
+	if len(roots) != 1 || roots[0].Name != "run" || roots[0].Tags["os"] != "ubuntu" {
+		t.Fatalf("roots = %+v, want one run span tagged os=ubuntu", roots)
+	}
+	checks, attempts := 0, 0
+	roots[0].Walk(func(n *telemetry.Node) {
+		switch n.Name {
+		case "check":
+			checks++
+		case "attempt":
+			attempts++
+		}
+	})
+	if checks != 8 {
+		t.Errorf("check spans = %d, want 8", checks)
+	}
+	if attempts < checks {
+		t.Errorf("attempt spans = %d, want >= %d", attempts, checks)
+	}
+}
+
+func TestMetricsFlagPrintsRegistry(t *testing.T) {
+	code, out, _ := runCapture(t, "-os", "ubuntu", "-metrics")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"where the time went", "== metrics ==", "engine.checks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	vulnscan -feed advisories.json [-packages "openssl=1.0.2,nginx=1.18"] [-patch]
-//	         [-workers N] [-telemetry]
+//	         [-workers N] [-telemetry] [-trace PATH] [-metrics]
 //	vulnscan -generate "openssl,nginx" -per 3 -seed 1    (emit a synthetic feed)
 //
 // Exit status: 0 clean, 1 vulnerabilities open, 2 usage error.
@@ -23,6 +23,7 @@ import (
 	"veridevops/internal/core"
 	"veridevops/internal/host"
 	"veridevops/internal/report"
+	"veridevops/internal/telemetry"
 	"veridevops/internal/vulndb"
 )
 
@@ -40,7 +41,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	per := fs.Int("per", 3, "advisories per package for -generate")
 	seed := fs.Int64("seed", 1, "seed for -generate")
 	workers := fs.Int("workers", 1, "enforce patch requirements with N parallel workers")
-	telemetry := fs.Bool("telemetry", false, "print engine telemetry for the -patch run")
+	showTelemetry := fs.Bool("telemetry", false, "print engine telemetry for the -patch run")
+	tracePath := fs.String("trace", "", "write a JSONL span trace of the -patch run to this file")
+	showMetrics := fs.Bool("metrics", false, "collect and print the telemetry metrics registry for the -patch run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -105,14 +108,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *patch && len(matches) > 0 {
+		var tracer *telemetry.Tracer
+		var traceFile *os.File
+		if *tracePath != "" {
+			tf, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "vulnscan: %v\n", err)
+				return 2
+			}
+			traceFile = tf
+			tracer = telemetry.New(tf)
+		} else if *showMetrics {
+			tracer = telemetry.New(nil)
+		}
+		var mets *telemetry.Metrics
+		if *showMetrics {
+			mets = telemetry.NewMetrics()
+		}
+		root := tracer.Root("patch")
+
 		cat := vulndb.Catalog(db, h)
-		rep, st := cat.RunEngine(core.RunOptions{Mode: core.CheckAndEnforce, Workers: *workers})
+		rep, st := cat.RunEngine(core.RunOptions{
+			Mode: core.CheckAndEnforce, Workers: *workers, Span: root, Metrics: mets,
+		})
+		root.End()
 		fmt.Fprint(stdout, rep)
-		if *telemetry {
+		if *showTelemetry {
 			if err := st.Table("engine telemetry").WriteText(stdout); err != nil {
 				fmt.Fprintf(stderr, "vulnscan: %v\n", err)
 				return 2
 			}
+		}
+		if tracer != nil {
+			if err := tracer.Flush(); err != nil {
+				fmt.Fprintf(stderr, "vulnscan: flush trace: %v\n", err)
+				return 2
+			}
+			if traceFile != nil {
+				traceFile.Close()
+				fmt.Fprintf(stdout, "wrote span trace to %s\n", *tracePath)
+			}
+			report.SpanTable("where the time went (top 10 span names)", tracer.Breakdown(), 10).WriteText(stdout)
+		}
+		if mets != nil {
+			mets.Table("metrics").WriteText(stdout)
 		}
 		matches = db.Scan(h)
 		fmt.Fprintf(stdout, "post-patch matches: %d\n", len(matches))

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"veridevops/internal/telemetry"
+)
+
+// TestPatchTraceFlag: -patch -trace emits a patch → check → enforce span
+// tree for the remediation run.
+func TestPatchTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	code, out, errb := runCapture(t, "-feed", writeFeed(t),
+		"-packages", "openssl=1.0.2", "-patch", "-trace", path, "-metrics")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	for _, want := range []string{"wrote span trace to " + path, "where the time went", "== metrics =="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("trace not valid JSONL: %v", err)
+	}
+	roots := telemetry.BuildTree(recs)
+	if len(roots) != 1 || roots[0].Name != "patch" {
+		t.Fatalf("roots = %+v, want one patch span", roots)
+	}
+	var sawCheck, sawEnforce bool
+	roots[0].Walk(func(n *telemetry.Node) {
+		switch n.Name {
+		case "check":
+			sawCheck = true
+		case "enforce":
+			sawEnforce = true
+		}
+	})
+	if !sawCheck || !sawEnforce {
+		t.Errorf("check/enforce spans = %v/%v, want both", sawCheck, sawEnforce)
+	}
+}

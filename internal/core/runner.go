@@ -7,6 +7,7 @@ import (
 
 	"veridevops/internal/engine"
 	"veridevops/internal/report"
+	"veridevops/internal/telemetry"
 )
 
 // This file is the single execution path of the catalogue: Run,
@@ -36,6 +37,17 @@ type RunOptions struct {
 	// enforcement mutates per-host state and is never deduped. The fleet
 	// coordinator shares one memo across all hosts of one sweep.
 	Memo *CheckMemo
+	// Span, when non-nil, parents the run's trace: one "check" child per
+	// requirement (tagged finding, status, and dedup_hit when replayed)
+	// with the engine's per-attempt spans below, and an "enforce" span
+	// around remediation. The fleet coordinator passes each host's span
+	// here; nil — telemetry disabled — adds zero allocations.
+	Span *telemetry.Span
+	// Metrics, when non-nil, accumulates engine counters (engine.checks,
+	// engine.attempts, engine.retries, engine.panics, engine.timeouts,
+	// engine.errors, engine.dedup_hits/misses) and the engine.check_wall
+	// duration histogram across runs sharing the registry.
+	Metrics *telemetry.Metrics
 }
 
 // ReqStats is the per-requirement telemetry of an engine run.
@@ -120,12 +132,30 @@ type engineOutcome struct {
 	dedupMiss bool
 }
 
-// runRequirement resolves one catalogue entry: through the shared check
-// memo when the entry is dedupable and a memo is wired (CheckOnly runs
-// only), through a live engine execution otherwise. The memo is
+// runRequirement wraps one catalogue entry's resolution in its "check"
+// span: opened before the memo consultation (so a dedup replay's memo
+// wait is visible in the trace), tagged with the finding, the final
+// status and — for replays — dedup_hit, and ended when the verdict is
+// in. The span is threaded into the engine policy, so live executions
+// hang their per-attempt spans below it.
+func runRequirement(req CheckableEnforceableRequirement, mode RunMode, pol engine.Policy, memo *CheckMemo, parent *telemetry.Span) engineOutcome {
+	sp := parent.Child("check").Tag("finding", req.FindingID())
+	pol.Span = sp
+	out := resolveRequirement(req, mode, pol, memo)
+	sp.Tag("status", out.st.Status.String())
+	if out.st.DedupHit {
+		sp.TagBool("dedup_hit", true)
+	}
+	sp.End()
+	return out
+}
+
+// resolveRequirement resolves one catalogue entry: through the shared
+// check memo when the entry is dedupable and a memo is wired (CheckOnly
+// runs only), through a live engine execution otherwise. The memo is
 // single-flight, so the first arrival for a fingerprint executes while
 // identical co-tenants wait and replay its verdict.
-func runRequirement(req CheckableEnforceableRequirement, mode RunMode, pol engine.Policy, memo *CheckMemo) engineOutcome {
+func resolveRequirement(req CheckableEnforceableRequirement, mode RunMode, pol engine.Policy, memo *CheckMemo) engineOutcome {
 	if memo == nil || mode != CheckOnly {
 		return runRequirementLive(req, mode, pol)
 	}
@@ -177,9 +207,11 @@ func runRequirementLive(req CheckableEnforceableRequirement, mode RunMode, pol e
 	if mode == CheckAndEnforce && res.Before != CheckPass {
 		res.Enforced = true
 		st.Enforced = true
+		esp := pol.Span.Child("enforce")
 		enf, est := engine.Attempt(req.Enforce, nil,
 			func(error) EnforcementStatus { return EnforceFailure },
-			engine.Policy{AttemptTimeout: pol.AttemptTimeout, Sleep: pol.Sleep})
+			engine.Policy{AttemptTimeout: pol.AttemptTimeout, Sleep: pol.Sleep, Span: esp})
+		esp.Tag("result", enf.String()).End()
 		st.Attempts += est.Attempts
 		st.Panics += est.Panics
 		st.Timeouts += est.Timeouts
@@ -199,7 +231,7 @@ func (c *Catalog) RunEngine(opts RunOptions) (Report, RunStats) {
 	reqs := c.All()
 	outs, ps := engine.Map(reqs, opts.Workers,
 		func(i int, req CheckableEnforceableRequirement) engineOutcome {
-			return runRequirement(req, opts.Mode, opts.Checks, opts.Memo)
+			return runRequirement(req, opts.Mode, opts.Checks, opts.Memo, opts.Span)
 		})
 	stats := RunStats{
 		Requirements: len(reqs),
@@ -228,5 +260,28 @@ func (c *Catalog) RunEngine(opts RunOptions) (Report, RunStats) {
 			stats.DedupMisses++
 		}
 	}
+	recordRunMetrics(opts.Metrics, stats)
 	return rep, stats
+}
+
+// recordRunMetrics folds one run's telemetry into the shared metrics
+// registry: the engine.* counters and the engine.check_wall histogram
+// (executed checks only — dedup replays have no wall of their own).
+func recordRunMetrics(m *telemetry.Metrics, stats RunStats) {
+	if m == nil {
+		return
+	}
+	m.Add("engine.checks", int64(stats.Requirements))
+	m.Add("engine.attempts", int64(stats.Attempts))
+	m.Add("engine.retries", int64(stats.Retries))
+	m.Add("engine.panics", int64(stats.Panics))
+	m.Add("engine.timeouts", int64(stats.Timeouts))
+	m.Add("engine.errors", int64(stats.Errors))
+	m.Add("engine.dedup_hits", int64(stats.DedupHits))
+	m.Add("engine.dedup_misses", int64(stats.DedupMisses))
+	for _, r := range stats.PerRequirement {
+		if !r.DedupHit {
+			m.Observe("engine.check_wall", r.Duration)
+		}
+	}
 }

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"time"
+
+	"veridevops/internal/telemetry"
 )
 
 // Policy configures how Attempt runs one operation. The zero value means
@@ -54,6 +56,12 @@ type Policy struct {
 	// Sleep is the backoff sleeper, injectable for tests and for
 	// virtual-time schedulers; nil means time.Sleep.
 	Sleep func(time.Duration)
+	// Span, when non-nil, parents one "attempt" child span per try,
+	// tagged with its 1-based index and outcome: ok (final value),
+	// transient (retryable value), panic, or timeout. The catalogue
+	// runner wires each check's span here; a nil Span — telemetry
+	// disabled — adds zero allocations to the attempt loop.
+	Span *telemetry.Span
 }
 
 // Retry is a convenience Policy with n total attempts and fast default
@@ -138,21 +146,28 @@ func AttemptCtx[R any](op func(context.Context) R, retryable func(R) bool, fallb
 	backoff := p.InitialBackoff
 	for {
 		st.Attempts++
+		sp := p.Span.Child("attempt").TagInt("n", st.Attempts)
 		v, err := runProtected(op, p.AttemptTimeout)
 		if err == nil {
 			last, hasValue = v, true
 			st.Err = nil
 			if retryable == nil || !retryable(v) {
+				sp.Tag("outcome", "ok").End()
 				break
 			}
+			sp.Tag("outcome", "transient").End()
 		} else {
 			hasValue = false
 			st.Err = err
 			switch err.(type) {
 			case *PanicError:
 				st.Panics++
+				sp.Tag("outcome", "panic").End()
 			case *TimeoutError:
 				st.Timeouts++
+				sp.Tag("outcome", "timeout").End()
+			default:
+				sp.Tag("outcome", "error").End()
 			}
 		}
 		if st.Attempts >= p.MaxAttempts {

@@ -6,6 +6,7 @@ import (
 
 	"veridevops/internal/core"
 	"veridevops/internal/host"
+	"veridevops/internal/telemetry"
 )
 
 // The fleet benchmarks model the live-audit shape: every check pays a
@@ -85,6 +86,29 @@ func BenchmarkFleetDedupSweep(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			targets := benchFleet(16)
 			opts := Options{Shards: 4, Workers: 4, Dedup: dedup}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Sweep(targets, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkTelemetrySweepTraced measures the full-instrumentation tax on
+// a sweep: telemetry off (nil tracer/metrics), aggregate-only spans, and
+// spans with metrics. `make bench-telemetry` runs this alongside the
+// micro benchmarks in internal/telemetry.
+func BenchmarkTelemetrySweepTraced(b *testing.B) {
+	for _, mode := range []string{"off", "spans", "spans+metrics"} {
+		b.Run(mode, func(b *testing.B) {
+			targets := benchFleet(16)
+			opts := Options{Shards: 4, Workers: 4}
+			if mode != "off" {
+				opts.Trace = telemetry.New(nil)
+			}
+			if mode == "spans+metrics" {
+				opts.Metrics = telemetry.NewMetrics()
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				Sweep(targets, opts)

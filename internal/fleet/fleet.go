@@ -44,6 +44,7 @@ import (
 
 	"veridevops/internal/core"
 	"veridevops/internal/engine"
+	"veridevops/internal/telemetry"
 )
 
 // Target is one audited host: a name, its requirement catalogue, and an
@@ -83,6 +84,18 @@ type Options struct {
 	// everywhere else. Ignored in CheckAndEnforce mode — enforcement
 	// mutates per-host state and is never deduped.
 	Dedup bool
+	// Trace, when non-nil, records the sweep as a span tree: one "sweep"
+	// root, a "shard" span per active shard goroutine, a "host" span per
+	// target (tagged host, stolen, cached, degraded) and the catalogue
+	// runner's "check"/"attempt"/"enforce" spans below. Nil — telemetry
+	// disabled — adds zero allocations to the sweep.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, accumulates sweep counters (fleet.hosts,
+	// fleet.cache.replays, fleet.steals, ...), gauges (fleet.utilization,
+	// fleet.load_imbalance) and duration histograms (fleet.host_wall,
+	// fleet.shard_wall, fleet.queue_wait, fleet.sweep_wall), alongside
+	// the catalogue runner's engine.* metrics.
+	Metrics *telemetry.Metrics
 }
 
 func (o Options) normalized(targets int) Options {
@@ -287,17 +300,46 @@ func (c *Coordinator) Sweep(targets []Target, opts Options) (FleetReport, FleetS
 		func(i int) int { return Affinity(ts[i].Name, opts.Shards) },
 		c.snapshotCosts(ts), opts.Scheduling == ScheduleStatic)
 
+	// Span bookkeeping is allocated only when tracing is on, so the
+	// disabled path stays allocation-identical to an untraced sweep.
+	var root *telemetry.Span
+	var shardSpans []*telemetry.Span
+	if opts.Trace != nil {
+		root = opts.Trace.Root("sweep").
+			TagInt("hosts", len(ts)).TagInt("shards", opts.Shards).TagInt("workers", opts.Workers)
+		shardSpans = make([]*telemetry.Span, opts.Shards)
+	}
+
 	// results is written at distinct indices: the scheduler hands each
-	// host index out exactly once.
+	// host index out exactly once. shardSpans[shard] is touched only by
+	// shard's own goroutine (engine.Pull calls next and the task on it).
 	results := make([]HostResult, len(ts))
 	shardWalls, ps := engine.Pull(opts.Shards, func(shard int) (func(), bool) {
 		i, stolen, ok := sched.next(shard)
 		if !ok {
+			if shardSpans != nil {
+				shardSpans[shard].End()
+			}
 			return nil, false
 		}
+		if shardSpans != nil && shardSpans[shard] == nil {
+			shardSpans[shard] = root.Child("shard").TagInt("shard", shard)
+		}
 		return func() {
-			hr := c.auditOne(ts[i], shard, opts, memo)
+			var hs *telemetry.Span
+			if shardSpans != nil {
+				hs = shardSpans[shard].Child("host").
+					Tag("host", ts[i].Name).TagBool("stolen", stolen)
+			}
+			hr := c.auditOne(ts[i], shard, opts, memo, hs)
 			hr.Stolen = stolen
+			if hs != nil {
+				hs.TagBool("cached", hr.FromCache)
+				if hr.Degraded {
+					hs.TagBool("degraded", true)
+				}
+				hs.End()
+			}
 			results[i] = hr
 		}, true
 	})
@@ -305,13 +347,41 @@ func (c *Coordinator) Sweep(targets []Target, opts Options) (FleetReport, FleetS
 	rep := FleetReport{Hosts: results}
 	st := aggregate(results, shardWalls, ps, opts)
 	sched.apply(&st)
+	root.TagInt("steals", st.Steals).TagInt("cached_hosts", st.CachedHosts).End()
+	recordSweepMetrics(opts.Metrics, st)
 	return rep, st
+}
+
+// recordSweepMetrics folds one sweep's roll-up into the shared metrics
+// registry. Histograms only observe shards that did work, so idle
+// affinity buckets don't drag the distributions to zero.
+func recordSweepMetrics(m *telemetry.Metrics, st FleetStats) {
+	if m == nil {
+		return
+	}
+	m.Add("fleet.sweeps", 1)
+	m.Add("fleet.hosts", int64(st.Hosts))
+	m.Add("fleet.cache.replays", int64(st.CachedHosts))
+	m.Add("fleet.hosts.degraded", int64(st.DegradedHosts))
+	m.Add("fleet.steals", int64(st.Steals))
+	m.SetGauge("fleet.utilization", st.Utilization())
+	m.SetGauge("fleet.load_imbalance", st.LoadImbalance)
+	m.Observe("fleet.sweep_wall", st.Wall)
+	for _, sh := range st.PerShard {
+		if sh.Hosts == 0 {
+			continue
+		}
+		m.Observe("fleet.shard_wall", sh.Wall)
+		m.Observe("fleet.queue_wait", sh.QueueWait)
+	}
 }
 
 // auditOne audits a single target, consulting and priming the incremental
 // cache when the target exposes a version probe, and routing checks
-// through the sweep's shared dedup memo when one is wired.
-func (c *Coordinator) auditOne(t Target, shard int, opts Options, memo *core.CheckMemo) HostResult {
+// through the sweep's shared dedup memo when one is wired. span, when
+// non-nil, is the host's span; the catalogue run parents its check spans
+// there.
+func (c *Coordinator) auditOne(t Target, shard int, opts Options, memo *core.CheckMemo, span *telemetry.Span) HostResult {
 	hr := HostResult{Target: t.Name, Shard: shard}
 	if t.Catalog == nil {
 		return hr
@@ -334,8 +404,12 @@ func (c *Coordinator) auditOne(t Target, shard int, opts Options, memo *core.Che
 		Workers: opts.Workers,
 		Checks:  opts.Checks,
 		Memo:    memo,
+		Span:    span,
+		Metrics: opts.Metrics,
 	})
-	c.recordCost(t.Name, time.Since(t0))
+	wall := time.Since(t0)
+	c.recordCost(t.Name, wall)
+	opts.Metrics.Observe("fleet.host_wall", wall)
 	hr.Report, hr.Stats = rep, st
 	hr.Degraded = st.Requirements > 0 && st.Errors == st.Requirements
 	if versioned {

@@ -13,6 +13,7 @@ import (
 
 	"veridevops/internal/core"
 	"veridevops/internal/engine"
+	"veridevops/internal/telemetry"
 	"veridevops/internal/temporal"
 	"veridevops/internal/trace"
 )
@@ -117,6 +118,17 @@ type Scheduler struct {
 	// backoff sleeps in real time — configure Policy.Sleep when driving a
 	// virtual clock.
 	Checks engine.Policy
+	// Trace, when non-nil, records each Run as a span tree: a
+	// "monitor.run" root, one "poll" span per round (tagged t and
+	// violated), "check" spans per entry (tagged requirement and status,
+	// with the engine's per-attempt spans below), an "alarm" span per
+	// raised alarm and an "enforce" span around remediation. Nil —
+	// telemetry disabled — adds zero allocations to the poll loop.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, accumulates monitor.polls / monitor.checks /
+	// monitor.alarms / monitor.repairs / monitor.enforcements counters
+	// and the monitor.check_wall duration histogram.
+	Metrics *telemetry.Metrics
 
 	entries []*entry
 	alarms  []Alarm
@@ -169,13 +181,15 @@ func (s *Scheduler) Run(until trace.Time, actions []TimedAction) {
 	period := s.Period
 	streak := 0
 	maxPeriod, cleanStreak := s.adaptiveParams()
+	root := s.Trace.Root("monitor.run").TagInt("entries", len(s.entries))
+	defer root.End()
 	for s.Clock.Now() <= until {
 		now := s.Clock.Now()
 		for next < len(acts) && acts[next].At <= now {
 			acts[next].Do()
 			next++
 		}
-		violated := s.poll(now)
+		violated := s.poll(now, root)
 		if s.Adaptive != nil {
 			if violated {
 				period = s.Period
@@ -220,11 +234,13 @@ func (s *Scheduler) adaptiveParams() (maxPeriod trace.Time, cleanStreak int) {
 // panics or times out yields ERROR and is treated as a violation
 // (fail-closed): an unobservable requirement must alarm, not pass
 // silently.
-func (s *Scheduler) poll(now trace.Time) bool {
+func (s *Scheduler) poll(now trace.Time, parent *telemetry.Span) bool {
 	s.Polls++
+	s.Metrics.Add("monitor.polls", 1)
+	sp := parent.Child("poll").TagInt("t", int(now))
 	violated := false
 	for _, en := range s.entries {
-		status := s.check(en)
+		status := s.check(en, sp)
 		switch {
 		case status == core.CheckPass:
 			en.inViolation = false
@@ -232,26 +248,33 @@ func (s *Scheduler) poll(now trace.Time) bool {
 			violated = true
 			en.inViolation = true
 			a := Alarm{At: now, Requirement: en.name, RepairedAt: -1}
+			asp := sp.Child("alarm").Tag("requirement", en.name)
+			s.Metrics.Add("monitor.alarms", 1)
 			if s.AutoEnforce && en.e != nil {
 				a.Enforced = true
-				a.Enforcement = s.enforce(en)
-				if s.check(en) == core.CheckPass {
+				a.Enforcement = s.enforce(en, asp)
+				if s.check(en, asp) == core.CheckPass {
 					a.RepairedAt = now
 					en.inViolation = false
+					s.Metrics.Add("monitor.repairs", 1)
 				}
 			}
+			asp.TagBool("repaired", a.RepairedAt >= 0).End()
 			s.alarms = append(s.alarms, a)
 		default:
 			violated = true
 		}
 	}
+	sp.TagBool("violated", violated).End()
 	return violated
 }
 
 // check runs one entry's Check on the engine under s.Checks, with the
 // entry's adaptive attempt budget applied when RetryBudget is enabled.
-func (s *Scheduler) check(en *entry) core.CheckStatus {
+func (s *Scheduler) check(en *entry, parent *telemetry.Span) core.CheckStatus {
+	sp := parent.Child("check").Tag("requirement", en.name)
 	pol := s.Checks
+	pol.Span = sp
 	if s.RetryBudget != nil {
 		if en.budget == 0 {
 			en.budget = s.baseAttempts()
@@ -265,9 +288,12 @@ func (s *Scheduler) check(en *entry) core.CheckStatus {
 	s.CheckAttempts += st.Attempts
 	s.CheckRetries += st.Retries
 	s.CheckPanics += st.Panics
+	s.Metrics.Add("monitor.checks", 1)
+	s.Metrics.Observe("monitor.check_wall", st.Duration)
 	if s.RetryBudget != nil {
 		s.tuneBudget(en, st)
 	}
+	sp.Tag("status", status.String()).End()
 	return status
 }
 
@@ -314,11 +340,14 @@ func (s *Scheduler) RetryBudgets() map[string]int {
 
 // enforce runs one entry's Enforce panic-isolated (never retried: host
 // mutations are not idempotent in general).
-func (s *Scheduler) enforce(en *entry) core.EnforcementStatus {
+func (s *Scheduler) enforce(en *entry, parent *telemetry.Span) core.EnforcementStatus {
+	sp := parent.Child("enforce").Tag("requirement", en.name)
 	status, st := engine.Attempt(en.e.Enforce, nil,
 		func(error) core.EnforcementStatus { return core.EnforceFailure },
-		engine.Policy{})
+		engine.Policy{Span: sp})
 	s.EnforcePanics += st.Panics
+	s.Metrics.Add("monitor.enforcements", 1)
+	sp.Tag("result", status.String()).End()
 	return status
 }
 

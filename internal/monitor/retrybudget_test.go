@@ -37,7 +37,7 @@ func TestRetryBudgetShrinksForChronicPanics(t *testing.T) {
 	// Each poll panics through the whole budget. PanicStreak=2 halves the
 	// budget every second poll: 8 -> 4 -> 2 -> 1.
 	for i := 0; i < 6; i++ {
-		s.poll(0)
+		s.poll(0, nil)
 	}
 	if got := s.RetryBudgets()["V-BAD"]; got != 1 {
 		t.Errorf("budget after 6 panicking polls = %d, want 1", got)
@@ -45,7 +45,7 @@ func TestRetryBudgetShrinksForChronicPanics(t *testing.T) {
 
 	// At the floor, one poll costs exactly one attempt.
 	before := s.CheckAttempts
-	s.poll(0)
+	s.poll(0, nil)
 	if spent := s.CheckAttempts - before; spent != 1 {
 		t.Errorf("floored poll spent %d attempts, want 1", spent)
 	}
@@ -57,13 +57,13 @@ func TestRetryBudgetRestoredByCleanPoll(t *testing.T) {
 	s.Watch("V-FLAKY", p)
 
 	for i := 0; i < 4; i++ {
-		s.poll(0) // shrink: 4 -> 2 -> 1
+		s.poll(0, nil) // shrink: 4 -> 2 -> 1
 	}
 	if got := s.RetryBudgets()["V-FLAKY"]; got != 1 {
 		t.Fatalf("budget = %d, want 1 after chronic panics", got)
 	}
 	p.calm = true
-	s.poll(0)
+	s.poll(0, nil)
 	if got := s.RetryBudgets()["V-FLAKY"]; got != 4 {
 		t.Errorf("budget after clean poll = %d, want base 4", got)
 	}
@@ -74,7 +74,7 @@ func TestRetryBudgetLeavesHealthyEntriesAlone(t *testing.T) {
 	s.Watch("V-OK", core.Const(core.CheckPass))
 	s.Watch("V-BAD", &panicky{})
 	for i := 0; i < 4; i++ {
-		s.poll(0)
+		s.poll(0, nil)
 	}
 	budgets := s.RetryBudgets()
 	if budgets["V-OK"] != 4 {
@@ -91,7 +91,7 @@ func TestRetryBudgetDisabledKeepsFullBudget(t *testing.T) {
 	p := &panicky{}
 	s.Watch("V-BAD", p)
 	for i := 0; i < 5; i++ {
-		s.poll(0)
+		s.poll(0, nil)
 	}
 	// Without RetryBudget every poll burns the whole 4-attempt budget.
 	if s.CheckAttempts != 20 {

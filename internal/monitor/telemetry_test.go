@@ -1,0 +1,88 @@
+package monitor
+
+import (
+	"bytes"
+	"testing"
+
+	"veridevops/internal/host"
+	"veridevops/internal/stig"
+	"veridevops/internal/telemetry"
+)
+
+// TestSchedulerSpansAndMetrics runs a monitored violation through
+// auto-enforcement with tracing on and checks the emitted span tree —
+// monitor.run → poll → check/alarm → enforce/attempt — plus the metric
+// counters the run should have bumped.
+func TestSchedulerSpansAndMetrics(t *testing.T) {
+	h := host.NewUbuntu1804()
+	var buf bytes.Buffer
+	s := NewScheduler(10)
+	s.AutoEnforce = true
+	s.Trace = telemetry.New(&buf)
+	s.Metrics = telemetry.NewMetrics()
+	s.WatchEnforceable("V-219157", stig.NewV219157(h))
+
+	s.Run(100, []TimedAction{
+		{At: 50, Do: func() { h.Install("nis", "1") }},
+	})
+	if err := s.Trace.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if len(s.Alarms()) != 1 {
+		t.Fatalf("alarms = %d, want 1", len(s.Alarms()))
+	}
+
+	recs, err := telemetry.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	roots := telemetry.BuildTree(recs)
+	if len(roots) != 1 || roots[0].Name != "monitor.run" {
+		t.Fatalf("roots = %+v, want one monitor.run span", roots)
+	}
+
+	counts := map[string]int{}
+	var alarm *telemetry.Node
+	roots[0].Walk(func(n *telemetry.Node) {
+		counts[n.Name]++
+		if n.Name == "alarm" {
+			alarm = n
+		}
+	})
+	// Polls at t=0,10,...,100: eleven polls, each with one check span;
+	// the alarm poll adds a second check to confirm the repair.
+	if counts["poll"] != 11 {
+		t.Errorf("poll spans = %d, want 11", counts["poll"])
+	}
+	if counts["check"] < 11 {
+		t.Errorf("check spans = %d, want >= 11", counts["check"])
+	}
+	if counts["alarm"] != 1 || counts["enforce"] != 1 {
+		t.Errorf("alarm/enforce spans = %d/%d, want 1/1", counts["alarm"], counts["enforce"])
+	}
+	if counts["attempt"] < counts["check"] {
+		t.Errorf("attempt spans = %d, want >= one per check", counts["attempt"])
+	}
+	if alarm.Tags["requirement"] != "V-219157" || alarm.Tags["repaired"] != "true" {
+		t.Errorf("alarm tags = %v, want requirement + repaired=true", alarm.Tags)
+	}
+	if enf := alarm.Find("enforce"); enf == nil || enf.Tags["result"] != "SUCCESS" {
+		t.Errorf("enforce under alarm = %+v, want result=SUCCESS", enf)
+	}
+
+	if got := s.Metrics.Counter("monitor.polls"); got != 11 {
+		t.Errorf("monitor.polls = %d, want 11", got)
+	}
+	if got := s.Metrics.Counter("monitor.alarms"); got != 1 {
+		t.Errorf("monitor.alarms = %d, want 1", got)
+	}
+	if got := s.Metrics.Counter("monitor.repairs"); got != 1 {
+		t.Errorf("monitor.repairs = %d, want 1", got)
+	}
+	if got := s.Metrics.Counter("monitor.enforcements"); got != 1 {
+		t.Errorf("monitor.enforcements = %d, want 1", got)
+	}
+	if h := s.Metrics.Histogram("monitor.check_wall"); int(h.Count) != counts["check"] {
+		t.Errorf("monitor.check_wall count = %d, want %d", h.Count, counts["check"])
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -19,9 +20,23 @@ func Millis(d time.Duration) string {
 	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
 }
 
-// Percent renders a fraction in [0,1] as a whole percentage.
+// Percent renders a fraction in [0,1] as a whole percentage. NaN and
+// ±Inf — the zero-denominator accidents — render "-" so one bad ratio
+// can never corrupt a telemetry table or its JSON encoding.
 func Percent(f float64) string {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return "-"
+	}
 	return fmt.Sprintf("%.0f%%", 100*f)
+}
+
+// Float renders a ratio-style value with two decimals, with the same
+// NaN/Inf tolerance as Percent.
+func Float(f float64) string {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", f)
 }
 
 // Table is a titled grid of cells.
@@ -49,9 +64,9 @@ func (t *Table) AddRow(cells ...interface{}) *Table {
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.2f", v)
+			row[i] = Float(v)
 		case float32:
-			row[i] = fmt.Sprintf("%.2f", v)
+			row[i] = Float(float64(v))
 		default:
 			row[i] = fmt.Sprintf("%v", c)
 		}

@@ -3,8 +3,10 @@ package report
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableRendering(t *testing.T) {
@@ -56,6 +58,62 @@ func TestTableMarkdown(t *testing.T) {
 		if !strings.Contains(md, want) {
 			t.Errorf("markdown missing %q:\n%s", want, md)
 		}
+	}
+}
+
+// TestNonFiniteRendering: ratios computed over empty denominators must
+// render as "-" everywhere, never leak NaN/Inf into tables or JSON.
+func TestNonFiniteRendering(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := Percent(v); got != "-" {
+			t.Errorf("Percent(%v) = %q, want -", v, got)
+		}
+		if got := Float(v); got != "-" {
+			t.Errorf("Float(%v) = %q, want -", v, got)
+		}
+	}
+	if got := Percent(0.5); got != "50%" {
+		t.Errorf("Percent(0.5) = %q", got)
+	}
+	if got := Float(1.25); got != "1.25" {
+		t.Errorf("Float(1.25) = %q", got)
+	}
+	tbl := New("nf", "v")
+	tbl.AddRow(math.NaN())
+	tbl.AddRow(float32(math.Inf(1)))
+	if tbl.Rows[0][0] != "-" || tbl.Rows[1][0] != "-" {
+		t.Errorf("non-finite rows = %v, want -", tbl.Rows)
+	}
+	var js bytes.Buffer
+	if err := tbl.WriteJSON(&js); err != nil {
+		t.Fatalf("non-finite table does not encode: %v", err)
+	}
+	if !json.Valid(js.Bytes()) {
+		t.Error("encoded table invalid JSON")
+	}
+}
+
+func TestSpanTableTopN(t *testing.T) {
+	rows := []SpanRow{
+		{Name: "sweep", Count: 1, Total: 8 * time.Millisecond, Max: 8 * time.Millisecond},
+		{Name: "host", Count: 4, Total: 6 * time.Millisecond, Max: 2 * time.Millisecond},
+		{Name: "check", Count: 32, Total: 4 * time.Millisecond, Max: time.Millisecond},
+		{Name: "attempt", Count: 40, Total: 2 * time.Millisecond, Max: time.Millisecond},
+	}
+	tbl := SpanTable("where the time went", rows, 2)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "sweep" || tbl.Rows[1][0] != "host" {
+		t.Errorf("top rows = %v, want sweep then host", tbl.Rows)
+	}
+	if !strings.Contains(tbl.Note, "top 2 of 4") {
+		t.Errorf("note = %q, want hidden-row note", tbl.Note)
+	}
+	// With room for everything, no truncation note.
+	full := SpanTable("all", rows, 10)
+	if len(full.Rows) != 4 || full.Note != "" {
+		t.Errorf("full table rows = %d note = %q", len(full.Rows), full.Note)
 	}
 }
 

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"fmt"
+	"time"
+)
+
+// SpanRow is one aggregated row of a span-trace breakdown: every ended
+// span of one name folded together. telemetry.Tracer.Breakdown produces
+// these rows; SpanTable renders them as the "where the time went"
+// summary behind the CLIs' -metrics flag.
+type SpanRow struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// SpanTable renders the top-n rows of a span breakdown. Rows are assumed
+// pre-sorted by total duration descending (Breakdown's order); n <= 0
+// keeps every row. Truncation is never silent: hidden rows are folded
+// into the note with their summed duration. share is each name's
+// fraction of the summed total across all rows, hidden ones included.
+func SpanTable(title string, rows []SpanRow, n int) *Table {
+	var sum time.Duration
+	for _, r := range rows {
+		sum += r.Total
+	}
+	t := New(title, "span", "count", "total-ms", "mean-ms", "max-ms", "share")
+	shown := rows
+	if n > 0 && len(rows) > n {
+		shown = rows[:n]
+	}
+	for _, r := range shown {
+		mean := time.Duration(0)
+		if r.Count > 0 {
+			mean = r.Total / time.Duration(r.Count)
+		}
+		share := "-"
+		if sum > 0 {
+			share = Percent(float64(r.Total) / float64(sum))
+		}
+		t.AddRow(r.Name, r.Count, Millis(r.Total), Millis(mean), Millis(r.Max), share)
+	}
+	if len(shown) < len(rows) {
+		var hidden time.Duration
+		for _, r := range rows[len(shown):] {
+			hidden += r.Total
+		}
+		t.Note = fmt.Sprintf("top %d of %d span names; %d hidden names total %s ms",
+			len(shown), len(rows), len(rows)-len(shown), Millis(hidden))
+	}
+	return t
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Record is the JSONL wire form of one ended span: the schema -trace
+// files are written in. IDs are per-tracer counters starting at 1;
+// Parent 0 marks a root span. Times are microseconds (start is a Unix
+// timestamp, or k*step under a virtual clock).
+type Record struct {
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Tags    map[string]string `json:"tags,omitempty"`
+}
+
+// ReadJSONL decodes a span stream written by a Tracer (one JSON object
+// per line; blank lines are skipped).
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var recs []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: read: %w", err)
+	}
+	return recs, nil
+}
+
+// Node is one span of a reassembled trace tree.
+type Node struct {
+	Record
+	Children []*Node
+}
+
+// Find returns the first descendant (depth-first, the node itself
+// included) with the given name, or nil.
+func (n *Node) Find(name string) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Walk visits the node and every descendant depth-first.
+func (n *Node) Walk(visit func(*Node)) {
+	if n == nil {
+		return
+	}
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// BuildTree reassembles records into their span forest. Spans are
+// emitted when they end, so a parent appears after its children in the
+// stream; BuildTree links by ID regardless of order and returns the
+// roots sorted by ID (children likewise). A record whose parent never
+// ended (a span leaked without End) is treated as a root rather than
+// dropped, so partial traces stay inspectable.
+func BuildTree(recs []Record) []*Node {
+	nodes := make(map[uint64]*Node, len(recs))
+	for _, rec := range recs {
+		nodes[rec.ID] = &Node{Record: rec}
+	}
+	var roots []*Node
+	for _, rec := range recs {
+		n := nodes[rec.ID]
+		if p, ok := nodes[rec.Parent]; ok && rec.Parent != rec.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range nodes {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+}

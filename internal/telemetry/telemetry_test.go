@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestVirtualClockDeterministicDurations drives a small span tree on a
+// virtual clock and checks the exported records have the exact durations
+// the clock arithmetic implies: every span reads the clock once at start
+// and once at end.
+func TestVirtualClockDeterministicDurations(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, WithClock(NewVirtualClock(time.Millisecond)))
+	root := tr.Root("sweep") // reads 0ms
+	child := root.Child("host")
+	child.Tag("host", "h0") // reads 1ms
+	child.End()             // reads 2ms -> dur 1ms
+	root.End()              // reads 3ms -> dur 3ms
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	// Spans are emitted at End: child first, then root.
+	if recs[0].Name != "host" || recs[0].DurUS != 1000 {
+		t.Errorf("child record = %+v, want host / 1000us", recs[0])
+	}
+	if recs[1].Name != "sweep" || recs[1].DurUS != 3000 {
+		t.Errorf("root record = %+v, want sweep / 3000us", recs[1])
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Errorf("child parent = %d, want root id %d", recs[0].Parent, recs[1].ID)
+	}
+	if recs[0].Tags["host"] != "h0" {
+		t.Errorf("child tags = %v, want host=h0", recs[0].Tags)
+	}
+}
+
+func TestBuildTreeReassemblesHierarchy(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	root := tr.Root("sweep")
+	for i := 0; i < 2; i++ {
+		sh := root.Child("shard")
+		h := sh.Child("host")
+		h.End()
+		sh.End()
+	}
+	root.End()
+	tr.Flush()
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	roots := BuildTree(recs)
+	if len(roots) != 1 || roots[0].Name != "sweep" {
+		t.Fatalf("roots = %v, want one sweep", roots)
+	}
+	if len(roots[0].Children) != 2 {
+		t.Fatalf("sweep children = %d, want 2 shards", len(roots[0].Children))
+	}
+	for _, sh := range roots[0].Children {
+		if sh.Name != "shard" || len(sh.Children) != 1 || sh.Children[0].Name != "host" {
+			t.Errorf("shard subtree wrong: %+v", sh)
+		}
+	}
+	if roots[0].Find("host") == nil {
+		t.Error("Find(host) = nil")
+	}
+	n := 0
+	roots[0].Walk(func(*Node) { n++ })
+	if n != 5 {
+		t.Errorf("Walk visited %d nodes, want 5", n)
+	}
+}
+
+// TestBuildTreeLeakedParent: a span whose parent never ended must surface
+// as a root, not be dropped.
+func TestBuildTreeLeakedParent(t *testing.T) {
+	recs := []Record{{ID: 7, Parent: 3, Name: "orphan"}}
+	roots := BuildTree(recs)
+	if len(roots) != 1 || roots[0].Name != "orphan" {
+		t.Fatalf("roots = %v, want the orphan promoted to root", roots)
+	}
+}
+
+func TestBreakdownOrdersByTotal(t *testing.T) {
+	tr := New(nil, WithClock(NewVirtualClock(time.Millisecond)))
+	long := tr.Root("long") // 0
+	short := tr.Root("short")
+	short.End() // 1,2 -> 1ms
+	long.End()  // 3 -> 3ms
+	rows := tr.Breakdown()
+	if len(rows) != 2 || rows[0].Name != "long" || rows[1].Name != "short" {
+		t.Fatalf("breakdown = %+v, want long before short", rows)
+	}
+	if rows[0].Total != 3*time.Millisecond || rows[0].Count != 1 {
+		t.Errorf("long row = %+v", rows[0])
+	}
+}
+
+func TestTracerConcurrentChildren(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	root := tr.Root("sweep")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := root.Child("host").TagInt("i", i)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(recs) != 9 {
+		t.Fatalf("records = %d, want 9", len(recs))
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	m.Add("sweeps", 1)
+	m.Add("sweeps", 2)
+	m.SetGauge("utilization", 0.5)
+	m.Observe("wall", 50*time.Microsecond)
+	m.Observe("wall", 5*time.Millisecond)
+	if got := m.Counter("sweeps"); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	if v, ok := m.Gauge("utilization"); !ok || v != 0.5 {
+		t.Errorf("gauge = %v/%v, want 0.5/true", v, ok)
+	}
+	h := m.Histogram("wall")
+	if h.Count != 2 || h.Total != 50*time.Microsecond+5*time.Millisecond {
+		t.Errorf("histogram summary = %+v", h)
+	}
+	if h.Min != 50*time.Microsecond || h.Max != 5*time.Millisecond {
+		t.Errorf("histogram min/max = %v/%v", h.Min, h.Max)
+	}
+	if h.Mean() != (50*time.Microsecond+5*time.Millisecond)/2 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	// 50us lands in the <=100us bucket, 5ms in the <=10ms bucket.
+	if h.Buckets[0] != 1 || h.Buckets[2] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	out := m.Table("metrics").String()
+	for _, want := range []string{"sweeps", "counter", "utilization", "gauge", "wall", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNilTelemetryZeroAllocs is the disabled-path contract: the whole
+// span and metrics API on nil receivers must allocate nothing, so the
+// hot loops keep their instrumentation unconditionally.
+func TestNilTelemetryZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	var m *Metrics
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := tr.Root("sweep")
+		sp := root.Child("host").Tag("host", "h").TagInt("n", 3).TagBool("cached", true)
+		sp.End()
+		root.End()
+		tr.Flush()
+		if tr.Breakdown() != nil {
+			t.Fatal("nil breakdown expected")
+		}
+		m.Add("c", 1)
+		m.SetGauge("g", 1)
+		m.Observe("h", time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil telemetry path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkTelemetryDisabled measures the nil-receiver fast path the
+// engine/fleet/monitor hot loops pay when telemetry is off. The
+// acceptance bar is 0 allocs/op (see `make bench-telemetry`).
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	var tr *Tracer
+	var m *Metrics
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Root("sweep")
+		sp := root.Child("host").Tag("host", "h").TagInt("n", i).TagBool("cached", false)
+		sp.End()
+		root.End()
+		m.Add("c", 1)
+		m.Observe("h", time.Microsecond)
+	}
+}
+
+// BenchmarkTelemetryEnabledSpan is the enabled counterpart: one tagged
+// span through an aggregate-only tracer, for the overhead comparison.
+func BenchmarkTelemetryEnabledSpan(b *testing.B) {
+	tr := New(nil)
+	root := tr.Root("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := root.Child("host").Tag("host", "h").TagInt("n", i)
+		sp.End()
+	}
+}

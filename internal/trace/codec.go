@@ -52,7 +52,10 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: csv read: %w", err)
 		}
 		line++
-		if line == 1 && rec[0] == "signal" {
+		// A first row starting "signal" is only a header when its time
+		// and value fields are not numbers: a signal literally named
+		// "signal" must round-trip as data, not vanish as a header.
+		if line == 1 && rec[0] == "signal" && !numericSample(rec) {
 			continue // header
 		}
 		t, err := strconv.ParseInt(rec[1], 10, 64)
@@ -65,4 +68,14 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		}
 		tr.SetNum(rec[0], t, v)
 	}
+}
+
+// numericSample reports whether a CSV row's time and value fields both
+// parse as numbers — i.e. the row is a sample, not a header.
+func numericSample(rec []string) bool {
+	if _, err := strconv.ParseInt(rec[1], 10, 64); err != nil {
+		return false
+	}
+	_, err := strconv.ParseFloat(rec[2], 64)
+	return err == nil
 }

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCSVRoundTripSignalNamedSignal is the header-detection regression: a
+// signal literally named "signal" must survive WriteCSV → ReadCSV. The
+// old reader skipped any first row starting "signal", so the first sample
+// of such a signal silently vanished.
+func TestCSVRoundTripSignalNamedSignal(t *testing.T) {
+	tr := New()
+	tr.SetNum("signal", 0, 1.5)
+	tr.SetNum("signal", 10, 2.5)
+	tr.SetNum("other", 5, 7)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !back.Has("signal") {
+		t.Fatal(`signal named "signal" vanished on round trip`)
+	}
+	sig := back.Signal("signal")
+	if got := len(sig.Samples()); got != 2 {
+		t.Fatalf(`"signal" samples = %d, want 2`, got)
+	}
+	if sig.Samples()[0].At != 0 || sig.Samples()[0].Num != 1.5 {
+		t.Errorf("first sample = %+v, want {0 1.5}", sig.Samples()[0])
+	}
+	if !back.Has("other") {
+		t.Error("other signal lost")
+	}
+}
+
+// TestCSVHeaderlessAndHeaderedInputs: a real header row is still skipped,
+// and headerless input decodes from the first line.
+func TestCSVHeaderRowStillSkipped(t *testing.T) {
+	headered := "signal,time,value\ncpu,0,0.5\n"
+	tr, err := ReadCSV(strings.NewReader(headered))
+	if err != nil {
+		t.Fatalf("headered: %v", err)
+	}
+	if tr.Has("signal") {
+		t.Error("header row decoded as a sample")
+	}
+	if !tr.Has("cpu") || len(tr.Signal("cpu").Samples()) != 1 {
+		t.Fatalf("cpu signal = %+v", tr.Signal("cpu"))
+	}
+
+	headerless := "cpu,0,0.5\ncpu,1,0.75\n"
+	tr2, err := ReadCSV(strings.NewReader(headerless))
+	if err != nil {
+		t.Fatalf("headerless: %v", err)
+	}
+	if !tr2.Has("cpu") || len(tr2.Signal("cpu").Samples()) != 2 {
+		t.Fatalf("headerless cpu = %+v", tr2.Signal("cpu"))
+	}
+
+	// A data row whose signal happens to be "signal" on line 1 of a
+	// headerless file is data, because its time/value fields parse.
+	tricky := "signal,3,9\n"
+	tr3, err := ReadCSV(strings.NewReader(tricky))
+	if err != nil {
+		t.Fatalf("tricky: %v", err)
+	}
+	if !tr3.Has("signal") || len(tr3.Signal("signal").Samples()) != 1 || tr3.Signal("signal").Samples()[0].Num != 9 {
+		t.Fatalf(`headerless "signal" row = %+v, want one sample 9`, tr3.Signal("signal"))
+	}
+}
