@@ -1,15 +1,23 @@
 GO ?= go
 
-.PHONY: check vet build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry tables
+.PHONY: check vet lint build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry tables
 
-# check is the CI gate: vet, build everything, then the full test suite
-# under the race detector (the engine, core and monitor packages are
-# concurrent by construction, so -race is not optional). fleet-race is
-# part of race via ./..., listed separately for a focused re-run.
-check: vet build race
+# check is the CI gate: vet, the repository's own analyzers, build
+# everything, then the full test suite under the race detector (the
+# engine, core and monitor packages are concurrent by construction, so
+# -race is not optional). fleet-race is part of race via ./..., listed
+# separately for a focused re-run.
+check: vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the six repository analyzers (spanend, directcheck,
+# ctxprobe, clockuse, lockedchan, reqmeta) over every package including
+# tests. See README "Static analysis" for what each enforces and how to
+# suppress a finding with a recorded reason.
+lint:
+	$(GO) run ./cmd/vdolint ./...
 
 build:
 	$(GO) build ./...

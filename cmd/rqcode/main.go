@@ -91,15 +91,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *verbose {
-		for _, r := range cat.All() {
-			fmt.Fprintf(stdout,
-				"Finding ID: %s\nSeverity: %s\nSTIG: %s\nDescription: %s\nCheck Text: %s\nFix Text: %s\nStatus: %s\n\n",
-				r.FindingID(), r.Severity(), r.STIG(), r.Description(),
-				r.CheckText(), r.FixText(), r.Check())
-		}
-	}
-
 	mode := core.CheckOnly
 	if *enforce {
 		mode = core.CheckAndEnforce
@@ -132,6 +123,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Metrics: mets,
 	})
 	root.End()
+	if *verbose {
+		// Statuses come from the engine report rather than re-checking each
+		// requirement directly: the run already audited the catalogue with
+		// panic recovery, retries and attempt spans, and Before is the
+		// verdict at audit time (pre-enforcement).
+		status := make(map[string]core.CheckStatus, len(rep.Results))
+		for _, res := range rep.Results {
+			status[res.FindingID] = res.Before
+		}
+		for _, r := range cat.All() {
+			fmt.Fprintf(stdout,
+				"Finding ID: %s\nSeverity: %s\nSTIG: %s\nDescription: %s\nCheck Text: %s\nFix Text: %s\nStatus: %s\n\n",
+				r.FindingID(), r.Severity(), r.STIG(), r.Description(),
+				r.CheckText(), r.FixText(), status[r.FindingID()])
+		}
+	}
 	fmt.Fprint(stdout, rep)
 	if *showTelemetry {
 		if err := st.Table("engine telemetry").WriteText(stdout); err != nil {

@@ -1,0 +1,134 @@
+// Command vdolint is the repository's multichecker: it loads the
+// packages named by its arguments (go list patterns, default ./...),
+// runs every internal/analysis analyzer over them — including their
+// test files — and prints the surviving findings.
+//
+// Usage:
+//
+//	vdolint [-json] [packages]
+//
+// Exit codes: 0 when the tree is clean, 1 when findings were reported,
+// 2 when the packages could not be loaded or the flags were wrong.
+// Findings are printed file:line:col: analyzer: message, relative to
+// the module root; -json emits the same findings as a JSON array for
+// machine consumption (CI annotations, dashboards).
+//
+// Suppression: //lint:ignore <analyzer>[,<analyzer>] reason on or
+// directly above the flagged line, //lint:file-ignore for a whole file.
+// The reason is mandatory; a directive without one is itself a finding.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"veridevops/internal/analysis"
+	"veridevops/internal/analysis/clockuse"
+	"veridevops/internal/analysis/ctxprobe"
+	"veridevops/internal/analysis/directcheck"
+	"veridevops/internal/analysis/lockedchan"
+	"veridevops/internal/analysis/reqmeta"
+	"veridevops/internal/analysis/spanend"
+)
+
+// analyzers is the full suite, in the order their findings are
+// documented in README.md.
+var analyzers = []*analysis.Analyzer{
+	spanend.Analyzer,
+	directcheck.Analyzer,
+	ctxprobe.Analyzer,
+	clockuse.Analyzer,
+	lockedchan.Analyzer,
+	reqmeta.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vdolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: vdolint [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "vdolint: %v\n", err)
+		return 2
+	}
+	units, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "vdolint: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.Run(units, analyzers, moduleRoot(cwd))
+	if err != nil {
+		fmt.Fprintf(stderr, "vdolint: %v\n", err)
+		return 2
+	}
+	if err := emit(stdout, findings, *asJSON); err != nil {
+		fmt.Fprintf(stderr, "vdolint: %v\n", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// emit renders findings as text lines or a JSON array.
+func emit(w io.Writer, findings []analysis.Finding, asJSON bool) error {
+	if asJSON {
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(findings)
+	}
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// moduleRoot resolves the enclosing module's directory so findings
+// print module-relative paths; it falls back to cwd when the module
+// cannot be determined (the paths are then printed as produced).
+func moduleRoot(cwd string) string {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = cwd
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		return cwd
+	}
+	gomod := strings.TrimSpace(out.String())
+	if gomod == "" || gomod == os.DevNull {
+		return cwd
+	}
+	return filepath.Dir(gomod)
+}

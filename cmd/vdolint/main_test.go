@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"veridevops/internal/analysis"
+)
+
+func TestRunCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	// The analysis framework itself must be clean; a non-zero exit here
+	// means either a real regression or a broken loader.
+	code := run([]string{"../../internal/analysis"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout %q", code, errb.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output: %q", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for unknown flag, want 2", code)
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./no/such/dir/..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for unloadable pattern, want 2", code)
+	}
+}
+
+func TestEmitText(t *testing.T) {
+	findings := []analysis.Finding{
+		{Analyzer: "spanend", File: "a.go", Line: 3, Col: 2, Message: "leak", Package: "p"},
+		{Analyzer: "reqmeta", File: "b.go", Line: 9, Col: 1, Message: "empty ID", Package: "p"},
+	}
+	var out bytes.Buffer
+	if err := emit(&out, findings, false); err != nil {
+		t.Fatal(err)
+	}
+	want := "a.go:3:2: spanend: leak\nb.go:9:1: reqmeta: empty ID\n"
+	if out.String() != want {
+		t.Errorf("emit text = %q, want %q", out.String(), want)
+	}
+}
+
+func TestEmitJSON(t *testing.T) {
+	findings := []analysis.Finding{
+		{Analyzer: "lockedchan", File: "c.go", Line: 7, Col: 4, Message: "send under lock", Package: "p"},
+	}
+	var out bytes.Buffer
+	if err := emit(&out, findings, true); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []analysis.Finding
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("emit -json produced invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(decoded) != 1 || decoded[0] != findings[0] {
+		t.Errorf("round-trip mismatch: %+v", decoded)
+	}
+}
+
+func TestEmitJSONEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := emit(&out, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("empty JSON emit = %q, want []", got)
+	}
+}

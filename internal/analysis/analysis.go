@@ -1,0 +1,90 @@
+// Package analysis is the static-analysis substrate behind cmd/vdolint:
+// a deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API (Analyzer, Pass, Diagnostic) plus a
+// package loader built on `go list` and go/types. The VeriDevOps thesis
+// is that requirements become code so they can be verified before
+// deployment; this package applies the same move to the repository's own
+// engineering contracts — "every span ends", "audits route through the
+// engine", "cooperative checks consult their context", "instrumented
+// tests use the virtual clock", "no channel ops under a mutex",
+// "catalogue requirements carry traceable metadata" — so a careless edit
+// is caught by `make lint` instead of by -race or production.
+//
+// Why not golang.org/x/tools itself: this module is intentionally
+// dependency-free (stdlib only), so the framework re-implements the thin
+// slice of the x/tools API the analyzers need. Analyzer and Pass keep the
+// upstream field names and shapes; migrating an analyzer to the real
+// multichecker later is a mechanical import swap.
+//
+// Suppression: a finding can be silenced at the line level with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] reason
+//
+// placed on the flagged line or the line immediately above it, or for a
+// whole file with //lint:file-ignore at the top of the file. The reason
+// is mandatory; directives without one are reported as findings
+// themselves. See directive.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer (minus the dependency and fact
+// machinery the vdolint suite does not need).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives. By convention a single lowercase word.
+	Name string
+	// Doc is the analyzer's documentation: first line is the summary, the
+	// rest describes the contract it enforces and its known limits.
+	Doc string
+	// Run applies the analyzer to one package and reports findings through
+	// pass.Report. The returned value is unused (kept for API parity).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass holds the inputs and the report sink for one analyzer run over one
+// type-checked package, mirroring golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding. The framework attaches the analyzer
+	// name and applies //lint:ignore filtering after the run.
+	Report func(Diagnostic)
+}
+
+// Reportf is the printf convenience over Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic as emitted by Run: position made
+// concrete, analyzer attached. It is the unit cmd/vdolint prints (and
+// marshals under -json).
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Package is the import path of the package the finding was found in.
+	Package string `json:"package"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}

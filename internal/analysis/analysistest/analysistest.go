@@ -1,0 +1,170 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// checks its diagnostics against expectations written in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest on top
+// of the self-contained internal/analysis loader.
+//
+// Expectations are trailing comments of the form
+//
+//	x.Check() // want "regexp"
+//	sp := tr.Root("a") // want "started here" "second regexp"
+//
+// Each quoted string is a regexp that must match the message of exactly
+// one diagnostic reported on that line; every diagnostic must be
+// claimed by exactly one expectation. Lines with no want comment must
+// produce no diagnostics. Fixtures live under the analyzer's testdata/
+// directory (ignored by go build), may import real module packages, and
+// may include *_test.go-named files to exercise test-file-specific
+// rules.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"veridevops/internal/analysis"
+)
+
+// Run loads the fixture package in dir under importPath, applies the
+// analyzer, and reports mismatches between its diagnostics and the
+// // want expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	unit, err := analysis.LoadDir(abs, importPath)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	findings, err := analysis.Run([]*analysis.Unit{unit}, []*analysis.Analyzer{a}, abs)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	wants, err := parseWants(unit)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	for _, f := range findings {
+		key := place{file: f.File, line: f.Line}
+		if !claim(wants[key], f.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", f.File, f.Line, f.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, e.re.String())
+			}
+		}
+	}
+}
+
+type place struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// claim marks the first unmatched expectation whose regexp matches msg.
+func claim(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts // want expectations from every comment in the
+// unit, keyed by (basename, line) to match Finding's relativised File.
+func parseWants(u *analysis.Unit) (map[place][]*expectation, error) {
+	out := map[place][]*expectation{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				key := place{file: filepath.Base(pos.Filename), line: pos.Line}
+				exps, err := parseExpectations(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", position(pos), err)
+				}
+				out[key] = append(out[key], exps...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseExpectations splits a want payload into its quoted regexps,
+// accepting both "double-quoted" and `backquoted` strings.
+func parseExpectations(text string) ([]*expectation, error) {
+	var out []*expectation
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		var raw, tail string
+		switch rest[0] {
+		case '"':
+			end := matchDoubleQuote(rest)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in want comment: %s", rest)
+			}
+			raw, tail = rest[:end+1], rest[end+1:]
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in want comment: %s", rest)
+			}
+			raw, tail = rest[:end+2], rest[end+2:]
+		default:
+			return nil, fmt.Errorf("want comment must hold quoted regexps, got: %s", rest)
+		}
+		unq, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad want string %s: %v", raw, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %s: %v", raw, err)
+		}
+		out = append(out, &expectation{re: re})
+		rest = strings.TrimSpace(tail)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment holds no expectations")
+	}
+	return out, nil
+}
+
+// matchDoubleQuote returns the index of the closing quote of the
+// double-quoted string starting at s[0], honouring backslash escapes.
+func matchDoubleQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+func position(p token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,12 @@
+package clockuse_test
+
+import (
+	"testing"
+
+	"veridevops/internal/analysis/analysistest"
+	"veridevops/internal/analysis/clockuse"
+)
+
+func TestClockuse(t *testing.T) {
+	analysistest.Run(t, clockuse.Analyzer, "testdata/src/a", "a")
+}

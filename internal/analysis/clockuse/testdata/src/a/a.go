@@ -1,0 +1,40 @@
+// Fixture for the clockuse analyzer, non-test file: the package is
+// telemetry-instrumented (it imports internal/telemetry), so time.Sleep
+// is banned here while time.Now stays legal for wall-clock measurement.
+package a
+
+import (
+	"io"
+	"time"
+
+	"veridevops/internal/telemetry"
+)
+
+// Worker carries an injectable sleep seam, the sanctioned pattern.
+type Worker struct {
+	Tracer *telemetry.Tracer
+	Sleep  func(time.Duration)
+}
+
+// NewWorker wires the seam default; the one legal reference to
+// time.Sleep in production code carries a recorded justification.
+func NewWorker(w io.Writer) *Worker {
+	return &Worker{
+		Tracer: telemetry.New(w),
+		//lint:ignore clockuse seam default: tests replace Sleep with a virtual clock
+		Sleep: time.Sleep,
+	}
+}
+
+// Measure legally reads the wall clock outside tests.
+func (wk *Worker) Measure() time.Duration {
+	start := time.Now()
+	wk.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// Nap is flagged: a raw sleep in instrumented production code bypasses
+// the seam.
+func Nap() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in a telemetry-instrumented package`
+}

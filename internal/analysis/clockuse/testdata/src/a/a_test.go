@@ -1,0 +1,44 @@
+// Fixture for the clockuse analyzer, test file: tests of an
+// instrumented package must drive virtual time, so the whole raw clock
+// surface is banned here.
+package a
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"veridevops/internal/telemetry"
+)
+
+// TestVirtual is the clean shape: the tracer runs on a virtual clock
+// and the worker's sleep seam is replaced with an accumulator.
+func TestVirtual(t *testing.T) {
+	var slept time.Duration
+	w := &Worker{
+		Tracer: telemetry.New(io.Discard, telemetry.WithClock(telemetry.NewVirtualClock(time.Millisecond))),
+		Sleep:  func(d time.Duration) { slept += d },
+	}
+	w.Sleep(5 * time.Millisecond)
+	if slept != 5*time.Millisecond {
+		t.Fatalf("slept %v", slept)
+	}
+}
+
+// TestWallClock is flagged on every raw clock reference.
+func TestWallClock(t *testing.T) {
+	start := time.Now()            // want `time.Now in a test of a telemetry-instrumented package`
+	time.Sleep(time.Microsecond)   // want `time.Sleep in a test of a telemetry-instrumented package`
+	<-time.After(time.Microsecond) // want `time.After in a test of a telemetry-instrumented package`
+	if time.Since(start) == 0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+// TestJustified measures the real clock on purpose, with the reason on
+// record.
+func TestJustified(t *testing.T) {
+	//lint:ignore clockuse this test measures real scheduler latency, not span timing
+	start := time.Now()
+	_ = start
+}

@@ -1,0 +1,215 @@
+// Package ctxprobe verifies cooperative cancellation is real, not
+// decorative. The engine cancels each attempt's context at its timeout
+// (engine.AttemptCtx) so a check implementing core.ContextChecker can
+// unwind at the next probe boundary and release its worker goroutine; a
+// CheckCtx that never looks at its context silently degrades back to
+// abandon-in-background semantics while claiming otherwise.
+//
+// The analyzer inspects, in non-test files:
+//
+//   - every method implementing core.ContextChecker (a CheckCtx method
+//     whose receiver satisfies the interface), and
+//   - every function or method following the probe convention: a name
+//     ending in "Ctx" with a context.Context parameter (the host-layer
+//     probes InstalledCtx/ConfigCtx and the fault layer's stalls).
+//
+// Two findings:
+//
+//  1. the context parameter is unnamed, blank, or never used — the
+//     probe ignores cancellation entirely;
+//  2. the body blocks or sleeps (time.Sleep, a Sleep-seam call, a
+//     channel operation) but never consults ctx.Done() or ctx.Err() —
+//     the blocking branch cannot observe abandonment.
+//
+// A probe that merely forwards ctx to a callee passes check 1 and is
+// accepted: the callee owns the blocking. Known false negatives,
+// accepted to keep the pass local: consultation hidden behind a helper
+// that receives ctx (e.g. ctx consulted through a select in a called
+// function), and blocking hidden entirely inside a callee that does not
+// take ctx.
+package ctxprobe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"veridevops/internal/analysis"
+)
+
+// Analyzer is the ctxprobe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxprobe",
+	Doc:  "ContextChecker implementations and *Ctx probes must consult ctx.Done/ctx.Err wherever they block or sleep",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ctxChecker := analysis.InterfaceType(pass.Pkg, analysis.CorePath, "ContextChecker")
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !isProbe(pass, fd, ctxChecker) {
+				continue
+			}
+			checkProbe(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isProbe reports whether fd is in scope: a ContextChecker CheckCtx
+// implementation, or any *Ctx-named function taking a context.
+func isProbe(pass *analysis.Pass, fd *ast.FuncDecl, ctxChecker *types.Interface) bool {
+	if ctxParam(pass, fd) == nil && !blankCtxParam(pass, fd) {
+		return false
+	}
+	if strings.HasSuffix(fd.Name.Name, "Ctx") {
+		if fd.Name.Name != "CheckCtx" || ctxChecker == nil {
+			return true
+		}
+		// CheckCtx counts when the receiver actually satisfies the
+		// interface (free functions named CheckCtx still match the
+		// generic *Ctx convention above).
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return true
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		return recv == nil || analysis.ImplementsIface(recv.Type(), ctxChecker)
+	}
+	return false
+}
+
+// ctxParam returns the named, non-blank context.Context parameter object
+// of fd, nil when there is none.
+func ctxParam(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		if t := pass.TypesInfo.Types[field.Type].Type; !analysis.NamedTypeIs(t, "context", "Context") {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			return pass.TypesInfo.Defs[name]
+		}
+	}
+	return nil
+}
+
+// blankCtxParam reports whether fd declares a context parameter it
+// cannot possibly use (unnamed or blank).
+func blankCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if t := pass.TypesInfo.Types[field.Type].Type; !analysis.NamedTypeIs(t, "context", "Context") {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return true
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkProbe(pass *analysis.Pass, fd *ast.FuncDecl) {
+	obj := ctxParam(pass, fd)
+	if obj == nil {
+		pass.Reportf(fd.Name.Pos(),
+			"%s discards its context parameter: cooperative cancellation is defeated (name it and consult ctx.Done/ctx.Err, or pass it on)",
+			fd.Name.Name)
+		return
+	}
+	if !analysis.UsesObject(pass.TypesInfo, fd.Body, obj) {
+		pass.Reportf(fd.Name.Pos(),
+			"%s never uses its context: cooperative cancellation is defeated (consult ctx.Done/ctx.Err at probe boundaries, or pass ctx on)",
+			fd.Name.Name)
+		return
+	}
+	blockPos, blockWhat := firstBlockingOp(pass, fd.Body)
+	if blockPos == token.NoPos {
+		return
+	}
+	if consultsCtx(pass, fd.Body, obj) {
+		return
+	}
+	pass.Reportf(blockPos,
+		"%s %s without consulting ctx.Done/ctx.Err: an abandoned attempt cannot unwind at this boundary",
+		fd.Name.Name, blockWhat)
+}
+
+// firstBlockingOp finds a blocking operation in the body: a time.Sleep
+// call, a call through a Sleep-named seam, or a channel send/receive
+// outside a select (selects are judged by whether a ctx case exists,
+// which consultsCtx covers).
+func firstBlockingOp(pass *analysis.Pass, body *ast.BlockStmt) (token.Pos, string) {
+	pos, what := token.NoPos, ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if analysis.IsPkgFunc(pass.TypesInfo, n, "time", "Sleep") {
+				pos, what = n.Pos(), "sleeps (time.Sleep)"
+				return false
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Sleep" {
+				pos, what = n.Pos(), "sleeps (Sleep seam)"
+				return false
+			}
+		case *ast.SendStmt:
+			pos, what = n.Pos(), "blocks (channel send)"
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pos, what = n.Pos(), "blocks (channel receive)"
+				return false
+			}
+		case *ast.SelectStmt:
+			// A select's cases are the consultation mechanism; skip its
+			// comm clauses and judge via consultsCtx.
+			return false
+		}
+		return true
+	})
+	return pos, what
+}
+
+// consultsCtx reports whether the body calls Done or Err on the context
+// parameter.
+func consultsCtx(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Done" && sel.Sel.Name != "Err" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

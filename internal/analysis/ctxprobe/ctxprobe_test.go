@@ -1,0 +1,12 @@
+package ctxprobe_test
+
+import (
+	"testing"
+
+	"veridevops/internal/analysis/analysistest"
+	"veridevops/internal/analysis/ctxprobe"
+)
+
+func TestCtxprobe(t *testing.T) {
+	analysistest.Run(t, ctxprobe.Analyzer, "testdata/src/a", "a")
+}

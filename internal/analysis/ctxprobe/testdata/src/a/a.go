@@ -1,0 +1,117 @@
+// Fixture for the ctxprobe analyzer: probes that ignore their context
+// or block without consulting it are flagged; forwarding and
+// select-based consultation are clean.
+package a
+
+import (
+	"context"
+	"time"
+
+	"veridevops/internal/core"
+)
+
+// ignoring implements core.ContextChecker but discards the context.
+type ignoring struct{}
+
+func (ignoring) CheckCtx(_ context.Context) core.CheckStatus { // want `CheckCtx discards its context parameter`
+	return core.CheckPass
+}
+
+// unnamed declares the parameter without a name — same defect.
+type unnamed struct{}
+
+func (unnamed) CheckCtx(context.Context) core.CheckStatus { // want `CheckCtx discards its context parameter`
+	return core.CheckPass
+}
+
+// unused names ctx and then never looks at it.
+type unused struct{}
+
+func (unused) CheckCtx(ctx context.Context) core.CheckStatus { // want `CheckCtx never uses its context`
+	return core.CheckPass
+}
+
+// sleeper blocks without ever consulting ctx: the abandonment boundary
+// cannot be observed. ctx is "used" (logged), so only the blocking
+// finding fires.
+type sleeper struct{ probe chan struct{} }
+
+func (s sleeper) CheckCtx(ctx context.Context) core.CheckStatus {
+	_ = ctx.Value("attempt")
+	time.Sleep(time.Millisecond) // want `CheckCtx sleeps \(time.Sleep\) without consulting ctx.Done/ctx.Err`
+	<-s.probe
+	return core.CheckPass
+}
+
+// cooperative consults ctx at the blocking boundary — clean.
+type cooperative struct{ probe chan struct{} }
+
+func (c cooperative) CheckCtx(ctx context.Context) core.CheckStatus {
+	select {
+	case <-c.probe:
+		return core.CheckPass
+	case <-ctx.Done():
+		return core.CheckIncomplete
+	}
+}
+
+// errChecking consults ctx.Err between probe rounds — clean.
+type errChecking struct{}
+
+func (errChecking) CheckCtx(ctx context.Context) core.CheckStatus {
+	for i := 0; i < 3; i++ {
+		if ctx.Err() != nil {
+			return core.CheckIncomplete
+		}
+	}
+	return core.CheckPass
+}
+
+// forwarder passes ctx to its callee, which owns the blocking — clean.
+type forwarder struct{ inner core.ContextChecker }
+
+func (f forwarder) CheckCtx(ctx context.Context) core.CheckStatus {
+	return probeCtx(ctx)
+}
+
+// probeCtx follows the *Ctx probe convention, so it is in scope itself:
+// it uses ctx (so the use check passes) but blocks on a channel receive
+// without ever consulting Done/Err.
+func probeCtx(ctx context.Context) core.CheckStatus {
+	_ = ctx.Value("attempt")
+	ch := make(chan core.CheckStatus, 1)
+	return <-ch // want `probeCtx blocks \(channel receive\) without consulting ctx.Done/ctx.Err`
+}
+
+// waitCtx is the clean shape of the same probe.
+func waitCtx(ctx context.Context) core.CheckStatus {
+	ch := make(chan core.CheckStatus, 1)
+	select {
+	case st := <-ch:
+		return st
+	case <-ctx.Done():
+		return core.CheckIncomplete
+	}
+}
+
+// helperCtx documents the accepted false negative: consultation hidden
+// behind a helper that receives ctx. The analyzer accepts the forward,
+// so nothing is reported here; the helper owns the blocking.
+func helperCtx(ctx context.Context, ch chan struct{}) core.CheckStatus {
+	return waitCtx(ctx)
+}
+
+// notAProbe has no context parameter and is out of scope.
+func notAProbe(ch chan struct{}) {
+	<-ch
+}
+
+// suppressedCtx records why a non-cooperative wait is acceptable.
+type suppressedCtx struct{ done chan struct{} }
+
+func (s suppressedCtx) CheckCtx(ctx context.Context) core.CheckStatus {
+	_ = ctx.Value("attempt")
+	//lint:ignore ctxprobe the channel is closed by the same goroutine that cancels ctx
+	<-s.done
+	return core.CheckPass
+}

@@ -1,0 +1,120 @@
+// Package directcheck enforces the repository's single-execution-path
+// rule: audits route through the fault-tolerant engine (core.RunEngine /
+// engine.Attempt), never by calling a requirement's Check, CheckCtx or
+// Enforce method directly. A direct call has no panic recovery, no
+// retry/backoff, no attempt timeout and no attempt span — one
+// misbehaving STIG check crashes the whole audit and leaves no trace
+// behind, which is precisely the failure mode PR 1 was built to remove.
+//
+// Flagged: a call x.Check() / x.CheckCtx(ctx) / x.Enforce() where x's
+// static type implements core.Checkable, core.ContextChecker or
+// core.Enforceable respectively, when the call appears in a free
+// function (no receiver) of a non-exempt package's non-test file.
+//
+// Allowed:
+//   - methods (functions with a receiver): requirement implementations
+//     legitimately compose their own and their components' checks —
+//     Enforce re-checking its own requirement, temporal combinators
+//     probing their operands, String() rendering a verdict;
+//   - test files: tests exercise requirement behaviour directly;
+//   - exempt packages: internal/core and internal/engine are the
+//     execution path, and examples/ mirrors the paper's API
+//     pedagogically (see Exempt);
+//   - method values (engine.Attempt(en.c.Check, ...)): passing the
+//     method to the engine is the blessed pattern, and is not a call.
+//
+// Known limits: a free function can launder a call through a local
+// helper type's method; the analyzer sees only the syntactic receiver.
+package directcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"veridevops/internal/analysis"
+)
+
+// Exempt decides whether a package import path is outside the rule:
+// the engine-side packages that are the execution path, and the
+// pedagogical examples. Kept as a function so the policy is testable.
+func Exempt(importPath string) bool {
+	if strings.HasSuffix(importPath, "internal/core") || strings.HasSuffix(importPath, "internal/engine") {
+		return true
+	}
+	for _, seg := range strings.Split(importPath, "/") {
+		if seg == "examples" {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer is the directcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "directcheck",
+	Doc:  "audits must route through the fault-tolerant engine: no direct Check/CheckCtx/Enforce calls outside internal/core, internal/engine, methods and tests",
+	Run:  run,
+}
+
+// contract maps the method name of a flagged call to the core interface
+// the receiver must implement for the call to count.
+var contract = map[string]string{
+	"Check":    "Checkable",
+	"CheckCtx": "ContextChecker",
+	"Enforce":  "Enforceable",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if Exempt(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ifaces := map[string]*types.Interface{}
+	for method, name := range contract {
+		if i := analysis.InterfaceType(pass.Pkg, analysis.CorePath, name); i != nil {
+			ifaces[method] = i
+		}
+	}
+	if len(ifaces) == 0 {
+		return nil, nil // the package cannot reference core's contracts
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				iface := ifaces[sel.Sel.Name]
+				if iface == nil {
+					return true
+				}
+				// Must be a method call on a value (not a package
+				//-qualified function or a conversion).
+				if pass.TypesInfo.Selections[sel] == nil {
+					return true
+				}
+				recv := pass.TypesInfo.Types[sel.X].Type
+				if recv == nil || !analysis.ImplementsIface(recv, iface) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"direct %s() call on %s bypasses the fault-tolerant engine: route it through core.RunEngine or engine.Attempt (panic recovery, retries, attempt spans)",
+					sel.Sel.Name, types.TypeString(recv, types.RelativeTo(pass.Pkg)))
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

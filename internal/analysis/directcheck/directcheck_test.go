@@ -1,0 +1,27 @@
+package directcheck_test
+
+import (
+	"testing"
+
+	"veridevops/internal/analysis/analysistest"
+	"veridevops/internal/analysis/directcheck"
+)
+
+func TestDirectcheck(t *testing.T) {
+	analysistest.Run(t, directcheck.Analyzer, "testdata/src/a", "a")
+}
+
+func TestExempt(t *testing.T) {
+	for path, want := range map[string]bool{
+		"veridevops/internal/core":    true,
+		"veridevops/internal/engine":  true,
+		"veridevops/examples/rqcode":  true,
+		"veridevops/internal/fleet":   false,
+		"veridevops/cmd/vulnscan":     false,
+		"veridevops/internal/monitor": false,
+	} {
+		if got := directcheck.Exempt(path); got != want {
+			t.Errorf("Exempt(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

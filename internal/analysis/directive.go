@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives, staticcheck-style:
+//
+//	//lint:ignore spanend,clockuse reason the span escapes to the pool
+//	//lint:file-ignore clockuse reason this file measures the real clock
+//
+// An ignore directive suppresses matching findings on its own line or on
+// the line directly below it (so it can trail the flagged statement or
+// sit on its own line above). A file-ignore suppresses matching findings
+// anywhere in its file. The analyzer list is comma-separated; "*"
+// matches every analyzer. The reason is mandatory: a suppression without
+// a recorded justification is itself reported as a finding, attributed
+// to the pseudo-analyzer "lint".
+
+// directive is one parsed //lint: comment.
+type directive struct {
+	file      bool
+	analyzers []string
+	reason    string
+	line      int
+	pos       token.Pos
+}
+
+func (d directive) matches(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == "*" || a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// fileDirectives is the directive index of one file.
+type fileDirectives struct {
+	file   []directive
+	byLine map[int][]directive
+}
+
+// parseDirectives indexes the //lint: directives of every file in the
+// unit, keyed by filename. Malformed directives (no analyzer list, or no
+// reason) are returned as findings.
+func parseDirectives(u *Unit) (map[string]*fileDirectives, []Finding) {
+	idx := map[string]*fileDirectives{}
+	var bad []Finding
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, isFile := cutDirective(c.Text)
+				if text == "" {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				d := directive{file: isFile, line: pos.Line, pos: c.Pos()}
+				if len(fields) > 0 {
+					d.analyzers = strings.Split(fields[0], ",")
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				if len(d.analyzers) == 0 || d.reason == "" {
+					bad = append(bad, Finding{
+						Analyzer: "lint",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed //lint: directive: want \"//lint:ignore <analyzer>[,<analyzer>] reason\"",
+						Package:  u.ImportPath,
+					})
+					continue
+				}
+				fd := idx[pos.Filename]
+				if fd == nil {
+					fd = &fileDirectives{byLine: map[int][]directive{}}
+					idx[pos.Filename] = fd
+				}
+				if d.file {
+					fd.file = append(fd.file, d)
+				} else {
+					fd.byLine[d.line] = append(fd.byLine[d.line], d)
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// cutDirective extracts the payload of a //lint:ignore or
+// //lint:file-ignore comment; ok text is non-empty (further validation
+// happens in parseDirectives via the reason check).
+func cutDirective(comment string) (payload string, isFile bool) {
+	if rest, ok := strings.CutPrefix(comment, "//lint:ignore "); ok {
+		return strings.TrimSpace(rest), false
+	}
+	if rest, ok := strings.CutPrefix(comment, "//lint:file-ignore "); ok {
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// suppressed reports whether a finding is covered by a directive: a
+// file-ignore for its analyzer, or a line ignore on the finding's line
+// or the line above it.
+func suppressed(idx map[string]*fileDirectives, f Finding) bool {
+	fd := idx[f.File]
+	if fd == nil {
+		return false
+	}
+	for _, d := range fd.file {
+		if d.matches(f.Analyzer) {
+			return true
+		}
+	}
+	for _, line := range [2]int{f.Line, f.Line - 1} {
+		for _, d := range fd.byLine[line] {
+			if d.matches(f.Analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}

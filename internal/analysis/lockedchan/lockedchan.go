@@ -1,0 +1,335 @@
+// Package lockedchan flags blocking operations performed while holding a
+// sync.Mutex or sync.RWMutex: channel sends and receives, selects,
+// ranging over a channel, and sync.WaitGroup.Wait. Holding a lock across
+// a blocking point is the deadlock shape the fleet scheduler is one
+// careless edit away from — a shard goroutine parks on a channel while
+// holding the coordinator's mutex, every other shard queues up behind the
+// lock, and the sweep freezes with no panic for the engine to recover.
+// The single-flight CheckMemo shows the correct shape: unlock first,
+// then block on the entry's done channel.
+//
+// The walk is per function body and syntactic: a lock is "held" from a
+// successful x.Lock()/x.RLock() until x.Unlock()/x.RUnlock() on the same
+// rendered receiver expression. A deferred unlock keeps the lock held
+// for the remainder of the body (that is the point of the idiom), so
+// blocking ops after `mu.Lock(); defer mu.Unlock()` are flagged.
+// sync.Cond.Wait is deliberately not flagged — it requires the lock by
+// contract.
+//
+// Known limits: the analyzer does not follow calls (a helper that blocks
+// is invisible), does not track locks across function boundaries, and
+// matches lock/unlock pairs by expression text, so aliased mutexes
+// (p := &s.mu) are not paired. Function literals are analyzed as their
+// own bodies with no inherited lock state (a closure usually runs on
+// another goroutine; inheriting the parent's state would be wrong more
+// often than right).
+package lockedchan
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"veridevops/internal/analysis"
+)
+
+// Analyzer is the lockedchan pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedchan",
+	Doc:  "no channel operations, selects or WaitGroup.Wait while holding a sync.Mutex/RWMutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass}
+			w.stmts(fd.Body.List, held{})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lw := &walker{pass: pass}
+					lw.stmts(lit.Body.List, held{})
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// held maps a rendered mutex expression ("m.mu") to where it was locked.
+type held map[string]token.Pos
+
+func (h held) clone() held {
+	c := make(held, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+func (w *walker) stmts(list []ast.Stmt, h held) {
+	for _, s := range list {
+		w.stmt(s, h)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, h held) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && w.lockOp(call, h, false) {
+			return
+		}
+		w.checkExpr(s.X, h)
+	case *ast.DeferStmt:
+		// A deferred unlock releases at function end; the lock stays held
+		// for the walk. Any other deferred expression is not a blocking
+		// point now.
+		w.lockOp(s.Call, h, true)
+	case *ast.SendStmt:
+		w.flag(s.Pos(), "channel send", h)
+		w.checkExpr(s.Chan, h)
+		w.checkExpr(s.Value, h)
+	case *ast.SelectStmt:
+		w.flag(s.Pos(), "select", h)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, h.clone())
+			}
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.checkExpr(r, h)
+		}
+		for _, l := range s.Lhs {
+			w.checkExpr(l, h)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r, h)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		w.checkExpr(s.Cond, h)
+		thenH := h.clone()
+		w.stmts(s.Body.List, thenH)
+		elseH := h.clone()
+		if s.Else != nil {
+			w.stmt(s.Else, elseH)
+		}
+		// Conservative merge: held if held on any fall-through path.
+		merge(h, thenH, elseH)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, h)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, h)
+		}
+		inner := h.clone()
+		w.stmts(s.Body.List, inner)
+		merge(h, inner)
+	case *ast.RangeStmt:
+		if t := w.pass.TypesInfo.Types[s.X].Type; t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				w.flag(s.Pos(), "range over channel", h)
+			}
+		}
+		w.checkExpr(s.X, h)
+		inner := h.clone()
+		w.stmts(s.Body.List, inner)
+		merge(h, inner)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				w.stmt(sw.Init, h)
+			}
+			if sw.Tag != nil {
+				w.checkExpr(sw.Tag, h)
+			}
+			body = sw.Body
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			if ts.Init != nil {
+				w.stmt(ts.Init, h)
+			}
+			body = ts.Body
+		}
+		var branches []held
+		for _, c := range body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				bh := h.clone()
+				w.stmts(cc.Body, bh)
+				branches = append(branches, bh)
+			}
+		}
+		merge(h, branches...)
+	case *ast.BlockStmt:
+		w.stmts(s.List, h)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, h)
+	case *ast.GoStmt:
+		// Runs on another goroutine; its body is analyzed separately.
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockOp recognises Lock/RLock/Unlock/RUnlock calls on sync mutexes and
+// updates the held set; deferred=true never releases (the release
+// happens at function end). Reports true when the call was a lock op.
+func (w *walker) lockOp(call *ast.CallExpr, h held, deferred bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	// sync.Once.Do etc. are not lock state; only mutex methods count.
+	recv := w.pass.TypesInfo.Types[sel.X].Type
+	isMutex := analysis.NamedTypeIs(recv, "sync", "Mutex") || analysis.NamedTypeIs(recv, "sync", "RWMutex") ||
+		embedsMutex(recv)
+	if !isMutex {
+		return false
+	}
+	key := render(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		if !deferred {
+			h[key] = call.Pos()
+		}
+		return true
+	case "Unlock", "RUnlock":
+		if !deferred {
+			delete(h, key)
+		}
+		return true
+	}
+	return false
+}
+
+// embedsMutex reports whether the (possibly pointered) named type embeds
+// sync.Mutex/RWMutex, so promoted x.Lock() on a wrapper type is tracked
+// too.
+func embedsMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() && (analysis.NamedTypeIs(f.Type(), "sync", "Mutex") || analysis.NamedTypeIs(f.Type(), "sync", "RWMutex")) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExpr flags blocking expressions (channel receives, WaitGroup
+// waits) under a held lock. Function literals are skipped: they execute
+// later, typically on another goroutine.
+func (w *walker) checkExpr(e ast.Expr, h held) {
+	if e == nil || len(h) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.flag(n.Pos(), "channel receive", h)
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					if analysis.NamedTypeIs(w.pass.TypesInfo.Types[sel.X].Type, "sync", "WaitGroup") {
+						w.flag(n.Pos(), "WaitGroup.Wait", h)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) flag(pos token.Pos, what string, h held) {
+	if len(h) == 0 {
+		return
+	}
+	var locks []string
+	for k, p := range h {
+		locks = append(locks, k+" (locked at "+w.pass.Fset.Position(p).String()+")")
+	}
+	// Deterministic order for stable output.
+	sortStrings(locks)
+	w.pass.Reportf(pos, "%s while holding %s: unlock before blocking, or hand the work to a goroutine that does not hold the lock",
+		what, strings.Join(locks, ", "))
+}
+
+// merge folds branch lock states into h: a lock held on any branch stays
+// held (conservative), one released on every branch is released.
+func merge(h held, branches ...held) {
+	for key := range h {
+		releasedEverywhere := true
+		for _, b := range branches {
+			if _, still := b[key]; still {
+				releasedEverywhere = false
+				break
+			}
+		}
+		if releasedEverywhere && len(branches) > 0 {
+			delete(h, key)
+		}
+	}
+	for _, b := range branches {
+		for key, pos := range b {
+			if _, ok := h[key]; !ok {
+				h[key] = pos
+			}
+		}
+	}
+}
+
+func render(e ast.Expr) string {
+	var sb strings.Builder
+	_ = printer.Fprint(&sb, token.NewFileSet(), e)
+	return sb.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockedchan_test
+
+import (
+	"testing"
+
+	"veridevops/internal/analysis/analysistest"
+	"veridevops/internal/analysis/lockedchan"
+)
+
+func TestLockedchan(t *testing.T) {
+	analysistest.Run(t, lockedchan.Analyzer, "testdata/src/a", "a")
+}

@@ -1,0 +1,135 @@
+// Fixture for the lockedchan analyzer: blocking while holding a mutex
+// is flagged; the unlock-then-block single-flight shape is clean.
+package a
+
+import "sync"
+
+type coordinator struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	results chan int
+	wg      sync.WaitGroup
+}
+
+// Flagged: send, receive, select and WaitGroup.Wait under the lock.
+func (c *coordinator) blockUnderLock(v int) {
+	c.mu.Lock()
+	c.results <- v // want `channel send while holding c\.mu`
+	c.mu.Unlock()
+}
+
+func (c *coordinator) receiveUnderLock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-c.results // want `channel receive while holding c\.mu`
+}
+
+func (c *coordinator) selectUnderRLock() {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	select { // want `select while holding c\.rw`
+	case <-c.results:
+	default:
+	}
+}
+
+func (c *coordinator) waitUnderLock() {
+	c.mu.Lock()
+	c.wg.Wait() // want `WaitGroup\.Wait while holding c\.mu`
+	c.mu.Unlock()
+}
+
+// Flagged: ranging over a channel parks the goroutine under the lock.
+func (c *coordinator) drainUnderLock() (sum int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for v := range c.results { // want `range over channel while holding c\.mu`
+		sum += v
+	}
+	return sum
+}
+
+// Clean: the CheckMemo single-flight shape — unlock before blocking.
+func (c *coordinator) singleFlight() int {
+	c.mu.Lock()
+	ch := c.results
+	c.mu.Unlock()
+	return <-ch
+}
+
+// Clean: the blocking op sits on the unlocked branch only.
+func (c *coordinator) branchRelease(fast bool) int {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+		return <-c.results
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// Flagged via merge: one branch forgets to unlock, so the lock is
+// conservatively held at the receive after the if.
+func (c *coordinator) leakyBranch(fast bool) int {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+	}
+	return <-c.results // want `channel receive while holding c\.mu`
+}
+
+// Clean: sends inside a spawned goroutine do not run under the caller's
+// lock; the closure body is analyzed with its own empty lock state.
+func (c *coordinator) handoff(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.results <- v
+	}()
+}
+
+// Clean: ranging over a slice under the lock is fine.
+func (c *coordinator) snapshot(vals []int) (sum int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// promoted embeds the mutex; the promoted Lock is tracked too.
+type promoted struct {
+	sync.Mutex
+	out chan int
+}
+
+func (p *promoted) sendPromoted(v int) {
+	p.Lock()
+	defer p.Unlock()
+	p.out <- v // want `channel send while holding p`
+}
+
+// Clean: sync.Cond.Wait requires the lock by contract and is exempt.
+type conditioned struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	done bool
+}
+
+func (c *conditioned) await() {
+	c.mu.Lock()
+	for !c.done {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Suppressed with a recorded reason: the channel is buffered and the
+// send cannot block.
+func (c *coordinator) buffered(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:ignore lockedchan results is buffered to len(shards); the send cannot block
+	c.results <- v
+}

@@ -1,0 +1,289 @@
+// Package reqmeta enforces that requirement metadata is populated: a
+// core.Finding that reaches a report with an empty ID, severity or
+// description is unauditable — dedup keys collapse, fleet aggregation
+// buckets it under "", and the emitted STIG/JSON is rejected by
+// downstream tooling. The analyzer checks, in non-test files:
+//
+//  1. composite literals of core.Finding whose ID, Sev or Desc field is
+//     a constant empty string, or is omitted while other identity
+//     fields are populated with non-empty constants (a literal that is
+//     entirely dynamic — fields copied from parameters or other
+//     values — is assumed to be a transform and left alone, unless the
+//     parameter itself is constant-propagated, below);
+//  2. constant propagation one call deep within a package: when a
+//     Finding field is set from a parameter of the enclosing function,
+//     every same-package call site passing a constant "" (or relying on
+//     a missing varargs slot) for that parameter is flagged — this is
+//     the ubuntuFinding(id, version, sev, desc, ...) constructor
+//     pattern;
+//  3. methods FindingID, Severity or Description on a type implementing
+//     core.Requirement whose every return statement yields a constant
+//     empty string.
+//
+// Known limits: propagation is one level and same-package only (an
+// exported constructor called with "" from another package is not
+// seen); fields filled via field assignment after the literal
+// (f.ID = "...") are not tracked, so a zero-valued literal followed by
+// assignments is reported — populate identity fields in the literal.
+package reqmeta
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"veridevops/internal/analysis"
+)
+
+// Analyzer is the reqmeta pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "reqmeta",
+	Doc:  "core.Finding literals and Requirement accessor methods must carry non-empty ID, severity and description",
+	Run:  run,
+}
+
+// required names the Finding identity fields that must be populated,
+// with the accessor method enforcing the same contract.
+var required = map[string]string{
+	"ID":   "FindingID",
+	"Sev":  "Severity",
+	"Desc": "Description",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	req := analysis.InterfaceType(pass.Pkg, analysis.CorePath, "Requirement")
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAccessor(pass, fd, req)
+			params := paramObjects(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.CompositeLit); ok {
+					checkLiteral(pass, lit, params, fd, f)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// paramObjects maps each named parameter object of fd to its index in
+// the flattened parameter list, for call-site constant propagation.
+func paramObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]int {
+	out := map[types.Object]int{}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = i
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// checkLiteral validates one core.Finding composite literal.
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit, params map[types.Object]int, fd *ast.FuncDecl, file *ast.File) {
+	t := pass.TypesInfo.Types[lit].Type
+	if !analysis.NamedTypeIs(t, analysis.CorePath, "Finding") {
+		return
+	}
+	fields := literalFields(pass, lit)
+	if fields == nil {
+		return
+	}
+	// Entirely-dynamic literals (no constant identity field at all, every
+	// required field fed from non-parameter values) are transforms —
+	// loader code copying parsed XML into Findings. Leave those alone.
+	anyConstant := false
+	for name := range required {
+		if fv, ok := fields[name]; ok {
+			if _, isConst := constString(pass, fv); isConst {
+				anyConstant = true
+			}
+			if _, isParam := paramOf(pass, fv, params); isParam {
+				anyConstant = true
+			}
+		}
+	}
+	if !anyConstant {
+		return
+	}
+	for name := range required {
+		fv, present := fields[name]
+		if !present {
+			pass.Reportf(lit.Pos(),
+				"core.Finding literal omits %s: findings with empty identity metadata collapse in dedup and fail report emission", name)
+			continue
+		}
+		if s, isConst := constString(pass, fv); isConst {
+			if s == "" {
+				pass.Reportf(fv.Pos(),
+					"core.Finding literal sets %s to \"\": findings with empty identity metadata collapse in dedup and fail report emission", name)
+			}
+			continue
+		}
+		if idx, isParam := paramOf(pass, fv, params); isParam {
+			checkCallSites(pass, fd, file, name, idx)
+		}
+	}
+}
+
+// literalFields maps Finding field names to their value expressions for
+// keyed literals, and by declaration order for positional ones. Returns
+// nil when the literal form cannot be resolved.
+func literalFields(pass *analysis.Pass, lit *ast.CompositeLit) map[string]ast.Expr {
+	out := map[string]ast.Expr{}
+	if len(lit.Elts) == 0 {
+		return out
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); keyed {
+		for _, e := range lit.Elts {
+			kv, ok := e.(*ast.KeyValueExpr)
+			if !ok {
+				return nil
+			}
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				out[id.Name] = kv.Value
+			}
+		}
+		return out
+	}
+	st, ok := pass.TypesInfo.Types[lit].Type.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i, e := range lit.Elts {
+		if i >= st.NumFields() {
+			break
+		}
+		out[st.Field(i).Name()] = e
+	}
+	return out
+}
+
+// constString evaluates expr as a constant string via the type-checker's
+// constant folding.
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// paramOf reports whether expr is a bare reference to a parameter of the
+// enclosing function, returning its flattened index.
+func paramOf(pass *analysis.Pass, expr ast.Expr, params map[types.Object]int) (int, bool) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return 0, false
+	}
+	idx, ok := params[obj]
+	return idx, ok
+}
+
+// checkCallSites propagates the emptiness requirement for parameter idx
+// of constructor fd to its same-package call sites: any call passing a
+// constant "" in that slot is flagged at the argument.
+func checkCallSites(pass *analysis.Pass, fd *ast.FuncDecl, _ *ast.File, fieldName string, idx int) {
+	ctor := pass.TypesInfo.Defs[fd.Name]
+	if ctor == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee types.Object
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callee = pass.TypesInfo.Uses[fun]
+			case *ast.SelectorExpr:
+				callee = pass.TypesInfo.Uses[fun.Sel]
+			}
+			if callee != ctor || idx >= len(call.Args) {
+				return true
+			}
+			if s, isConst := constString(pass, call.Args[idx]); isConst && s == "" {
+				pass.Reportf(call.Args[idx].Pos(),
+					"empty %s passed to %s: the constructed core.Finding will carry empty identity metadata",
+					fieldName, fd.Name.Name)
+			}
+			return true
+		})
+	}
+}
+
+// checkAccessor flags FindingID/Severity/Description methods on
+// Requirement implementations whose every return is a constant "".
+func checkAccessor(pass *analysis.Pass, fd *ast.FuncDecl, req *types.Interface) {
+	if fd.Recv == nil || req == nil {
+		return
+	}
+	name := fd.Name.Name
+	isAccessor := false
+	for _, m := range required {
+		if m == name {
+			isAccessor = true
+		}
+	}
+	if !isAccessor {
+		return
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !analysis.ImplementsIface(recv.Type(), req) {
+		return
+	}
+	allEmpty := true
+	sawReturn := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		sawReturn = true
+		if len(ret.Results) != 1 {
+			allEmpty = false
+			return true
+		}
+		if s, isConst := constString(pass, ret.Results[0]); !isConst || s != "" {
+			allEmpty = false
+		}
+		return true
+	})
+	if sawReturn && allEmpty {
+		pass.Reportf(fd.Name.Pos(),
+			"%s on Requirement implementation %s always returns \"\": findings built from it carry empty identity metadata",
+			name, types.TypeString(recv.Type(), types.RelativeTo(pass.Pkg)))
+	}
+}

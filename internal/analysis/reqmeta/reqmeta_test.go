@@ -1,0 +1,12 @@
+package reqmeta_test
+
+import (
+	"testing"
+
+	"veridevops/internal/analysis/analysistest"
+	"veridevops/internal/analysis/reqmeta"
+)
+
+func TestReqmeta(t *testing.T) {
+	analysistest.Run(t, reqmeta.Analyzer, "testdata/src/a", "a")
+}

@@ -1,0 +1,78 @@
+// Fixture for the reqmeta analyzer: empty identity metadata in
+// core.Finding literals, constructor call sites and Requirement
+// accessors.
+package a
+
+import "veridevops/internal/core"
+
+const vID = "V-100001"
+
+// Flagged: a constant empty ID alongside populated identity fields.
+func emptyID() core.Finding {
+	return core.Finding{
+		ID:   "", // want `core\.Finding literal sets ID to ""`
+		Sev:  "high",
+		Desc: "root login over ssh must be disabled",
+	}
+}
+
+// Flagged: Desc omitted while the other identity fields are constant.
+func omitsDesc() core.Finding {
+	return core.Finding{ // want `core\.Finding literal omits Desc`
+		ID:  vID,
+		Sev: "medium",
+	}
+}
+
+// Flagged: positional literal with an empty severity slot.
+func positional() core.Finding {
+	return core.Finding{vID, "Version 1", "SV-1_rule", "ia", "", "telnet must be absent", "STIG", "2026-01-01", "cc", "ct", "fc", "ft"} // want `core\.Finding literal sets Sev to ""`
+}
+
+// Clean: fully populated.
+func populated() core.Finding {
+	return core.Finding{ID: vID, Sev: "high", Desc: "telnet must be absent"}
+}
+
+// Clean: an entirely dynamic literal is a transform (loader code copying
+// parsed data), not a construction site.
+func fromParsed(src core.Finding) core.Finding {
+	return core.Finding{ID: src.ID, Sev: src.Sev, Desc: src.Desc}
+}
+
+// newFinding is the ubuntuFinding constructor pattern: identity fields
+// flow from parameters, so the emptiness requirement propagates to its
+// call sites.
+func newFinding(id, sev, desc string) core.Finding {
+	return core.Finding{ID: id, Ver: "Version 1", Sev: sev, Desc: desc}
+}
+
+var okSite = newFinding(vID, "high", "disable telnet")
+
+var badSite = newFinding("", "high", "disable telnet") // want `empty ID passed to newFinding`
+
+// silent overrides a Requirement accessor to always return nothing.
+type silent struct{ core.Finding }
+
+func (s silent) Severity() string { return "" } // want `Severity on Requirement implementation silent always returns ""`
+
+// loud is the clean shape: a defaulting accessor.
+type loud struct{ core.Finding }
+
+func (l loud) Severity() string {
+	if l.Sev == "" {
+		return "medium"
+	}
+	return l.Sev
+}
+
+// Suppressed with a recorded reason: a sentinel finding whose empty ID
+// marks a placeholder slot.
+func sentinel() core.Finding {
+	return core.Finding{
+		//lint:ignore reqmeta sentinel slot: the importer assigns the real ID on load
+		ID:   "",
+		Sev:  "low",
+		Desc: "placeholder until the catalogue import runs",
+	}
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sort"
+)
+
+// Run applies every analyzer to every unit, resolves positions, filters
+// findings through the //lint: directives of each unit, and returns the
+// surviving findings sorted by file, line, column, analyzer. File paths
+// are relativised to rel when possible (the module root for cmd/vdolint),
+// keeping output stable across machines.
+func Run(units []*Unit, analyzers []*Analyzer, rel string) ([]Finding, error) {
+	var all []Finding
+	for _, u := range units {
+		idx, bad := parseDirectives(u)
+		all = append(all, bad...)
+		for _, a := range analyzers {
+			var found []Finding
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := u.Fset.Position(d.Pos)
+				found = append(found, Finding{
+					Analyzer: a.Name,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+					Package:  u.ImportPath,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			for _, f := range found {
+				if !suppressed(idx, f) {
+					all = append(all, f)
+				}
+			}
+		}
+	}
+	for i := range all {
+		if rel == "" {
+			continue
+		}
+		if r, err := filepath.Rel(rel, all[i].File); err == nil && !filepath.IsAbs(r) {
+			all[i].File = r
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}

@@ -1,0 +1,644 @@
+// Package spanend verifies the telemetry contract "every started span
+// ends": a *telemetry.Span obtained from Tracer.Root or Span.Child must
+// have End called on every path out of the scope that owns it, either
+// explicitly before each return or via defer. A span that is started but
+// never ended silently vanishes from the JSONL export and skews the
+// Breakdown aggregates — the trace claims the work never happened, which
+// is the one lie an auditable pipeline must not tell.
+//
+// The analyzer runs a structured, path-sensitive walk over each function
+// body (and each function literal as its own scope), tracking span
+// variables from the assignment that creates them:
+//
+//   - sp := tr.Root("x") / sp := parent.Child("y").Tag(...) start
+//     tracking (annotation chains through Tag/TagInt/TagBool are part of
+//     the creation);
+//   - sp.End(), sp.Tag(...).End() and defer sp.End() (also inside a
+//     deferred closure) satisfy the obligation;
+//   - a return, or falling off the end of the owning block, while a
+//     tracked span is neither ended nor escaped is reported;
+//   - a creation whose result is dropped on the floor
+//     (tr.Root("x") as a statement) is reported immediately.
+//
+// A span that escapes — passed to a call, stored in a field, slice or
+// map, captured by a go statement, returned — transfers the obligation
+// to code the analyzer cannot see, and tracking stops without a report
+// (the callee pattern is how core.RunOptions.Span and engine.Policy.Span
+// hand spans down the stack legitimately). Nil-guard idiom is
+// understood: in `if sp != nil { ... sp.End() }` the else path carries
+// no obligation, matching the nil-receiver no-op API.
+//
+// Known false negatives, accepted to keep the pass local and
+// report-free on correct code: obligations transferred via escape are
+// not followed (a span ended via a named helper is simply an escape);
+// break/continue paths are not charged; panic terminators are trusted.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"veridevops/internal/analysis"
+)
+
+// Analyzer is the spanend pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "every telemetry span started with Root/Child must be ended on all paths (defer or explicit End on every return)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkFunc(pass, fd.Body)
+			// Every function literal is its own ownership scope.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					walkFunc(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// state is the tracking record of one span variable on one path.
+type state struct {
+	obj     types.Object
+	declPos token.Pos
+	ended   bool
+	escaped bool
+}
+
+type env map[types.Object]*state
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	for k, v := range e {
+		cp := *v
+		c[k] = &cp
+	}
+	return c
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+func walkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	w := &walker{pass: pass}
+	e := env{}
+	if term := w.stmts(body.List, e, true); !term {
+		for _, st := range e {
+			w.unended(st, body.End(), "at function end")
+		}
+	}
+}
+
+func (w *walker) unended(st *state, pos token.Pos, where string) {
+	if st.ended || st.escaped {
+		return
+	}
+	st.ended = true // report once per path
+	w.pass.Reportf(pos, "span %q started at %s is not ended %s (add a defer End or end it on this path)",
+		st.obj.Name(), w.pass.Fset.Position(st.declPos), where)
+}
+
+// stmts walks a statement list. Variables whose tracking starts inside
+// the list are resolved at its end (block scope); when scoped is false
+// (loop bodies) that resolution doubles as the per-iteration check.
+// Returns whether the list always transfers control out (return, panic,
+// branch).
+func (w *walker) stmts(list []ast.Stmt, e env, checkAtEnd bool) bool {
+	before := make(map[types.Object]bool, len(e))
+	for obj := range e {
+		before[obj] = true
+	}
+	// A variable is owned by this block only when it is also declared in
+	// it: `hs = tr.Root(...)` inside an if-body assigns an outer `var hs`,
+	// whose obligation resolves in the enclosing scope, not here.
+	var listStart, listEnd token.Pos
+	if len(list) > 0 {
+		listStart, listEnd = list[0].Pos(), list[len(list)-1].End()
+	}
+	ownedHere := func(obj types.Object) bool {
+		return obj.Pos() >= listStart && obj.Pos() < listEnd
+	}
+	terminated := false
+	for _, s := range list {
+		if w.stmt(s, e) {
+			terminated = true
+			break
+		}
+	}
+	if !terminated && checkAtEnd {
+		for obj, st := range e {
+			if !before[obj] && ownedHere(obj) {
+				w.unended(st, st.declPos, "on every path through its block")
+				delete(e, obj)
+			}
+		}
+	}
+	if !terminated {
+		// Even without a check, scoped vars must not leak into the outer
+		// walk once their block is gone.
+		for obj := range e {
+			if !before[obj] && ownedHere(obj) {
+				delete(e, obj)
+			}
+		}
+	}
+	return terminated
+}
+
+func (w *walker) stmt(s ast.Stmt, e env) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(s, e)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.valueSpec(vs, e)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		return w.exprStmt(s, e)
+	case *ast.DeferStmt:
+		w.deferStmt(s, e)
+	case *ast.GoStmt:
+		w.escapeRefs(s.Call, e, nil)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.escapeRefs(r, e, nil)
+		}
+		for _, st := range e {
+			w.unended(st, s.Pos(), "on this return path")
+		}
+		return true
+	case *ast.IfStmt:
+		return w.ifStmt(s, e)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, e)
+		}
+		w.loopBody(s.Body, e)
+	case *ast.RangeStmt:
+		w.loopBody(s.Body, e)
+	case *ast.SwitchStmt:
+		return w.caseStmt(s.Init, bodyClauses(s.Body), e, hasDefaultClause(s.Body), false)
+	case *ast.TypeSwitchStmt:
+		return w.caseStmt(s.Init, bodyClauses(s.Body), e, hasDefaultClause(s.Body), false)
+	case *ast.SelectStmt:
+		return w.caseStmt(nil, bodyClauses(s.Body), e, hasDefaultClause(s.Body), true)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, e, true)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, e)
+	case *ast.BranchStmt:
+		// break/continue/goto end this path without charging the
+		// obligation (End may legitimately follow the loop).
+		return true
+	case *ast.SendStmt:
+		w.escapeRefs(s, e, nil)
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+	default:
+		if s != nil {
+			w.escapeRefs(s, e, nil)
+		}
+	}
+	return false
+}
+
+// assign starts tracking on `x := <creation chain>` / `x = <creation
+// chain>` and treats every other reference to a tracked span as an
+// escape.
+func (w *walker) assign(s *ast.AssignStmt, e env) {
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			if creation, endsInChain := w.creationChain(s.Rhs[0]); creation {
+				obj := w.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = w.pass.TypesInfo.Uses[id]
+				}
+				// Arguments of the chain may reference other spans.
+				w.escapeRefs(s.Rhs[0], e, obj)
+				if obj != nil {
+					// A fresh creation over a still-tracked span loses the
+					// only reference to the first one.
+					if st, tracked := e[obj]; tracked {
+						w.unended(st, s.Pos(), "before being overwritten")
+					}
+					if !endsInChain {
+						e[obj] = &state{obj: obj, declPos: s.Pos()}
+					} else {
+						delete(e, obj)
+					}
+				}
+				return
+			}
+		}
+	}
+	w.escapeRefs(s, e, nil)
+	// Assigning anything else over a tracked variable unbinds it.
+	for _, lhs := range s.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+				if st, ok := e[obj]; ok && !st.ended {
+					// Losing the only reference before End: report here.
+					w.unended(st, s.Pos(), "before being overwritten")
+					delete(e, obj)
+				}
+			}
+		}
+	}
+}
+
+func (w *walker) valueSpec(vs *ast.ValueSpec, e env) {
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		if creation, endsInChain := w.creationChain(vs.Values[i]); creation && name.Name != "_" {
+			obj := w.pass.TypesInfo.Defs[name]
+			w.escapeRefs(vs.Values[i], e, obj)
+			if obj != nil && !endsInChain {
+				e[obj] = &state{obj: obj, declPos: vs.Pos()}
+			}
+		} else {
+			w.escapeRefs(vs.Values[i], e, nil)
+		}
+	}
+}
+
+// exprStmt handles End/annotation chains and dropped creations, and
+// recognises terminator calls (panic, os.Exit, testing Fatal) as path
+// ends.
+func (w *walker) exprStmt(s *ast.ExprStmt, e env) bool {
+	if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isTerminatorCall(w.pass.TypesInfo, call) {
+		return true
+	}
+	base, methods := analysis.ChainBase(s.X)
+	if len(methods) > 0 {
+		creation, endsInChain := w.creationChain(s.X)
+		if id, ok := base.(*ast.Ident); ok {
+			if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+				if st, tracked := e[obj]; tracked {
+					w.escapeRefs(s.X, e, obj)
+					if endsInChain {
+						st.ended = true
+					} else if creation {
+						// sp.Child("x") dropped on the floor.
+						w.pass.Reportf(s.Pos(), "span started here is dropped without End")
+					}
+					return false
+				}
+			}
+		}
+		if creation {
+			if endsInChain {
+				return false
+			}
+			w.pass.Reportf(s.Pos(), "span started here is dropped without End")
+			w.escapeRefs(s.X, e, nil)
+			return false
+		}
+	}
+	w.escapeRefs(s.X, e, nil)
+	return false
+}
+
+// deferStmt credits `defer sp.End()`, `defer sp.Tag(...).End()` and
+// deferred closures that end a tracked span.
+func (w *walker) deferStmt(s *ast.DeferStmt, e env) {
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		// A deferred closure ending the span covers every later exit.
+		for obj, st := range e {
+			if closureEnds(w.pass.TypesInfo, lit, obj) {
+				st.ended = true
+			}
+		}
+		w.escapeRefs(s.Call, e, nil)
+		return
+	}
+	base, methods := analysis.ChainBase(s.Call)
+	if id, ok := base.(*ast.Ident); ok && len(methods) > 0 && methods[len(methods)-1] == "End" {
+		if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+			if st, tracked := e[obj]; tracked {
+				st.ended = true
+				w.escapeRefs(s.Call, e, obj)
+				return
+			}
+		}
+	}
+	w.escapeRefs(s.Call, e, nil)
+}
+
+func (w *walker) ifStmt(s *ast.IfStmt, e env) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, e)
+	}
+	// Nil-guard idiom: `if sp != nil { ... }` / `if sp == nil { ... } else
+	// { ... }` — the nil path carries no End obligation.
+	guarded, negated := nilGuard(w.pass.TypesInfo, s.Cond, e)
+
+	thenEnv := e.clone()
+	thenTerm := w.stmts(s.Body.List, thenEnv, true)
+	elseEnv := e.clone()
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = w.stmt(s.Else, elseEnv)
+	}
+	if thenTerm && elseTerm && s.Else != nil {
+		return true
+	}
+	// Merge the fall-through paths back into e.
+	for obj := range union(thenEnv, elseEnv) {
+		t, hasT := thenEnv[obj]
+		el, hasE := elseEnv[obj]
+		var merged state
+		switch {
+		case thenTerm && hasE:
+			merged = *el
+		case elseTerm && s.Else != nil && hasT:
+			merged = *t
+		case hasT && hasE:
+			merged = state{obj: obj, declPos: t.declPos,
+				ended:   t.ended && el.ended,
+				escaped: t.escaped || el.escaped}
+			if guarded == obj {
+				// Only the non-nil branch carries the obligation.
+				if negated {
+					merged.ended, merged.escaped = el.ended, el.escaped
+				} else {
+					merged.ended, merged.escaped = t.ended, t.escaped
+				}
+			}
+		case hasT && !thenTerm:
+			merged = *t
+		case hasE && !elseTerm:
+			merged = *el
+		default:
+			continue
+		}
+		e[obj] = &merged
+	}
+	return false
+}
+
+// loopBody walks a loop body once. Ends inside the body do not count for
+// code after the loop (zero iterations), and spans whose tracking starts
+// inside the body must resolve within one iteration.
+func (w *walker) loopBody(body *ast.BlockStmt, e env) {
+	inner := e.clone()
+	w.stmts(body.List, inner, true)
+	for obj, st := range e {
+		if in, ok := inner[obj]; ok && in.escaped {
+			st.escaped = true
+		}
+	}
+}
+
+// caseStmt merges switch/select clause paths. For a switch without a
+// default the zero-clause fall-through keeps the pre-state; a select
+// without default always executes some clause.
+func (w *walker) caseStmt(init ast.Stmt, clauses [][]ast.Stmt, e env, hasDefault, isSelect bool) bool {
+	if init != nil {
+		w.stmt(init, e)
+	}
+	if len(clauses) == 0 {
+		return false
+	}
+	type path struct {
+		env  env
+		term bool
+	}
+	var paths []path
+	for _, body := range clauses {
+		pe := e.clone()
+		paths = append(paths, path{pe, w.stmts(body, pe, true)})
+	}
+	exhaustive := hasDefault || isSelect
+	allTerm := exhaustive
+	for _, p := range paths {
+		if !p.term {
+			allTerm = false
+		}
+	}
+	if allTerm {
+		return true
+	}
+	for obj, st := range e {
+		ended := exhaustive // start true only when some clause always runs
+		escaped := st.escaped
+		for _, p := range paths {
+			if p.term {
+				continue
+			}
+			ps := p.env[obj]
+			if ps == nil {
+				continue
+			}
+			ended = ended && ps.ended
+			escaped = escaped || ps.escaped
+		}
+		if !exhaustive {
+			ended = ended && st.ended
+		}
+		st.ended = st.ended || (ended && exhaustive)
+		st.escaped = escaped
+	}
+	return false
+}
+
+// creationChain reports whether expr is a method chain that starts a
+// span (contains a Root or Child call yielding *telemetry.Span) and
+// whether the chain already ends it (terminal End).
+func (w *walker) creationChain(expr ast.Expr) (creation, endsInChain bool) {
+	e := ast.Unparen(expr)
+	last := true
+	for {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return creation, endsInChain
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return creation, endsInChain
+		}
+		switch sel.Sel.Name {
+		case "Root", "Child":
+			if isSpanType(w.pass.TypesInfo.Types[call].Type) {
+				creation = true
+			}
+		case "End":
+			if last {
+				endsInChain = true
+			}
+		}
+		last = false
+		e = ast.Unparen(sel.X)
+	}
+}
+
+// escapeRefs marks every tracked span referenced under n — except skip —
+// as escaped: the obligation moved somewhere this walk cannot see.
+func (w *walker) escapeRefs(n ast.Node, e env, skip types.Object) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj == nil || obj == skip {
+			return true
+		}
+		if st, tracked := e[obj]; tracked {
+			st.escaped = true
+		}
+		return true
+	})
+}
+
+func isSpanType(t types.Type) bool {
+	return analysis.NamedTypeIs(t, analysis.TelemetryPath, "Span")
+}
+
+// closureEnds reports whether a deferred closure calls End on obj (an
+// End-terminated chain based on obj anywhere in its body).
+func closureEnds(info *types.Info, lit *ast.FuncLit, obj types.Object) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		base, methods := analysis.ChainBase(call)
+		if len(methods) == 0 || methods[len(methods)-1] != "End" {
+			return true
+		}
+		if id, ok := base.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nilGuard recognises `x != nil` / `x == nil` conditions over a tracked
+// span, returning the guarded object and whether the condition is the
+// ==-nil (negated) form.
+func nilGuard(info *types.Info, cond ast.Expr, e env) (types.Object, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	if _, tracked := e[obj]; !tracked {
+		return nil, false
+	}
+	return obj, be.Op == token.EQL
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func union(a, b env) map[types.Object]bool {
+	u := map[types.Object]bool{}
+	for k := range a {
+		u[k] = true
+	}
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}
+
+func bodyClauses(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, s := range body.List {
+		switch c := s.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		switch c := s.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isTerminatorCall recognises calls that never return: panic, os.Exit,
+// log.Fatal*, runtime.Goexit and testing's Fatal/Fatalf/FailNow/Skip
+// family.
+func isTerminatorCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "testing":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}

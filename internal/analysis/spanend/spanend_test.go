@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"veridevops/internal/analysis/analysistest"
+	"veridevops/internal/analysis/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, spanend.Analyzer, "testdata/src/a", "a")
+}

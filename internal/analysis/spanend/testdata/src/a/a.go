@@ -1,0 +1,174 @@
+// Fixture for the spanend analyzer: flagged leaks and clean idioms.
+package a
+
+import (
+	"errors"
+
+	"veridevops/internal/telemetry"
+)
+
+var errFail = errors.New("fail")
+
+// Clean: the canonical defer idiom.
+func deferred(tr *telemetry.Tracer) {
+	sp := tr.Root("ok")
+	defer sp.End()
+	sp.Tag("k", "v")
+}
+
+// Clean: explicit End after an annotation chain creation.
+func explicit(tr *telemetry.Tracer) {
+	sp := tr.Root("ok").Tag("k", "v")
+	sp.TagInt("n", 1)
+	sp.End()
+}
+
+// Clean: fire-and-forget chain that ends itself.
+func chainEnd(tr *telemetry.Tracer) {
+	tr.Root("fire").Tag("k", "v").End()
+}
+
+// Flagged: started, annotated, never ended.
+func leaked(tr *telemetry.Tracer) {
+	sp := tr.Root("leak") // want `span "sp" started at .*a\.go:\d+:\d+ is not ended on every path through its block`
+	sp.Tag("k", "v")
+}
+
+// Flagged: creation result dropped on the floor.
+func dropped(tr *telemetry.Tracer) {
+	tr.Root("drop") // want `span started here is dropped without End`
+}
+
+// Flagged: the early return skips End.
+func earlyReturn(tr *telemetry.Tracer, fail bool) error {
+	sp := tr.Root("attempt")
+	if fail {
+		return errFail // want `span "sp" started at .* is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+// Flagged: reassignment loses the only reference before End.
+func overwritten(tr *telemetry.Tracer) {
+	sp := tr.Root("first")
+	sp = tr.Root("second") // want `span "sp" started at .* is not ended before being overwritten`
+	sp.End()
+}
+
+// Clean: ending on both branches of an if/else.
+func bothBranches(tr *telemetry.Tracer, fast bool) {
+	sp := tr.Root("branch")
+	if fast {
+		sp.End()
+	} else {
+		sp.Tag("slow", "yes")
+		sp.End()
+	}
+}
+
+// Flagged: only one branch ends the span.
+func oneBranch(tr *telemetry.Tracer, fast bool) {
+	sp := tr.Root("branch") // want `span "sp" started at .* is not ended on every path through its block`
+	if fast {
+		sp.End()
+	}
+}
+
+// Clean: the fleet.go nil-guard idiom — a conditionally created span,
+// ended under its nil guard. The nil path carries no obligation.
+func nilGuarded(tr *telemetry.Tracer, verbose bool) {
+	var sp *telemetry.Span
+	if verbose {
+		sp = tr.Root("verbose")
+	}
+	if sp != nil {
+		sp.Tag("k", "v")
+		sp.End()
+	}
+}
+
+// Clean: deferred closure ends the span.
+func deferredClosure(tr *telemetry.Tracer) {
+	sp := tr.Root("closure")
+	defer func() {
+		sp.TagBool("done", true)
+		sp.End()
+	}()
+}
+
+// Clean escapes: passing the span onwards transfers the obligation.
+func escapesToHelper(tr *telemetry.Tracer) {
+	sp := tr.Root("handoff")
+	finish(sp)
+}
+
+func escapesToChannel(tr *telemetry.Tracer, out chan *telemetry.Span) {
+	sp := tr.Root("handoff")
+	out <- sp
+}
+
+func escapesToReturn(tr *telemetry.Tracer) *telemetry.Span {
+	sp := tr.Root("handoff")
+	return sp
+}
+
+// finish is the named-helper escape: spanend does not follow the call,
+// so ending through a helper is a documented false negative, not a
+// report.
+func finish(sp *telemetry.Span) {
+	sp.End()
+}
+
+// Clean: terminator calls end the path; the panic route owes nothing.
+func panics(tr *telemetry.Tracer, bad bool) {
+	sp := tr.Root("guarded")
+	if bad {
+		panic("unreachable input")
+	}
+	sp.End()
+}
+
+// Clean: per-iteration child spans resolved inside the loop.
+func perIteration(tr *telemetry.Tracer, names []string) {
+	root := tr.Root("sweep")
+	defer root.End()
+	for _, n := range names {
+		sp := root.Child(n)
+		sp.End()
+	}
+}
+
+// Flagged: a child span leaked every iteration.
+func leakPerIteration(tr *telemetry.Tracer, names []string) {
+	root := tr.Root("sweep")
+	defer root.End()
+	for _, n := range names {
+		sp := root.Child(n) // want `span "sp" started at .* is not ended on every path through its block`
+		sp.Tag("name", n)
+	}
+}
+
+// Clean: function literals are their own scopes with their own
+// obligations.
+func inClosure(tr *telemetry.Tracer) func() {
+	return func() {
+		sp := tr.Root("inner")
+		defer sp.End()
+	}
+}
+
+// Flagged: the leak is inside the literal's scope.
+func leakInClosure(tr *telemetry.Tracer) func() {
+	return func() {
+		sp := tr.Root("inner") // want `span "sp" started at .* is not ended on every path through its block`
+		sp.Tag("k", "v")
+	}
+}
+
+// Clean: suppression with a recorded reason silences the finding.
+func suppressed(tr *telemetry.Tracer) {
+	//lint:ignore spanend the span is ended by the monitor goroutine watching this tracer
+	sp := tr.Root("watched")
+	sp.Tag("k", "v")
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Paths of the contract-bearing packages the analyzers reason about.
+const (
+	CorePath      = "veridevops/internal/core"
+	EnginePath    = "veridevops/internal/engine"
+	TelemetryPath = "veridevops/internal/telemetry"
+)
+
+// IsTestFile reports whether pos lies in a *_test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// ImportsPath reports whether any of the files imports the given package
+// path directly.
+func ImportsPath(files []*ast.File, path string) bool {
+	quoted := `"` + path + `"`
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == quoted {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// InterfaceType resolves the named interface from pkg's import universe
+// (pkg itself included). Nil when the package or name is absent — in
+// which case the code under analysis cannot reference the contract and
+// there is nothing to enforce.
+func InterfaceType(pkg *types.Package, path, name string) *types.Interface {
+	p := LookupImport(pkg, path)
+	if p == nil {
+		return nil
+	}
+	obj := p.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// ImplementsIface reports whether t or *t implements iface.
+func ImplementsIface(t types.Type, iface *types.Interface) bool {
+	if t == nil || iface == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// CalleeFunc resolves the *types.Func a call invokes (method or package
+// function); nil for calls through function values, conversions and
+// builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether the call invokes the named function of the
+// named package (e.g. time.Sleep), resolved through the type checker so
+// renamed imports are seen through.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// NamedTypeIs reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func NamedTypeIs(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ChainBase peels a method-call chain x.M1(...).M2(...)...Mn(...) down to
+// its base expression, returning the base and the method names in call
+// order (M1 first). Non-chain expressions return themselves with no
+// methods.
+func ChainBase(expr ast.Expr) (ast.Expr, []string) {
+	var methods []string
+	e := ast.Unparen(expr)
+	for {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			break
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		methods = append(methods, sel.Sel.Name)
+		e = ast.Unparen(sel.X)
+	}
+	// methods were collected outermost-first; reverse into call order.
+	for i, j := 0, len(methods)-1; i < j; i, j = i+1, j-1 {
+		methods[i], methods[j] = methods[j], methods[i]
+	}
+	return e, methods
+}
+
+// UsesObject reports whether the subtree references the given object.
+func UsesObject(info *types.Info, node ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -363,6 +363,7 @@ func E3bLiveVsOffline(seed int64) *report.Table {
 		clk := temporal.NewSimClock()
 		opt := temporal.Options{Clock: clk, Period: 1, Boundary: 1001}
 		g := temporal.NewGlobalUniversality(temporal.TraceProbe(tr, "p", clk), opt)
+		//lint:ignore directcheck the ablation compares raw evaluator verdicts; engine plumbing would only add noise
 		live := g.Check() == core.CheckPass
 		offline := tctl.Holds(tr, tctl.GlobalUniversality("p"))
 		if live == offline {

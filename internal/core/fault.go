@@ -42,6 +42,7 @@ func (f *FaultyCheck) CheckCtx(ctx context.Context) CheckStatus {
 		if f.Sleep != nil {
 			f.Sleep(delay)
 		} else if ctx == nil || ctx.Done() == nil {
+			//lint:ignore clockuse seam fallback: no Sleep seam injected and no cancellable context to time against
 			time.Sleep(delay)
 		} else {
 			t := time.NewTimer(delay)

@@ -26,6 +26,7 @@ func (d *digestReq) Check() CheckStatus {
 		d.calls.Add(1)
 	}
 	if d.delay > 0 {
+		//lint:ignore clockuse the fake check must really block so concurrent memo callers overlap in wall time
 		time.Sleep(d.delay)
 	}
 	return d.verdict
@@ -91,7 +92,8 @@ func TestCheckMemoSingleFlight(t *testing.T) {
 			res, hit := m.acquire("k")
 			if !hit {
 				calls.Add(1)
-				time.Sleep(5 * time.Millisecond) // widen the race window
+				//lint:ignore clockuse widening a real race window; virtual time cannot interleave goroutines
+				time.Sleep(5 * time.Millisecond)
 				m.fulfill("k", Result{FindingID: "V-1", After: CheckPass})
 				return
 			}

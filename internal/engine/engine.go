@@ -82,6 +82,7 @@ func (p Policy) normalized() Policy {
 		p.BackoffFactor = 2
 	}
 	if p.Sleep == nil {
+		//lint:ignore clockuse seam default: this is the one place the real sleep is wired; tests inject a virtual Sleep
 		p.Sleep = time.Sleep
 	}
 	return p

@@ -232,6 +232,7 @@ func TestMapBusyAndUtilization(t *testing.T) {
 	var ran atomic.Int32
 	_, st := Map(make([]int, 8), 4, func(i, v int) int {
 		ran.Add(1)
+		//lint:ignore clockuse pool busy-time is measured on the wall clock, so the worker must really block
 		time.Sleep(time.Millisecond)
 		return 0
 	})
@@ -314,6 +315,7 @@ func TestAttemptCtxCancelsAbandonedAttempt(t *testing.T) {
 	}
 	select {
 	case <-released:
+	//lint:ignore clockuse deadlock watchdog on a real goroutine; virtual time cannot advance it
 	case <-time.After(2 * time.Second):
 		t.Fatal("abandoned attempt never observed its cancelled context")
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -71,8 +72,10 @@ func TestAttemptSpansCarryOutcomes(t *testing.T) {
 func TestAttemptSpanTimeout(t *testing.T) {
 	tr := telemetry.New(nil)
 	root := tr.Root("check")
-	_, st := Attempt(func() int {
-		time.Sleep(50 * time.Millisecond)
+	_, st := AttemptCtx(func(ctx context.Context) int {
+		// Block until the attempt timeout cancels the context, then unwind:
+		// the attempt is abandoned without any wall-clock sleep.
+		<-ctx.Done()
 		return 1
 	}, nil, nil, Policy{MaxAttempts: 1, AttemptTimeout: time.Millisecond, Span: root})
 	root.End()
