@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet lint build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry tables
+.PHONY: check vet lint build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry bench-load smoke-load tables
 
 # check is the CI gate: vet, the repository's own analyzers, build
 # everything, then the full test suite under the race detector (the
 # engine, core and monitor packages are concurrent by construction, so
-# -race is not optional). fleet-race is part of race via ./..., listed
-# separately for a focused re-run.
-check: vet lint build race
+# -race is not optional), and finally the small-N load-harness smoke
+# replay. fleet-race is part of race via ./..., listed separately for a
+# focused re-run.
+check: vet lint build race smoke-load
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +60,21 @@ bench: bench-fleet
 bench-fleet:
 	$(GO) test -run=^$$ -bench='BenchmarkFleet|BenchmarkCatalog' -benchmem ./internal/fleet/ .
 	$(GO) run ./cmd/fleetaudit -bench -o BENCH_fleet.json
+
+# bench-load runs the mega-fleet load-harness benchmarks (synthesis
+# cost, end-to-end replay) and regenerates the BENCH_load.json record:
+# 10k synthesized hosts replayed at 500/2000/8000 churn events per
+# virtual second while incremental sweeps measure change->verdict
+# detection latency.
+bench-load:
+	$(GO) test -run=^$$ -bench='BenchmarkLoad' -benchmem ./internal/loadgen/
+	$(GO) run ./cmd/vdo-load -bench -o BENCH_load.json
+
+# smoke-load is the small-N load-harness replay CI runs: 500 hosts, 2s
+# of virtual churn on the deterministic clock. It completes in seconds
+# and fails loudly if synthesis, churn or the driver regress.
+smoke-load:
+	$(GO) run ./cmd/vdo-load -hosts 500 -duration 2s -sweep-every 250ms -rate 200 -shards 4 -workers 2 -seed 1
 
 # tables regenerates every EXPERIMENTS.md table on stdout.
 tables:

@@ -29,7 +29,6 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"runtime/debug"
 	"runtime/pprof"
 	"time"
 
@@ -256,30 +255,6 @@ func printSweep(w io.Writer, title string, rep fleet.FleetReport, st fleet.Fleet
 	}
 }
 
-// provenance records the machine and revision a bench run came from.
-func provenance(commit string) map[string]string {
-	if commit == "" {
-		if bi, ok := debug.ReadBuildInfo(); ok {
-			for _, s := range bi.Settings {
-				if s.Key == "vcs.revision" {
-					commit = s.Value
-					break
-				}
-			}
-		}
-	}
-	if commit == "" {
-		commit = "unknown"
-	}
-	return map[string]string{
-		"goos":   runtime.GOOS,
-		"goarch": runtime.GOARCH,
-		"cpus":   fmt.Sprintf("%d", runtime.NumCPU()),
-		"go":     runtime.Version(),
-		"commit": commit,
-	}
-}
-
 // runBench produces the BENCH_fleet.json perf record (E13 + E14): the
 // sequential baseline versus the sharded sweep at 1/4/16 shards, the
 // incremental re-sweep, static versus work-stealing scheduling on a
@@ -301,7 +276,7 @@ func runBench(stdout, stderr io.Writer, seed int64, out, commit string) int {
 
 	t := report.New("fleet benchmark: 16 hosts x 8 requirements, 100us probe round-trip (skew rows: 160 hosts, 1ms probes, one host 10x slower)",
 		"scenario", "shards", "workers", "requirements-run", "cache-hit-rate", "wall-ms", "speedup-vs-sequential", "errors")
-	t.Meta = provenance(commit)
+	t.Meta = report.Provenance(commit)
 
 	// Sequential baseline: per-host RunEngine, one worker, one at a time.
 	targets, _ := mkFleet()
@@ -437,7 +412,7 @@ func runBenchTelemetry(stdout, stderr io.Writer, seed int64, out, commit string)
 
 	t := report.New("telemetry overhead: 16 hosts x 8 requirements, 100us probe round-trip",
 		"scenario", "shards", "telemetry", "spans-emitted", "wall-ms", "overhead-vs-off")
-	t.Meta = provenance(commit)
+	t.Meta = report.Provenance(commit)
 
 	for _, shards := range []int{1, 4, 16} {
 		var offWall time.Duration

@@ -119,6 +119,60 @@ func TestLoadCacheMissingFileColdStarts(t *testing.T) {
 	}
 }
 
+// TestSaveLoadCacheCostOnlyHosts covers the unversioned-target corner:
+// a host audited without a Version probe records an LPT cost estimate
+// but never a cache entry, so SaveCache writes it as a cost-only record
+// (Version 0, empty report). LoadCache must restore the cost without
+// inventing a cache entry, and a schema-mismatch file must cold-start
+// with costs empty too.
+func TestSaveLoadCacheCostOnlyHosts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	targets, _ := LinuxFleet(3)
+	targets[1].Version = nil // cost-only: audited but unversioned
+
+	coord := NewCoordinator()
+	coord.Sweep(targets, Options{Shards: 1, Workers: 1})
+	if coord.CachedHosts() != 2 {
+		t.Fatalf("cached %d hosts, want 2 (unversioned host must not cache)", coord.CachedHosts())
+	}
+	if err := coord.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewCoordinator()
+	if err := restored.LoadCache(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.CachedHosts() != 2 {
+		t.Errorf("restored %d cache entries, want 2 (cost-only record must not become one)",
+			restored.CachedHosts())
+	}
+	costs := restored.snapshotCosts(targets)
+	for i, c := range costs {
+		if c <= 0 {
+			t.Errorf("restored cost for %s = %v, want > 0", targets[i].Name, c)
+		}
+	}
+
+	// A schema this build does not write degrades to a fully cold start:
+	// no cache entries and no cost estimates, even though the file holds
+	// both.
+	if err := os.WriteFile(path,
+		[]byte(`{"schema": 99, "hosts": {"host-01": {"version": 0, "cost_ns": 12345, "report": {"Results": null}}}}`),
+		0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCoordinator()
+	if err := cold.LoadCache(path); !errors.Is(err, ErrCacheSchema) {
+		t.Fatalf("err = %v, want ErrCacheSchema", err)
+	}
+	for i, c := range cold.snapshotCosts(targets) {
+		if c != 0 {
+			t.Errorf("schema-mismatch load kept cost for %s = %v, want 0", targets[i].Name, c)
+		}
+	}
+}
+
 func TestSaveCacheRoundTripsInvalidation(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cache.json")
 	targets, _ := LinuxFleet(4)

@@ -394,6 +394,11 @@ func (c *Coordinator) auditOne(t Target, shard int, opts Options, memo *core.Che
 			if e, ok := c.lookup(t.Name); ok && e.version == version {
 				hr.FromCache = true
 				hr.Report = e.report
+				// Stats are zero on a replay, so Degraded must be
+				// recomputed from the cached verdicts: a host that was
+				// unreachable when the cache was primed is still reported
+				// degraded by the sweeps that replay it.
+				hr.Degraded = degradedReport(e.report)
 				return hr
 			}
 		}
@@ -418,4 +423,20 @@ func (c *Coordinator) auditOne(t Target, shard int, opts Options, memo *core.Che
 		c.store(t.Name, version, rep)
 	}
 	return hr
+}
+
+// degradedReport reports whether a replayed report has the degraded
+// shape: at least one verdict and every final status ERROR — the same
+// judgement auditOne makes from live RunStats, recomputed from the
+// verdicts because a cache replay carries zero stats.
+func degradedReport(rep core.Report) bool {
+	if len(rep.Results) == 0 {
+		return false
+	}
+	for _, r := range rep.Results {
+		if r.After != core.CheckError {
+			return false
+		}
+	}
+	return true
 }

@@ -226,6 +226,12 @@ func aggregate(results []HostResult, shardWalls []time.Duration, ps engine.PoolS
 			Degraded:     hr.Degraded,
 			Wall:         hr.Stats.Wall,
 		})
+		// Degraded is counted before the cache branch: a replayed host
+		// whose cached report was degraded is still a degraded host, and
+		// skipping it here made Summary() contradict the HostTable rows.
+		if hr.Degraded {
+			st.DegradedHosts++
+		}
 		if hr.FromCache {
 			st.CachedHosts++
 			sh.Cached++
@@ -234,9 +240,6 @@ func aggregate(results []HostResult, shardWalls []time.Duration, ps engine.PoolS
 		}
 		if opts.Incremental {
 			st.CacheMisses += reqs
-		}
-		if hr.Degraded {
-			st.DegradedHosts++
 		}
 		st.Busy += hr.Stats.Busy
 		sh.Busy += hr.Stats.Busy

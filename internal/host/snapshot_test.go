@@ -91,3 +91,46 @@ func TestSnapshotIsIsolatedCopy(t *testing.T) {
 		t.Error("snapshot must not alias live state")
 	}
 }
+
+// TestNewLinuxFromSnapshotRoundTrip provisions a host from a reference
+// host's snapshot and checks the observable state matches: the bulk path
+// must be indistinguishable from per-mutation construction except for
+// the single provision event it logs.
+func TestNewLinuxFromSnapshotRoundTrip(t *testing.T) {
+	ref := NewUbuntu1804()
+	ref.Install("nginx", "1.24")
+	ref.EnableService("nginx")
+	ref.DisableService("telnet")
+	ref.SetConfig("/etc/nginx/nginx.conf", "worker_processes", "4")
+
+	got := NewLinuxFromSnapshot(ref.Snapshot())
+	if d := Diff(ref.Snapshot(), got.Snapshot()); len(d) != 0 {
+		t.Fatalf("provisioned host diverges from reference:\n%s", RenderDiff(d))
+	}
+	if got.Log().Len() != 1 {
+		t.Errorf("bulk provision logged %d events, want 1", got.Log().Len())
+	}
+	if v := got.Log().Version(); v != 1 {
+		t.Errorf("provisioned version = %d, want 1 (cache keys need a nonzero version)", v)
+	}
+	// The provisioned host stays mutable through the normal logged paths.
+	got.Remove("nginx")
+	if got.Installed("nginx") {
+		t.Error("provisioned host must accept normal mutations")
+	}
+	if got.Log().Len() != 2 {
+		t.Errorf("mutation after provision logged %d events, want 2", got.Log().Len())
+	}
+}
+
+func TestNewLinuxFromSnapshotSkipsMalformedConfigKeys(t *testing.T) {
+	l := NewLinuxFromSnapshot(Snapshot{
+		Config: map[string]string{"no-separator": "x", "/etc/f:k": "v", ":empty": "y", "/etc/g:": "z"},
+	})
+	if v, ok := l.Config("/etc/f", "k"); !ok || v != "v" {
+		t.Errorf("well-formed key lost: %q/%v", v, ok)
+	}
+	if _, ok := l.Config("no-separator", ""); ok {
+		t.Error("malformed config item must be skipped")
+	}
+}

@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+func TestChurnDeterministic(t *testing.T) {
+	run := func() ([]Event, [numEventKinds]int) {
+		f, err := Synthesize(smallTopology(), 20, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewChurn(f, DefaultMix(), 99)
+		var events []Event
+		for i := 0; i < 200; i++ {
+			ev, _ := c.Step()
+			events = append(events, ev)
+		}
+		return events, c.Applied
+	}
+	a, appliedA := run()
+	b, appliedB := run()
+	if appliedA != appliedB {
+		t.Fatalf("applied counts diverged: %v vs %v", appliedA, appliedB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChurnNeverMutatesUnreachableHosts(t *testing.T) {
+	// Mutating an unreachable host panics; a mix heavy on outages and
+	// mutations exercises the reachable-only candidate selection hard.
+	f, err := Synthesize(smallTopology(), 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := ChurnMix{PackageUpgrade: 10, ConfigEdit: 10, HostDown: 10, HostUp: 2}
+	c := NewChurn(f, mix, 3)
+	for i := 0; i < 500; i++ {
+		c.Step() // panics if a mutation lands on a down host
+	}
+	if f.DownCount() == 0 {
+		t.Error("outage-heavy mix left no host down; test exercised nothing")
+	}
+}
+
+func TestChurnDriftEventsBreakCompliance(t *testing.T) {
+	f, err := Synthesize(smallTopology(), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChurn(f, ChurnMix{PackageInstall: 1}, 4)
+	ev, ok := c.Step()
+	if !ok || !ev.Drift {
+		t.Fatalf("banned install event = %+v, ok=%v; want applied drift", ev, ok)
+	}
+	found := false
+	for _, h := range f.Hosts() {
+		if h.Name != ev.Host {
+			continue
+		}
+		found = true
+		banned := false
+		for _, p := range []string{"nis", "rsh-server", "telnetd"} {
+			banned = banned || h.Linux.Installed(p)
+		}
+		if !banned {
+			t.Errorf("%s has no banned package after package-install event", h.Name)
+		}
+	}
+	if !found {
+		t.Fatalf("event host %s not in fleet", ev.Host)
+	}
+}
+
+func TestChurnMembershipEvents(t *testing.T) {
+	f, err := Synthesize(smallTopology(), 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChurn(f, ChurnMix{HostJoin: 1}, 5)
+	if ev, ok := c.Step(); !ok || ev.Kind != HostJoin || f.Size() != 11 {
+		t.Fatalf("join: ev=%+v ok=%v size=%d", ev, ok, f.Size())
+	}
+	c = NewChurn(f, ChurnMix{HostLeave: 1}, 5)
+	if ev, ok := c.Step(); !ok || ev.Kind != HostLeave || f.Size() != 10 {
+		t.Fatalf("leave: ev=%+v ok=%v size=%d", ev, ok, f.Size())
+	}
+}
+
+func TestChurnSkipsWhenNoEligibleTarget(t *testing.T) {
+	f, err := Synthesize(smallTopology(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing is down, so host-up can never find a target.
+	c := NewChurn(f, ChurnMix{HostUp: 1}, 2)
+	if ev, ok := c.Step(); ok || ev.Host != "" {
+		t.Fatalf("host-up with nothing down applied: %+v", ev)
+	}
+	if c.Skipped[HostUp] != 1 {
+		t.Errorf("Skipped[HostUp] = %d, want 1", c.Skipped[HostUp])
+	}
+	applied, skipped := c.Total()
+	if applied != 0 || skipped != 1 {
+		t.Errorf("Total = %d applied, %d skipped; want 0, 1", applied, skipped)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if got := PackageUpgrade.String(); got != "package-upgrade" {
+		t.Errorf("PackageUpgrade = %q", got)
+	}
+	if got := HostUp.String(); got != "host-up" {
+		t.Errorf("HostUp = %q", got)
+	}
+	if got := EventKind(99).String(); got != "event-99" {
+		t.Errorf("out of range = %q", got)
+	}
+}

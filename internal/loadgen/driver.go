@@ -1,0 +1,224 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"veridevops/internal/core"
+	"veridevops/internal/fleet"
+	"veridevops/internal/telemetry"
+)
+
+// The load driver: replays the churn stream through the token bucket
+// while incremental sweeps run on the fleet coordinator, and measures
+// change→verdict detection latency per event.
+//
+// Time is virtual — a plain time.Duration offset from replay start. The
+// bucket computes each event's admission instant arithmetically and a
+// sweep is treated as atomic at the current virtual instant, so the
+// detection latency of an event admitted at t and picked up by the
+// sweep at instant v is exactly v−t ∈ (0, SweepEvery]. Everything
+// downstream of the seed is deterministic; the wall clock is only read
+// to report real replay throughput.
+
+// DriverOptions parameterizes one load replay.
+type DriverOptions struct {
+	// Duration is the virtual replay length; SweepEvery the virtual
+	// interval between incremental sweeps (default Duration/10).
+	Duration   time.Duration
+	SweepEvery time.Duration
+	// Rate is the offered churn load in events per virtual second;
+	// Burst the token-bucket burst (default 1).
+	Rate  float64
+	Burst int
+	// Shards/Workers configure each sweep (see fleet.Options).
+	Shards  int
+	Workers int
+	// Metrics, when non-nil, receives load.* counters and the
+	// load.detect latency samples.
+	Metrics *telemetry.Metrics
+}
+
+// LoadStats is the outcome of one replay.
+type LoadStats struct {
+	// Hosts is the fleet size when the replay ended (joins and leaves
+	// move it); Down how many members were unreachable at the end.
+	Hosts int
+	Down  int
+
+	// Events counts applied churn events; Skipped draws that found no
+	// eligible target; Drift the subset of applied events that broke
+	// compliance. Joins/Leaves/Outages/Restores break out membership and
+	// connectivity events.
+	Events   int
+	Skipped  int
+	Drift    int
+	Joins    int
+	Leaves   int
+	Outages  int
+	Restores int
+
+	// Detected counts events whose verdict arrived (the samples under
+	// Detect); Orphaned events whose host left before a sweep saw them;
+	// Pending events still awaiting a verdict when the replay ended.
+	Detected int
+	Orphaned int
+	Pending  int
+
+	// Sweeps is how many incremental sweeps ran (the priming full sweep
+	// excluded); HostsReaudited how many per-host audits executed across
+	// them; CacheReplays how many were served from the incremental cache.
+	Sweeps         int
+	HostsReaudited int
+	CacheReplays   int
+
+	// VirtualDuration is the replayed virtual time; OfferedRate the
+	// bucket rate; AchievedRate applied events per virtual second.
+	VirtualDuration time.Duration
+	OfferedRate     float64
+	AchievedRate    float64
+
+	// ReplayWall is the real elapsed time of the whole replay (sweeps
+	// included); RealEventsPerSec applied events per real second — the
+	// harness's throughput figure.
+	ReplayWall       time.Duration
+	RealEventsPerSec float64
+
+	// Detect summarizes change→verdict detection latency on the virtual
+	// clock: how long an admitted event waited until a sweep produced a
+	// verdict for its host.
+	Detect telemetry.QuantileStats
+}
+
+// Run replays churn against the fleet while sweeping it incrementally.
+// The fleet is primed with one full sweep at virtual instant 0 (not
+// counted in the stats), then each SweepEvery tick admits the bucket's
+// due events, applies them, and sweeps.
+func Run(f *Fleet, c *Churn, opts DriverOptions) (LoadStats, error) {
+	if opts.Duration <= 0 {
+		return LoadStats{}, fmt.Errorf("loadgen: driver duration %v, need > 0", opts.Duration)
+	}
+	if opts.SweepEvery <= 0 {
+		opts.SweepEvery = opts.Duration / 10
+		if opts.SweepEvery <= 0 {
+			opts.SweepEvery = opts.Duration
+		}
+	}
+	bucket, err := NewTokenBucket(opts.Rate, opts.Burst)
+	if err != nil {
+		return LoadStats{}, err
+	}
+	sweepOpts := fleet.Options{
+		Mode:        core.CheckOnly,
+		Shards:      opts.Shards,
+		Workers:     opts.Workers,
+		Incremental: true,
+	}
+
+	start := time.Now() // real clock: throughput reporting only
+	coord := fleet.NewCoordinator()
+	coord.Sweep(f.Targets(), sweepOpts) // prime the cache at vnow = 0
+
+	detect := telemetry.NewQuantilesCap(1 << 16)
+	// pending maps host name -> virtual admission times of its events
+	// still awaiting a verdict.
+	pending := map[string][]time.Duration{}
+	var st LoadStats
+
+	admitted := time.Duration(0) // last admission instant
+	vend := time.Duration(0)     // last sweep instant actually replayed
+	for vnow := opts.SweepEvery; ; vnow += opts.SweepEvery {
+		if vnow > opts.Duration {
+			break
+		}
+		vend = vnow
+		// Admit every event the bucket releases up to this sweep instant.
+		for {
+			at := bucket.When(admitted)
+			if at > vnow {
+				break
+			}
+			bucket.Take(at)
+			admitted = at
+			ev, ok := c.Step()
+			if !ok {
+				st.Skipped++
+				continue
+			}
+			st.Events++
+			if ev.Drift {
+				st.Drift++
+			}
+			switch ev.Kind {
+			case HostJoin:
+				st.Joins++
+			case HostLeave:
+				st.Leaves++
+			case HostDown:
+				st.Outages++
+			case HostUp:
+				st.Restores++
+			}
+			if ev.Kind == HostLeave {
+				// The member is gone: its verdict never arrives.
+				st.Orphaned += len(pending[ev.Host])
+				delete(pending, ev.Host)
+				continue
+			}
+			pending[ev.Host] = append(pending[ev.Host], at)
+		}
+
+		// Sweep at virtual instant vnow; any executed (non-cached) host
+		// audit delivers the verdicts for that host's pending events.
+		rep, _ := coord.Sweep(f.Targets(), sweepOpts)
+		st.Sweeps++
+		for _, hr := range rep.Hosts {
+			if hr.FromCache {
+				st.CacheReplays++
+				continue
+			}
+			st.HostsReaudited++
+			times := pending[hr.Target]
+			if len(times) == 0 {
+				continue
+			}
+			for _, t0 := range times {
+				lat := vnow - t0
+				detect.Observe(lat)
+				opts.Metrics.Sample("load.detect", lat)
+			}
+			st.Detected += len(times)
+			delete(pending, hr.Target)
+		}
+	}
+
+	for _, times := range pending {
+		st.Pending += len(times)
+	}
+	st.Hosts = f.Size()
+	st.Down = f.DownCount()
+	st.VirtualDuration = vend
+	st.OfferedRate = opts.Rate
+	if s := vend.Seconds(); s > 0 {
+		st.AchievedRate = float64(st.Events) / s
+	}
+	st.ReplayWall = time.Since(start)
+	if s := st.ReplayWall.Seconds(); s > 0 {
+		st.RealEventsPerSec = float64(st.Events) / s
+	}
+	st.Detect = detect.Snapshot()
+
+	m := opts.Metrics
+	m.Add("load.events", int64(st.Events))
+	m.Add("load.events.skipped", int64(st.Skipped))
+	m.Add("load.events.drift", int64(st.Drift))
+	m.Add("load.events.orphaned", int64(st.Orphaned))
+	m.Add("load.events.pending", int64(st.Pending))
+	m.Add("load.sweeps", int64(st.Sweeps))
+	m.Add("load.hosts.reaudited", int64(st.HostsReaudited))
+	m.Add("load.hosts.cache-replays", int64(st.CacheReplays))
+	m.SetGauge("load.hosts", float64(st.Hosts))
+	m.SetGauge("load.rate.virtual", st.AchievedRate)
+	m.SetGauge("load.rate.real", st.RealEventsPerSec)
+	return st, nil
+}

@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"veridevops/internal/telemetry"
+)
+
+func replay(t *testing.T, seed int64) LoadStats {
+	t.Helper()
+	f, err := Synthesize(smallTopology(), 30, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChurn(f, DefaultMix(), seed+1)
+	st, err := Run(f, c, DriverOptions{
+		Duration:   10 * time.Second,
+		SweepEvery: 500 * time.Millisecond,
+		Rate:       40,
+		Burst:      4,
+		Shards:     4,
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDriverMeasuresDetectionLatency(t *testing.T) {
+	st := replay(t, 17)
+	if st.Events == 0 {
+		t.Fatal("no events applied")
+	}
+	if st.Sweeps != 20 {
+		t.Errorf("Sweeps = %d, want 20 (10s / 500ms)", st.Sweeps)
+	}
+	if st.Detected == 0 {
+		t.Fatal("no detections recorded")
+	}
+	if int(st.Detect.Count) != st.Detected {
+		t.Errorf("Detect.Count = %d, Detected = %d; must agree", st.Detect.Count, st.Detected)
+	}
+	// A sweep is atomic at its virtual instant: no event waits longer
+	// than one sweep interval, and latency is never negative.
+	if st.Detect.Max > 500*time.Millisecond {
+		t.Errorf("max detection latency %v exceeds the sweep interval", st.Detect.Max)
+	}
+	if st.Detect.Min < 0 {
+		t.Errorf("negative detection latency %v", st.Detect.Min)
+	}
+	if st.Detect.P50 > st.Detect.P95 || st.Detect.P95 > st.Detect.P99 || st.Detect.P99 > st.Detect.Max {
+		t.Errorf("percentiles not monotone: %+v", st.Detect)
+	}
+	// Every applied non-leave event ends detected, orphaned or pending.
+	if got := st.Detected + st.Orphaned + st.Pending; got != st.Events-st.Leaves {
+		t.Errorf("detected %d + orphaned %d + pending %d = %d, want events %d - leaves %d",
+			st.Detected, st.Orphaned, st.Pending, got, st.Events, st.Leaves)
+	}
+	if st.VirtualDuration != 10*time.Second {
+		t.Errorf("VirtualDuration = %v, want 10s", st.VirtualDuration)
+	}
+	if st.AchievedRate <= 0 || st.AchievedRate > st.OfferedRate+1 {
+		t.Errorf("AchievedRate = %v with OfferedRate %v", st.AchievedRate, st.OfferedRate)
+	}
+	if st.ReplayWall <= 0 || st.RealEventsPerSec <= 0 {
+		t.Errorf("real-clock stats empty: wall=%v rate=%v", st.ReplayWall, st.RealEventsPerSec)
+	}
+	// Incremental sweeps must actually reuse the cache: most hosts are
+	// untouched between consecutive sweeps at this rate.
+	if st.CacheReplays == 0 {
+		t.Error("no cache replays across incremental sweeps")
+	}
+}
+
+// TestDriverDeterministic is the acceptance criterion: a fixed seed on
+// the virtual clock reproduces the event stream and the full detection
+// latency distribution exactly. Only the real-clock fields may differ.
+func TestDriverDeterministic(t *testing.T) {
+	a := replay(t, 23)
+	b := replay(t, 23)
+	a.ReplayWall, b.ReplayWall = 0, 0
+	a.RealEventsPerSec, b.RealEventsPerSec = 0, 0
+	if a != b {
+		t.Fatalf("replays with identical seeds diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDriverFeedsMetrics(t *testing.T) {
+	f, err := Synthesize(smallTopology(), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.NewMetrics()
+	st, err := Run(f, NewChurn(f, DefaultMix(), 5), DriverOptions{
+		Duration:   2 * time.Second,
+		SweepEvery: 200 * time.Millisecond,
+		Rate:       20,
+		Shards:     2,
+		Workers:    1,
+		Metrics:    m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("load.events"); got != int64(st.Events) {
+		t.Errorf("load.events counter = %d, want %d", got, st.Events)
+	}
+	if got := m.Percentiles("load.detect"); got.Count != st.Detect.Count {
+		t.Errorf("load.detect samples = %d, want %d", got.Count, st.Detect.Count)
+	}
+	if got := m.Counter("load.sweeps"); got != int64(st.Sweeps) {
+		t.Errorf("load.sweeps counter = %d, want %d", got, st.Sweeps)
+	}
+}
+
+func TestDriverRejectsBadOptions(t *testing.T) {
+	f, err := Synthesize(smallTopology(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChurn(f, DefaultMix(), 1)
+	if _, err := Run(f, c, DriverOptions{Duration: 0, Rate: 10}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Run(f, c, DriverOptions{Duration: time.Second, Rate: 0}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}

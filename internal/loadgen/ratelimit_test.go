@@ -1,0 +1,87 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketSteadyRate(t *testing.T) {
+	b, err := NewTokenBucket(10, 1) // 10 events/sec, no burst
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Born full: first admission immediate, then exactly 100ms apart.
+	last := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		at := b.When(last)
+		want := time.Duration(i) * 100 * time.Millisecond
+		if at != want {
+			t.Fatalf("admission %d at %v, want %v", i, at, want)
+		}
+		b.Take(at)
+		last = at
+	}
+}
+
+func TestTokenBucketBurst(t *testing.T) {
+	b, err := NewTokenBucket(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three tokens up front: all admit at instant 0.
+	for i := 0; i < 3; i++ {
+		if at := b.When(0); at != 0 {
+			t.Fatalf("burst admission %d at %v, want 0", i, at)
+		}
+		b.Take(b.When(0))
+	}
+	// Fourth waits a full second.
+	if at := b.When(0); at != time.Second {
+		t.Errorf("post-burst admission at %v, want 1s", at)
+	}
+}
+
+func TestTokenBucketWhenDoesNotConsume(t *testing.T) {
+	b, err := NewTokenBucket(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := b.When(0)
+	if again := b.When(0); again != first {
+		t.Errorf("repeated When moved: %v then %v", first, again)
+	}
+	b.Take(first)
+	if after := b.When(first); after <= first {
+		t.Errorf("When after Take = %v, want > %v", after, first)
+	}
+}
+
+func TestTokenBucketRefillCapsAtBurst(t *testing.T) {
+	b, err := NewTokenBucket(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Take(0)
+	b.Take(0) // drained
+	// An hour of virtual idle refills to burst, not beyond: only two
+	// immediate admissions follow.
+	idle := time.Hour
+	for i := 0; i < 2; i++ {
+		if at := b.When(idle); at != idle {
+			t.Fatalf("post-idle admission %d at %v, want %v", i, at, idle)
+		}
+		b.Take(idle)
+	}
+	if at := b.When(idle); at == idle {
+		t.Error("third post-idle admission immediate; burst cap not enforced")
+	}
+}
+
+func TestTokenBucketRejectsBadRate(t *testing.T) {
+	if _, err := NewTokenBucket(0, 1); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := NewTokenBucket(-5, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}

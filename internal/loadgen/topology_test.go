@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDefaultTopologyValidates(t *testing.T) {
+	if err := DefaultTopology().Validate(); err != nil {
+		t.Fatalf("DefaultTopology invalid: %v", err)
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	spec := `{
+		"classes": [
+			{"name": "app", "weight": 3,
+			 "packages": [{"name": "nginx", "weight": 2, "versions": 3}],
+			 "packages_per_host": 1,
+			 "services": [{"name": "nginx", "weight": 1}],
+			 "services_per_host": 1,
+			 "config_files": [{"path": "/etc/nginx/nginx.conf", "weight": 1, "keys": 4}],
+			 "config_keys_per_host": 2,
+			 "drifted_fraction": 0.1}
+		],
+		"mix": {"package_upgrade": 5, "config_edit": 5}
+	}`
+	top, err := ParseTopology(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Classes) != 1 || top.Classes[0].Name != "app" {
+		t.Fatalf("parsed classes = %+v", top.Classes)
+	}
+	if top.Mix.PackageUpgrade != 5 || top.Mix.ConfigEdit != 5 {
+		t.Fatalf("parsed mix = %+v", top.Mix)
+	}
+}
+
+func TestParseTopologyRejectsBadSpecs(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":   `{"classes": [{"name": "a", "weight": 1}], "typo": true}`,
+		"no classes":      `{"classes": []}`,
+		"unnamed class":   `{"classes": [{"weight": 1}]}`,
+		"duplicate class": `{"classes": [{"name": "a", "weight": 1}, {"name": "a", "weight": 1}]}`,
+		"negative weight": `{"classes": [{"name": "a", "weight": -1}]}`,
+		"zero weight sum": `{"classes": [{"name": "a", "weight": 0}]}`,
+		"bad drift":       `{"classes": [{"name": "a", "weight": 1, "drifted_fraction": 1.5}]}`,
+		"picks, no dist":  `{"classes": [{"name": "a", "weight": 1, "packages_per_host": 2}]}`,
+		"negative mix":    `{"classes": [{"name": "a", "weight": 1}], "mix": {"host_down": -1}}`,
+		"not json":        `{`,
+	}
+	for name, spec := range cases {
+		if _, err := ParseTopology(strings.NewReader(spec)); err == nil {
+			t.Errorf("%s: spec accepted, want error", name)
+		}
+	}
+}
+
+func TestWeightedPickRespectsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := [3]int{}
+	for i := 0; i < 10000; i++ {
+		counts[weightedPick(rng, []int{1, 0, 9})]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index picked %d times", counts[1])
+	}
+	if counts[2] < counts[0]*5 {
+		t.Errorf("weight-9 picked %d, weight-1 picked %d; want heavy skew", counts[2], counts[0])
+	}
+}
+
+func TestWeightedPickDeterministic(t *testing.T) {
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if x, y := weightedPick(a, []int{3, 1, 4}), weightedPick(b, []int{3, 1, 4}); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}

@@ -65,12 +65,16 @@ func Summary(alarms []Alarm) string {
 // signal. Requirement names are slugged into identifier-safe signal names
 // ("V-219157" -> "V_219157") so the resulting trace feeds the offline
 // evaluators directly, closing the loop between live protection and
-// after-the-fact audit.
+// after-the-fact audit. Slugging is injective within one trace: distinct
+// requirements whose naive slugs collide ("V-1" and "V_1" both map to
+// "V_1") get a numeric disambiguation suffix in first-appearance order,
+// so their pulse trains never merge.
 func AlarmTrace(alarms []Alarm, end trace.Time) *trace.Trace {
 	tr := trace.New()
 	tr.SetBool("alarm", 0, false)
+	slugs := newSlugger()
 	for _, a := range alarms {
-		slug := signalSlug(a.Requirement)
+		slug := slugs.slug(a.Requirement)
 		trace.GenPulse(tr, "alarm", a.At, 1)
 		trace.GenPulse(tr, "alarm_"+slug, a.At, 1)
 		if a.RepairedAt >= 0 {
@@ -82,6 +86,8 @@ func AlarmTrace(alarms []Alarm, end trace.Time) *trace.Trace {
 }
 
 // signalSlug maps a requirement name to an identifier-safe signal name.
+// It is lossy ("V-1" and "V_1" both slug to "V_1"); slugger layers the
+// collision handling that makes the assignment injective.
 func signalSlug(s string) string {
 	out := make([]byte, 0, len(s))
 	for i := 0; i < len(s); i++ {
@@ -94,4 +100,35 @@ func signalSlug(s string) string {
 		}
 	}
 	return string(out)
+}
+
+// slugger assigns each requirement a stable, unique slug within one
+// trace export. The first requirement to produce a given slug keeps it
+// (so the common case matches the documented "V-219157" -> "V_219157"
+// mapping and existing traces); later colliders get "_2", "_3", ...
+// appended, probing further if the suffixed form is itself taken.
+type slugger struct {
+	byName map[string]string // requirement -> assigned slug
+	owner  map[string]string // slug -> owning requirement
+}
+
+func newSlugger() *slugger {
+	return &slugger{byName: map[string]string{}, owner: map[string]string{}}
+}
+
+func (s *slugger) slug(name string) string {
+	if got, ok := s.byName[name]; ok {
+		return got
+	}
+	base := signalSlug(name)
+	slug := base
+	for n := 2; ; n++ {
+		if _, taken := s.owner[slug]; !taken {
+			break
+		}
+		slug = fmt.Sprintf("%s_%d", base, n)
+	}
+	s.byName[name] = slug
+	s.owner[slug] = name
+	return slug
 }

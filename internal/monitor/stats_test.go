@@ -7,6 +7,7 @@ import (
 	"veridevops/internal/core"
 	"veridevops/internal/tctl"
 	"veridevops/internal/tears"
+	"veridevops/internal/trace"
 )
 
 func sampleAlarms() []Alarm {
@@ -63,6 +64,53 @@ func TestAlarmTraceFeedsOfflineEvaluators(t *testing.T) {
 	}
 	if v.Activations != 2 {
 		t.Errorf("Activations = %d, want 2", v.Activations)
+	}
+}
+
+// TestAlarmTraceSlugCollision is the regression test for the lossy
+// signalSlug: "V-1" and "V_1" both naively slug to "V_1", which used to
+// merge their pulse trains onto one alarm_V_1 signal. The slugger must
+// keep them apart (first appearance keeps the plain slug, the collider
+// is suffixed) and each signal must carry exactly its own pulses.
+func TestAlarmTraceSlugCollision(t *testing.T) {
+	tr := AlarmTrace([]Alarm{
+		{At: 10, Requirement: "V-1", RepairedAt: -1},
+		{At: 20, Requirement: "V_1", RepairedAt: -1},
+		{At: 40, Requirement: "V-1", RepairedAt: -1},
+	}, 100)
+
+	if !tr.Has("alarm_V_1") || !tr.Has("alarm_V_1_2") {
+		t.Fatalf("colliding requirements must get distinct signals, have %v", tr.Names())
+	}
+	// "V-1" appeared first and keeps the plain slug: pulses at 10 and 40.
+	for at, want := range map[trace.Time]bool{10: true, 20: false, 40: true} {
+		if got := tr.BoolAt("alarm_V_1", at); got != want {
+			t.Errorf("alarm_V_1 at %d = %v, want %v", at, got, want)
+		}
+	}
+	// "V_1" collided and was suffixed: only its own pulse at 20.
+	for at, want := range map[trace.Time]bool{10: false, 20: true, 40: false} {
+		if got := tr.BoolAt("alarm_V_1_2", at); got != want {
+			t.Errorf("alarm_V_1_2 at %d = %v, want %v", at, got, want)
+		}
+	}
+}
+
+// TestSluggerStableAndInjective pins the assignment rules: repeated names
+// reuse their slug, and a requirement literally named like a suffixed
+// slug does not collide with the suffix probe.
+func TestSluggerStableAndInjective(t *testing.T) {
+	s := newSlugger()
+	if a, b := s.slug("V-1"), s.slug("V-1"); a != b {
+		t.Errorf("same requirement must keep its slug: %q vs %q", a, b)
+	}
+	got := map[string]bool{}
+	for _, name := range []string{"V-1", "V_1_2", "V_1"} {
+		slug := s.slug(name)
+		if got[slug] {
+			t.Errorf("slug %q assigned twice", slug)
+		}
+		got[slug] = true
 	}
 }
 

@@ -1,0 +1,34 @@
+package report
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Provenance returns the machine/revision metadata every BENCH_*.json
+// table carries (Table.Meta), so a recorded run is attributable to the
+// platform and commit that produced it. An empty commit falls back to
+// the build info's vcs.revision, then "unknown".
+func Provenance(commit string) map[string]string {
+	if commit == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					commit = s.Value
+					break
+				}
+			}
+		}
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	return map[string]string{
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"cpus":   fmt.Sprintf("%d", runtime.NumCPU()),
+		"go":     runtime.Version(),
+		"commit": commit,
+	}
+}

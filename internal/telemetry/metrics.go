@@ -68,7 +68,13 @@ type Metrics struct {
 	counters map[string]int64
 	gauges   map[string]float64
 	hists    map[string]*histo
+	quants   map[string]*Quantiles
 }
+
+// quantilesCap bounds each named percentile recorder in the registry:
+// enough retained samples for exact percentiles over any bench-sized
+// stream, deterministic stride decimation beyond it.
+const quantilesCap = 1 << 16
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
@@ -76,6 +82,7 @@ func NewMetrics() *Metrics {
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		hists:    make(map[string]*histo),
+		quants:   make(map[string]*Quantiles),
 	}
 }
 
@@ -133,6 +140,39 @@ func (m *Metrics) Observe(name string, d time.Duration) {
 	m.mu.Unlock()
 }
 
+// Sample folds one duration into the named percentile recorder — the
+// exact-quantile companion to Observe's fixed-bucket histogram, used
+// where a table must answer p50/p95/p99 (the load harness's detection
+// latencies). Negative durations clamp to zero.
+func (m *Metrics) Sample(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	q := m.quants[name]
+	if q == nil {
+		q = NewQuantilesCap(quantilesCap)
+		m.quants[name] = q
+	}
+	m.mu.Unlock()
+	q.Observe(d)
+}
+
+// Percentiles returns a snapshot of the named percentile recorder; the
+// zero QuantileStats when absent or on a nil registry.
+func (m *Metrics) Percentiles(name string) QuantileStats {
+	if m == nil {
+		return QuantileStats{}
+	}
+	m.mu.Lock()
+	q := m.quants[name]
+	m.mu.Unlock()
+	if q == nil {
+		return QuantileStats{}
+	}
+	return q.Snapshot()
+}
+
 // Counter returns the named counter's current value; 0 when absent or on
 // a nil registry.
 func (m *Metrics) Counter(name string) int64 {
@@ -174,33 +214,41 @@ func (m *Metrics) Histogram(name string) HistogramStats {
 }
 
 // Table renders every metric, sorted by kind (counters, gauges,
-// histograms) then name. Nil registries render an empty table.
+// histograms, quantiles) then name. Histogram rows carry the summary
+// (count/total/min/mean/max); quantile rows additionally carry
+// p50/p95/p99. Nil registries render an empty table.
 func (m *Metrics) Table(title string) *report.Table {
-	t := report.New(title, "metric", "kind", "value", "count", "total-ms", "mean-ms", "max-ms")
+	t := report.New(title, "metric", "kind", "value", "count",
+		"total-ms", "min-ms", "mean-ms", "p50-ms", "p95-ms", "p99-ms", "max-ms")
 	if m == nil {
 		return t
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, name := range sortedKeys(m.counters) {
-		t.AddRow(name, "counter", strconv.FormatInt(m.counters[name], 10), "-", "-", "-", "-")
+		t.AddRow(name, "counter", strconv.FormatInt(m.counters[name], 10),
+			"-", "-", "-", "-", "-", "-", "-", "-")
 	}
 	for _, name := range sortedKeys(m.gauges) {
-		t.AddRow(name, "gauge", report.Float(m.gauges[name]), "-", "-", "-", "-")
+		t.AddRow(name, "gauge", report.Float(m.gauges[name]),
+			"-", "-", "-", "-", "-", "-", "-", "-")
 	}
-	histNames := make([]string, 0, len(m.hists))
-	for name := range m.hists {
-		histNames = append(histNames, name)
-	}
-	sort.Strings(histNames)
-	for _, name := range histNames {
+	for _, name := range sortedKeys(m.hists) {
 		h := m.hists[name]
 		mean := time.Duration(0)
 		if h.count > 0 {
 			mean = h.sum / time.Duration(h.count)
 		}
-		t.AddRow(name, "histogram", "-", h.count,
-			report.Millis(h.sum), report.Millis(mean), report.Millis(h.max))
+		t.AddRow(name, "histogram", "-", strconv.FormatInt(h.count, 10),
+			report.Millis(h.sum), report.Millis(h.min), report.Millis(mean),
+			"-", "-", "-", report.Millis(h.max))
+	}
+	for _, name := range sortedKeys(m.quants) {
+		q := m.quants[name].Snapshot()
+		t.AddRow(name, "quantile", "-", strconv.FormatInt(q.Count, 10),
+			report.Millis(q.Total), report.Millis(q.Min),
+			report.Millis(q.Mean), report.Millis(q.P50), report.Millis(q.P95),
+			report.Millis(q.P99), report.Millis(q.Max))
 	}
 	return t
 }

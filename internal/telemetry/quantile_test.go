@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuantilesExactPercentiles(t *testing.T) {
+	q := NewQuantiles()
+	// 1ms..100ms in shuffled-enough order (descending exercises sorting).
+	for i := 100; i >= 1; i-- {
+		q.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if q.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", q.Count())
+	}
+	if q.Min() != time.Millisecond || q.Max() != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", q.Min(), q.Max())
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond},
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	} {
+		if got := q.Quantile(tc.p); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	st := q.Snapshot()
+	if st.P50 != 50*time.Millisecond || st.P95 != 95*time.Millisecond || st.P99 != 99*time.Millisecond {
+		t.Errorf("snapshot percentiles = %+v", st)
+	}
+	if st.Mean != 50500*time.Microsecond {
+		t.Errorf("Mean = %v, want 50.5ms", st.Mean)
+	}
+	if st.Total != 5050*time.Millisecond {
+		t.Errorf("Total = %v, want 5.05s", st.Total)
+	}
+}
+
+func TestQuantilesEmptyAndNil(t *testing.T) {
+	var nilQ *Quantiles
+	nilQ.Observe(time.Second) // must not panic
+	if nilQ.Count() != 0 || nilQ.Quantile(0.5) != 0 || nilQ.Snapshot() != (QuantileStats{}) {
+		t.Error("nil recorder must read as zero")
+	}
+	q := NewQuantiles()
+	if q.Quantile(0.99) != 0 || q.Snapshot().Count != 0 {
+		t.Error("empty recorder must read as zero")
+	}
+	q.Observe(-time.Second)
+	if q.Min() != 0 || q.Max() != 0 || q.Count() != 1 {
+		t.Errorf("negative sample must clamp to 0: min=%v max=%v count=%d", q.Min(), q.Max(), q.Count())
+	}
+}
+
+// TestQuantilesCapDecimatesDeterministically drives two capped recorders
+// through the same stream and checks they agree sample-for-sample, that
+// retention stays bounded, and that the exact summary survives
+// decimation.
+func TestQuantilesCapDecimatesDeterministically(t *testing.T) {
+	const n = 10000
+	a, b := NewQuantilesCap(256), NewQuantilesCap(256)
+	for i := 0; i < n; i++ {
+		d := time.Duration(i%997) * time.Microsecond
+		a.Observe(d)
+		b.Observe(d)
+	}
+	if a.Count() != n {
+		t.Fatalf("Count = %d, want %d (offered count must survive decimation)", a.Count(), n)
+	}
+	if len(a.samples) > 256 {
+		t.Fatalf("retained %d samples, cap 256", len(a.samples))
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa != sb {
+		t.Errorf("same stream, different snapshots:\n%+v\n%+v", sa, sb)
+	}
+	// Exact summary: min 0, max 996us over the i%997 ramp.
+	if sa.Min != 0 || sa.Max != 996*time.Microsecond {
+		t.Errorf("min/max = %v/%v", sa.Min, sa.Max)
+	}
+	// Decimated percentiles still land near truth (p50 of a uniform ramp
+	// over [0, 996us] is ~498us; allow a loose window).
+	if sa.P50 < 400*time.Microsecond || sa.P50 > 600*time.Microsecond {
+		t.Errorf("decimated P50 = %v, want ~498us", sa.P50)
+	}
+}
+
+func TestMetricsSamplePercentiles(t *testing.T) {
+	m := NewMetrics()
+	for i := 1; i <= 100; i++ {
+		m.Sample("detect", time.Duration(i)*time.Millisecond)
+	}
+	st := m.Percentiles("detect")
+	if st.Count != 100 || st.P50 != 50*time.Millisecond || st.P99 != 99*time.Millisecond {
+		t.Errorf("Percentiles = %+v", st)
+	}
+	if m.Percentiles("absent") != (QuantileStats{}) {
+		t.Error("absent recorder must read as zero")
+	}
+	var nilM *Metrics
+	nilM.Sample("detect", time.Second) // must not panic
+	if nilM.Percentiles("detect") != (QuantileStats{}) {
+		t.Error("nil registry must read as zero")
+	}
+}
