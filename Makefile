@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check vet lint build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry bench-load smoke-load tables
+.PHONY: check vet lint build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry bench-load bench-serve smoke-load smoke-serve tables
 
 # check is the CI gate: vet, the repository's own analyzers, build
 # everything, then the full test suite under the race detector (the
 # engine, core and monitor packages are concurrent by construction, so
 # -race is not optional), and finally the small-N load-harness smoke
-# replay. fleet-race is part of race via ./..., listed separately for a
-# focused re-run.
-check: vet lint build race smoke-load
+# replays in both sweep and push modes. fleet-race is part of race via
+# ./..., listed separately for a focused re-run.
+check: vet lint build race smoke-load smoke-serve
 
 vet:
 	$(GO) vet ./...
@@ -70,11 +70,23 @@ bench-load:
 	$(GO) test -run=^$$ -bench='BenchmarkLoad' -benchmem ./internal/loadgen/
 	$(GO) run ./cmd/vdo-load -bench -o BENCH_load.json
 
+# bench-serve regenerates the BENCH_serve.json record: sweep vs push on
+# the identical seeded event stream (10k hosts, 500/2000 ev/s), the
+# change->verdict latency comparison the streaming evaluator exists for.
+bench-serve:
+	$(GO) run ./cmd/vdo-load -bench-serve -o BENCH_serve.json
+
 # smoke-load is the small-N load-harness replay CI runs: 500 hosts, 2s
 # of virtual churn on the deterministic clock. It completes in seconds
 # and fails loudly if synthesis, churn or the driver regress.
 smoke-load:
 	$(GO) run ./cmd/vdo-load -hosts 500 -duration 2s -sweep-every 250ms -rate 200 -shards 4 -workers 2 -seed 1
+
+# smoke-serve is the push-mode smoke under the race detector: the same
+# small-N churn streamed through the dependency index, asserting the
+# tentpole property — detection p99 strictly below the sweep interval.
+smoke-serve:
+	$(GO) run -race ./cmd/vdo-load -hosts 500 -duration 2s -push -window 50ms -sweep-every 500ms -rate 200 -shards 4 -workers 2 -seed 1 -assert-p99 500ms
 
 # tables regenerates every EXPERIMENTS.md table on stdout.
 tables:

@@ -7,14 +7,23 @@
 // percentiles plus replay throughput. Time is virtual: a fixed seed
 // reproduces the event stream and the latency distribution exactly.
 //
+// With -push the replay feeds a fleet.Streamer instead of batch sweeps:
+// every churn event marks its host dirty through the event-log
+// subscription and a flush every -window re-evaluates only the checks
+// the dependency index maps to the dirty keys, with a fallback sweep
+// still running every -sweep-every. The same seed admits the identical
+// event stream in both modes, so sweep vs push is directly comparable.
+//
 // Usage:
 //
 //	vdo-load [-hosts N] [-topology PATH] [-rate EV_PER_SEC] [-burst N]
 //	         [-duration D] [-sweep-every D] [-shards N] [-workers N]
-//	         [-seed N] [-metrics]
+//	         [-seed N] [-metrics] [-push] [-window D] [-assert-p99 D]
 //	vdo-load -bench [-hosts N] [-o BENCH_load.json] [-seed N] [-commit HASH]
+//	vdo-load -bench-serve [-hosts N] [-o BENCH_serve.json] [-seed N] [-commit HASH]
 //
-// Exit status: 0 replay completed, 2 usage or I/O error.
+// Exit status: 0 replay completed, 1 -assert-p99 violated, 2 usage or
+// I/O error.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"veridevops/internal/loadgen"
@@ -46,14 +56,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 2, "engine workers per catalogue run inside a shard")
 	seed := fs.Int64("seed", 1, "seed for synthesis and churn")
 	showMetrics := fs.Bool("metrics", false, "print the telemetry metrics registry after the replay")
+	push := fs.Bool("push", false, "stream deltas through the dependency index instead of batch sweeps")
+	window := fs.Duration("window", 50*time.Millisecond, "virtual dirty-key coalescing window between -push flushes")
+	assertP99 := fs.Duration("assert-p99", 0, "exit 1 unless detection p99 is strictly below this bound (0 disables)")
 	benchMode := fs.Bool("bench", false, "run the rate matrix and write the BENCH_load.json perf record")
-	out := fs.String("o", "BENCH_load.json", "output file for -bench JSON")
+	benchServe := fs.Bool("bench-serve", false, "run the sweep-vs-push matrix and write the BENCH_serve.json perf record")
+	out := fs.String("o", "", "output file for -bench/-bench-serve JSON (default BENCH_load.json / BENCH_serve.json)")
 	commit := fs.String("commit", "", "commit hash recorded in -bench provenance (default: build info)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *hosts < 1 || *rate <= 0 || *duration <= 0 || *sweepEvery <= 0 {
 		fmt.Fprintln(stderr, "vdo-load: -hosts must be >= 1 and -rate/-duration/-sweep-every positive")
+		return 2
+	}
+	if *push && *window <= 0 {
+		fmt.Fprintln(stderr, "vdo-load: -window must be positive in -push mode")
+		return 2
+	}
+	if *benchMode && *benchServe {
+		fmt.Fprintln(stderr, "vdo-load: -bench and -bench-serve are mutually exclusive")
 		return 2
 	}
 
@@ -73,7 +95,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *benchMode {
+		if *out == "" {
+			*out = "BENCH_load.json"
+		}
 		return runBench(stdout, stderr, top, *hosts, *shards, *workers, *seed, *out, *commit)
+	}
+	if *benchServe {
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		return runBenchServe(stdout, stderr, top, *hosts, *shards, *workers, *seed, *out, *commit)
 	}
 
 	var mets *telemetry.Metrics
@@ -84,6 +115,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	st, err := replay(top, *hosts, *seed, loadgen.DriverOptions{
 		Duration:   *duration,
 		SweepEvery: *sweepEvery,
+		Push:       *push,
+		Window:     *window,
 		Rate:       *rate,
 		Burst:      *burst,
 		Shards:     *shards,
@@ -95,14 +128,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	t := report.New(fmt.Sprintf("load replay: %d hosts, %v virtual at %.0f ev/s (seed %d)",
-		st.Hosts, st.VirtualDuration, st.OfferedRate, *seed),
+	t := report.New(fmt.Sprintf("load replay (%s): %d hosts, %v virtual at %.0f ev/s (seed %d)",
+		st.Mode, st.Hosts, st.VirtualDuration, st.OfferedRate, *seed),
 		"measure", "value")
 	t.AddRow("events applied / skipped", fmt.Sprintf("%d / %d", st.Events, st.Skipped))
 	t.AddRow("drift events", st.Drift)
 	t.AddRow("joins / leaves", fmt.Sprintf("%d / %d", st.Joins, st.Leaves))
 	t.AddRow("outages / restores", fmt.Sprintf("%d / %d", st.Outages, st.Restores))
 	t.AddRow("detected / orphaned / pending", fmt.Sprintf("%d / %d / %d", st.Detected, st.Orphaned, st.Pending))
+	if st.Mode == "push" {
+		t.AddRow("flush window", st.Window.String())
+		t.AddRow("flushes / delta hosts", fmt.Sprintf("%d / %d", st.Flushes, st.DeltaHosts))
+		t.AddRow("checks evaluated / executed", fmt.Sprintf("%d / %d", st.ChecksEvaluated, st.ChecksExecuted))
+		t.AddRow("checks per event", fmt.Sprintf("%.2f", st.ChecksPerEvent))
+		t.AddRow("alarms / repairs", fmt.Sprintf("%d / %d", st.Alarms, st.Repairs))
+	}
 	t.AddRow("sweeps", st.Sweeps)
 	t.AddRow("host audits executed / cached", fmt.Sprintf("%d / %d", st.HostsReaudited, st.CacheReplays))
 	t.AddRow("detect p50 / p95 / p99 ms", fmt.Sprintf("%s / %s / %s",
@@ -116,6 +156,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if mets != nil {
 		fmt.Fprintln(stdout)
 		mets.Table("metrics").WriteText(stdout)
+	}
+	if *assertP99 > 0 && st.Detect.P99 >= *assertP99 {
+		fmt.Fprintf(stderr, "vdo-load: detection p99 %v not below asserted bound %v\n", st.Detect.P99, *assertP99)
+		return 1
 	}
 	return 0
 }
@@ -175,6 +219,71 @@ func runBench(stdout, stderr io.Writer, top loadgen.Topology, hosts, shards, wor
 		"detection latency is virtual (change admitted -> next sweep's verdict; bound by the %v sweep interval) and deterministic in the seed; replay-wall and real-ev-s are machine-dependent",
 		benchSweep)
 	t.WriteText(stdout)
+	return writeBenchJSON(stdout, stderr, t, out)
+}
+
+// runBenchServe produces the BENCH_serve.json perf record: sweep vs
+// push on the identical seeded event stream at each churn rate, so the
+// p99 ratio isolates the evaluation strategy. Push rows also record how
+// many checks each event cost through the dependency index.
+func runBenchServe(stdout, stderr io.Writer, top loadgen.Topology, hosts, shards, workers int, seed int64, out, commit string) int {
+	const (
+		benchDuration = 10 * time.Second
+		benchSweep    = 500 * time.Millisecond
+		benchWindow   = 25 * time.Millisecond
+	)
+	t := report.New(fmt.Sprintf(
+		"streaming evaluator: sweep (every %v) vs push (window %v, fallback %v), %d hosts, %v virtual (seed %d)",
+		benchSweep, benchWindow, benchSweep, hosts, benchDuration, seed),
+		"scenario", "mode", "rate-ev-s", "events", "detected",
+		"detect-p50-ms", "detect-p95-ms", "detect-p99-ms", "detect-max-ms",
+		"flushes", "checks-evaluated", "checks-executed", "checks-per-event",
+		"hosts-reaudited", "cache-replays", "replay-wall-ms", "real-ev-s")
+	t.Meta = report.Provenance(commit)
+
+	var ratios []string
+	for _, rate := range []float64{500, 2000} {
+		var p99 [2]time.Duration
+		for i, push := range []bool{false, true} {
+			opts := loadgen.DriverOptions{
+				Duration:   benchDuration,
+				SweepEvery: benchSweep,
+				Push:       push,
+				Window:     benchWindow,
+				Rate:       rate,
+				Burst:      16,
+				Shards:     shards,
+				Workers:    workers,
+			}
+			st, err := replay(top, hosts, seed, opts)
+			if err != nil {
+				fmt.Fprintf(stderr, "vdo-load: %v\n", err)
+				return 2
+			}
+			p99[i] = st.Detect.P99
+			t.AddRow(fmt.Sprintf("churn replay @ %.0f ev/s", rate), st.Mode, rate,
+				st.Events, st.Detected,
+				report.Millis(st.Detect.P50), report.Millis(st.Detect.P95),
+				report.Millis(st.Detect.P99), report.Millis(st.Detect.Max),
+				st.Flushes, st.ChecksEvaluated, st.ChecksExecuted,
+				fmt.Sprintf("%.2f", st.ChecksPerEvent),
+				st.HostsReaudited, st.CacheReplays,
+				report.Millis(st.ReplayWall), st.RealEventsPerSec)
+		}
+		if p99[1] > 0 {
+			ratios = append(ratios, fmt.Sprintf("%.1fx @ %.0f ev/s",
+				float64(p99[0])/float64(p99[1]), rate))
+		}
+	}
+
+	t.Note = fmt.Sprintf(
+		"both modes admit the identical seeded event stream; push p99 reduction vs sweep: %s; checks-per-event counts dependency-index subset evaluations against the full catalogue a sweep would run",
+		strings.Join(ratios, ", "))
+	t.WriteText(stdout)
+	return writeBenchJSON(stdout, stderr, t, out)
+}
+
+func writeBenchJSON(stdout, stderr io.Writer, t *report.Table, out string) int {
 	f, err := os.Create(out)
 	if err != nil {
 		fmt.Fprintf(stderr, "vdo-load: %v\n", err)

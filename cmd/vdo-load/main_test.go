@@ -27,7 +27,7 @@ func TestSmallReplay(t *testing.T) {
 	}
 	for _, want := range []string{
 		"synthesizing 200 hosts",
-		"load replay:",
+		"load replay (sweep):",
 		"detect p50 / p95 / p99 ms",
 		"sweeps",
 	} {
@@ -82,7 +82,7 @@ func TestCustomTopologyFile(t *testing.T) {
 	// The tiny class has no config distribution, so every config-edit
 	// draw either hits the 1-in-8 drift branch or is skipped — the
 	// replay still completes.
-	if !strings.Contains(out, "load replay:") {
+	if !strings.Contains(out, "load replay (sweep):") {
 		t.Errorf("replay did not run:\n%s", out)
 	}
 }
@@ -142,5 +142,78 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code, _, _ := runCapture(t, "-topology", path); code != 2 {
 		t.Errorf("invalid topology: exit != 2")
+	}
+}
+
+func TestPushReplayAndAssertP99(t *testing.T) {
+	args := []string{"-hosts", "100", "-duration", "2s", "-sweep-every", "500ms",
+		"-push", "-window", "50ms", "-rate", "100", "-shards", "4", "-workers", "1",
+		"-seed", "3"}
+	code, out, errb := runCapture(t, append(args, "-assert-p99", "500ms")...)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	for _, want := range []string{
+		"load replay (push):",
+		"flush window",
+		"checks per event",
+		"flushes / delta hosts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// An impossible bound trips the assertion exit code.
+	code, _, errb = runCapture(t, append(args, "-assert-p99", "1ns")...)
+	if code != 1 || !strings.Contains(errb, "not below asserted bound") {
+		t.Errorf("impossible bound: exit = %d, stderr %q; want 1", code, errb)
+	}
+}
+
+func TestBenchServeWritesRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench matrix in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	code, out, errb := runCapture(t,
+		"-bench-serve", "-hosts", "200", "-shards", "4", "-workers", "1",
+		"-seed", "2", "-o", path, "-commit", "deadbeef")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec report.Table
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("bench record not JSON: %v", err)
+	}
+	if len(rec.Rows) != 4 {
+		t.Errorf("bench rows = %d, want 4 (2 rates x 2 modes)", len(rec.Rows))
+	}
+	if rec.Meta["commit"] != "deadbeef" {
+		t.Errorf("provenance meta = %v", rec.Meta)
+	}
+	for _, col := range []string{"mode", "detect-p99-ms", "checks-per-event", "flushes"} {
+		found := false
+		for _, c := range rec.Columns {
+			found = found || c == col
+		}
+		if !found {
+			t.Errorf("bench record missing column %s; have %v", col, rec.Columns)
+		}
+	}
+	if !strings.Contains(rec.Note, "p99 reduction") {
+		t.Errorf("note missing the speedup summary: %q", rec.Note)
+	}
+}
+
+func TestPushUsageErrors(t *testing.T) {
+	if code, _, _ := runCapture(t, "-push", "-window", "0s"); code != 2 {
+		t.Error("zero window in push mode accepted")
+	}
+	if code, _, _ := runCapture(t, "-bench", "-bench-serve"); code != 2 {
+		t.Error("-bench with -bench-serve accepted")
 	}
 }

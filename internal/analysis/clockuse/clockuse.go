@@ -13,10 +13,20 @@
 //     time.Now, time.Sleep, time.After, time.Tick, time.NewTicker or
 //     time.NewTimer — tests drive virtual time through the clock and
 //     sleep seams instead.
-//   - non-test files must not reference time.Sleep: production sleeps go
-//     through an injectable seam so schedulers and tests can virtualise
-//     them. (time.Now stays legal outside tests: wall-clock measurement
-//     is exactly what RunStats/FleetStats exist to report.)
+//   - non-test files must not reference time.Sleep, time.Tick or
+//     time.NewTicker: production sleeps go through an injectable seam so
+//     schedulers and tests can virtualise them, and periodic work is
+//     caller-cadenced (fleet.Streamer.Flush takes the instant as an
+//     argument) so the same code runs on virtual and real time.
+//     (time.Now stays legal outside tests: wall-clock measurement is
+//     exactly what RunStats/FleetStats exist to report. time.NewTimer
+//     also stays legal: a ctx-cancellable one-shot timer, as in
+//     core.FaultyCheck's retry backoff, has no seam to bypass.)
+//
+// Daemon entrypoints are the sanctioned exception to the ticker ban: a
+// long-running serve loop (cmd/vdo-serve) is wall-clock cadenced by
+// design, and records that design decision as a //lint:ignore clockuse
+// suppression with the reason inline.
 //
 // The seam definitions themselves ("nil means time.Sleep") carry a
 // //lint:ignore clockuse directive — they are the one place the real
@@ -44,7 +54,7 @@ var (
 		"Now": true, "Sleep": true, "After": true,
 		"Tick": true, "NewTicker": true, "NewTimer": true,
 	}
-	bannedAlways = map[string]bool{"Sleep": true}
+	bannedAlways = map[string]bool{"Sleep": true, "Tick": true, "NewTicker": true}
 )
 
 // Analyzer is the clockuse pass.

@@ -38,3 +38,39 @@ func (wk *Worker) Measure() time.Duration {
 func Nap() {
 	time.Sleep(time.Millisecond) // want `time.Sleep in a telemetry-instrumented package`
 }
+
+// Poll is flagged on both ticker constructors: periodic work must be
+// caller-cadenced (the owner passes the instant in) so the same loop
+// runs on virtual and real time.
+func Poll(stop <-chan struct{}) {
+	tk := time.NewTicker(time.Second) // want `time.NewTicker in a telemetry-instrumented package`
+	defer tk.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tk.C:
+		case <-time.Tick(time.Minute): // want `time.Tick in a telemetry-instrumented package`
+		}
+	}
+}
+
+// Serve is the sanctioned daemon shape: a wall-clock ticker in a
+// long-running entrypoint, with the design decision on record. The
+// ctx-cancellable one-shot NewTimer below is legal without a directive.
+func Serve(stop <-chan struct{}) {
+	//lint:ignore clockuse the serve loop is wall-clock cadenced by design; determinism lives with virtual-clock callers
+	tk := time.NewTicker(time.Second)
+	defer tk.Stop()
+	deadline := time.NewTimer(time.Hour)
+	defer deadline.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-deadline.C:
+			return
+		case <-tk.C:
+		}
+	}
+}

@@ -154,9 +154,9 @@ func checkProbe(pass *analysis.Pass, fd *ast.FuncDecl) {
 }
 
 // firstBlockingOp finds a blocking operation in the body: a time.Sleep
-// call, a call through a Sleep-named seam, or a channel send/receive
-// outside a select (selects are judged by whether a ctx case exists,
-// which consultsCtx covers).
+// call, a call through a Sleep-named seam, or a channel send, receive
+// or range outside a select (selects are judged by whether a ctx case
+// exists, which consultsCtx covers).
 func firstBlockingOp(pass *analysis.Pass, body *ast.BlockStmt) (token.Pos, string) {
 	pos, what := token.NoPos, ""
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -180,6 +180,16 @@ func firstBlockingOp(pass *analysis.Pass, body *ast.BlockStmt) (token.Pos, strin
 			if n.Op == token.ARROW {
 				pos, what = n.Pos(), "blocks (channel receive)"
 				return false
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel blocks between elements exactly
+			// like a bare receive — the daemon-loop shape that must
+			// select on ctx.Done instead.
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pos, what = n.X.Pos(), "blocks (range over channel)"
+					return false
+				}
 			}
 		case *ast.SelectStmt:
 			// A select's cases are the consultation mechanism; skip its

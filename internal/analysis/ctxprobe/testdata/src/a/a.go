@@ -115,3 +115,29 @@ func (s suppressedCtx) CheckCtx(ctx context.Context) core.CheckStatus {
 	<-s.done
 	return core.CheckPass
 }
+
+// serveCtx is the daemon loop shape (cmd/vdo-serve's shutdown path):
+// ticks and a cancellation signal multiplexed through one select, every
+// blocking branch racing ctx.Done. Clean — no finding.
+func serveCtx(ctx context.Context, tick <-chan struct{}) int {
+	flushes := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return flushes
+		case <-tick:
+			flushes++
+		}
+	}
+}
+
+// drainCtx is the broken daemon shape: the loop selects on its tick
+// channel alone, so a shutdown cannot interrupt a quiet tick source.
+func drainCtx(ctx context.Context, tick <-chan struct{}) int {
+	_ = ctx.Value("deadline")
+	flushes := 0
+	for range tick { // want `drainCtx blocks \(range over channel\) without consulting ctx.Done/ctx.Err`
+		flushes++
+	}
+	return flushes
+}

@@ -48,6 +48,13 @@ type RunOptions struct {
 	// engine.errors, engine.dedup_hits/misses) and the engine.check_wall
 	// duration histogram across runs sharing the registry.
 	Metrics *telemetry.Metrics
+	// Only, when non-nil, restricts the run to the catalogue entries whose
+	// finding ID is in the set — the subset path of push-based incremental
+	// evaluation, where a host-state delta maps through fleet.DepIndex to
+	// the handful of affected checks. Unknown IDs are ignored; the report
+	// keeps finding-ID order; an empty non-nil slice runs nothing. nil
+	// (the default) runs the whole catalogue.
+	Only []string
 }
 
 // ReqStats is the per-requirement telemetry of an engine run.
@@ -226,9 +233,27 @@ func runRequirementLive(req CheckableEnforceableRequirement, mode RunMode, pol e
 
 // RunEngine executes every catalogue entry in finding-ID order on the
 // fault-tolerant engine and returns the report plus run telemetry. It is
-// the single execution path behind Run and RunParallel.
+// the single execution path behind Run and RunParallel. With
+// RunOptions.Only set, only the named entries run (still in finding-ID
+// order), which is how delta evaluation re-checks just the requirements
+// affected by a host-state change.
 func (c *Catalog) RunEngine(opts RunOptions) (Report, RunStats) {
 	reqs := c.All()
+	if opts.Only != nil {
+		want := make(map[string]bool, len(opts.Only))
+		for _, id := range opts.Only {
+			want[id] = true
+		}
+		// All() returns a fresh sorted slice, so filtering in place keeps
+		// finding-ID order and touches no shared state.
+		kept := reqs[:0]
+		for _, req := range reqs {
+			if want[req.FindingID()] {
+				kept = append(kept, req)
+			}
+		}
+		reqs = kept
+	}
 	outs, ps := engine.Map(reqs, opts.Workers,
 		func(i int, req CheckableEnforceableRequirement) engineOutcome {
 			return runRequirement(req, opts.Mode, opts.Checks, opts.Memo, opts.Span)

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"veridevops/internal/core"
+)
+
+func TestApplyDeltaSubsetMergesIntoCache(t *testing.T) {
+	targets, hosts := LinuxFleet(1)
+	coord := NewCoordinator()
+	opts := Options{Incremental: true}
+
+	// Prime: full sweep, everything compliant and cached.
+	rep, _ := coord.Sweep(targets, opts)
+	if c := rep.Compliance(); c != 1 {
+		t.Fatalf("primed compliance = %v, want 1", c)
+	}
+
+	// Drift one package, then delta exactly its check.
+	hosts[0].Remove("aide")
+	hr := coord.ApplyDelta(targets[0], []string{"V-219343"}, opts)
+	if hr.Stats.Requirements != 1 {
+		t.Errorf("delta evaluated %d checks, want 1", hr.Stats.Requirements)
+	}
+	if got := len(hr.Report.Results); got != 8 {
+		t.Fatalf("merged report has %d results, want the full 8", got)
+	}
+	for _, r := range hr.Report.Results {
+		want := core.CheckPass
+		if r.FindingID == "V-219343" {
+			want = core.CheckFail
+		}
+		if r.After != want {
+			t.Errorf("%s = %v, want %v", r.FindingID, r.After, want)
+		}
+	}
+
+	// The merged verdicts are cached at the post-drift version: an
+	// incremental sweep replays them without re-auditing.
+	rep, st := coord.Sweep(targets, opts)
+	if st.CachedHosts != 1 {
+		t.Errorf("re-sweep executed the host; want a cache replay (CachedHosts = %d)", st.CachedHosts)
+	}
+	if !reflect.DeepEqual(rep.Failing(), []string{"host-00/V-219343"}) {
+		t.Errorf("Failing = %v, want [host-00/V-219343]", rep.Failing())
+	}
+}
+
+func TestApplyDeltaWithoutBaseRunsFully(t *testing.T) {
+	targets, _ := LinuxFleet(1)
+	coord := NewCoordinator()
+	hr := coord.ApplyDelta(targets[0], []string{"V-219343"}, Options{Incremental: true})
+	if hr.Stats.Requirements != 8 {
+		t.Errorf("cold delta evaluated %d checks, want full 8 (nothing to merge into)", hr.Stats.Requirements)
+	}
+	if hr.FromCache {
+		t.Error("cold delta must execute, not replay")
+	}
+}
+
+func TestApplyDeltaNilOnlyIsFullAudit(t *testing.T) {
+	targets, _ := LinuxFleet(1)
+	coord := NewCoordinator()
+	hr := coord.ApplyDelta(targets[0], nil, Options{})
+	if hr.Stats.Requirements != 8 {
+		t.Errorf("nil-only delta evaluated %d checks, want 8", hr.Stats.Requirements)
+	}
+}
+
+func TestRefreshRestampsStaleVersion(t *testing.T) {
+	targets, hosts := LinuxFleet(1)
+	coord := NewCoordinator()
+	opts := Options{Incremental: true}
+	coord.Sweep(targets, opts)
+
+	// A mutation no check reads: version moves, verdicts don't.
+	hosts[0].SetConfig("/etc/motd", "banner", "hello")
+	_, st := coord.Sweep(targets, opts)
+	if st.CachedHosts != 0 {
+		t.Fatalf("stale-version sweep replayed cache; want a re-audit")
+	}
+
+	hosts[0].SetConfig("/etc/motd", "banner", "bye")
+	if !coord.Refresh(targets[0]) {
+		t.Fatal("Refresh found no cache entry")
+	}
+	_, st = coord.Sweep(targets, opts)
+	if st.CachedHosts != 1 {
+		t.Errorf("post-Refresh sweep re-audited; want a cache replay")
+	}
+
+	// Refresh without a cache entry reports false.
+	coord.Invalidate(targets[0].Name)
+	if coord.Refresh(targets[0]) {
+		t.Error("Refresh on missing entry = true")
+	}
+}
+
+func TestMergeReport(t *testing.T) {
+	base := core.Report{Results: []core.Result{
+		{FindingID: "V-1", After: core.CheckPass},
+		{FindingID: "V-3", After: core.CheckPass},
+	}}
+	partial := core.Report{Results: []core.Result{
+		{FindingID: "V-3", After: core.CheckFail},
+		{FindingID: "V-2", After: core.CheckPass},
+	}}
+	got := mergeReport(base, partial)
+	want := []core.Result{
+		{FindingID: "V-1", After: core.CheckPass},
+		{FindingID: "V-2", After: core.CheckPass},
+		{FindingID: "V-3", After: core.CheckFail},
+	}
+	if !reflect.DeepEqual(got.Results, want) {
+		t.Errorf("mergeReport = %+v, want %+v", got.Results, want)
+	}
+	// Inputs are not mutated, and an empty partial copies the base.
+	if base.Results[1].After != core.CheckPass {
+		t.Error("mergeReport mutated its base input")
+	}
+	cp := mergeReport(base, core.Report{})
+	if !reflect.DeepEqual(cp.Results, base.Results) {
+		t.Errorf("empty-partial merge = %+v", cp.Results)
+	}
+	cp.Results[0].After = core.CheckError
+	if base.Results[0].After == core.CheckError {
+		t.Error("empty-partial merge aliases the base")
+	}
+}

@@ -79,9 +79,9 @@ func (l *Linux) SetUnreachable(down bool) {
 	}
 	l.unreachable = down
 	if down {
-		l.log.Append("net.down", "transport lost")
+		l.log.AppendKeyed("net.down", "transport lost", NetKey())
 	} else {
-		l.log.Append("net.up", "transport restored")
+		l.log.AppendKeyed("net.up", "transport restored", NetKey())
 	}
 }
 
@@ -113,12 +113,15 @@ func (l *Linux) SetReadOnly(ro bool) {
 	l.readOnly = ro
 }
 
-// denied logs and reports a blocked mutation; callers hold l.mu.
-func (l *Linux) denied(action, detail string) bool {
+// denied logs and reports a blocked mutation; callers hold l.mu. The
+// denied event keeps the mutation's state key: the slot did not change,
+// but streaming consumers re-verify it so a blocked enforcement still
+// produces a fresh verdict.
+func (l *Linux) denied(action, detail string, key StateKey) bool {
 	if !l.readOnly {
 		return false
 	}
-	l.log.Append(action+".denied", detail)
+	l.log.AppendKeyed(action+".denied", detail, key)
 	return true
 }
 
@@ -154,7 +157,7 @@ func (l *Linux) Install(name, version string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.ping()
-	if l.denied("apt.install", name) {
+	if l.denied("apt.install", name, PackageKey(name)) {
 		return
 	}
 	p, ok := l.packages[name]
@@ -164,7 +167,7 @@ func (l *Linux) Install(name, version string) {
 	}
 	p.Version = version
 	p.Installed = true
-	l.log.Append("apt.install", name)
+	l.log.AppendKeyed("apt.install", name, PackageKey(name))
 }
 
 // Remove marks a package uninstalled (apt-get remove). Removing an unknown
@@ -173,13 +176,13 @@ func (l *Linux) Remove(name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.ping()
-	if l.denied("apt.remove", name) {
+	if l.denied("apt.remove", name, PackageKey(name)) {
 		return
 	}
 	if p, ok := l.packages[name]; ok {
 		p.Installed = false
 	}
-	l.log.Append("apt.remove", name)
+	l.log.AppendKeyed("apt.remove", name, PackageKey(name))
 }
 
 // Version returns the installed version of the named package, empty when
@@ -230,7 +233,7 @@ func (l *Linux) EnableService(name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.ping()
-	if l.denied("systemctl.enable", name) {
+	if l.denied("systemctl.enable", name, ServiceKey(name)) {
 		return
 	}
 	s, ok := l.services[name]
@@ -240,7 +243,7 @@ func (l *Linux) EnableService(name string) {
 	}
 	s.Enabled = true
 	s.Running = true
-	l.log.Append("systemctl.enable", name)
+	l.log.AppendKeyed("systemctl.enable", name, ServiceKey(name))
 }
 
 // DisableService disables and stops a service.
@@ -248,14 +251,14 @@ func (l *Linux) DisableService(name string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.ping()
-	if l.denied("systemctl.disable", name) {
+	if l.denied("systemctl.disable", name, ServiceKey(name)) {
 		return
 	}
 	if s, ok := l.services[name]; ok {
 		s.Enabled = false
 		s.Running = false
 	}
-	l.log.Append("systemctl.disable", name)
+	l.log.AppendKeyed("systemctl.disable", name, ServiceKey(name))
 }
 
 // ServiceActive reports whether the service is enabled and running.
@@ -278,7 +281,7 @@ func (l *Linux) SetConfig(file, key, value string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.ping()
-	if l.denied("config.set", file+":"+key) {
+	if l.denied("config.set", file+":"+key, ConfigKey(file, key)) {
 		return
 	}
 	f, ok := l.config[file]
@@ -287,7 +290,7 @@ func (l *Linux) SetConfig(file, key, value string) {
 		l.config[file] = f
 	}
 	f[key] = value
-	l.log.Append("config.set", fmt.Sprintf("%s:%s=%s", file, key, value))
+	l.log.AppendKeyed("config.set", fmt.Sprintf("%s:%s=%s", file, key, value), ConfigKey(file, key))
 }
 
 // Config returns the value of key in file, with ok=false when unset.
@@ -314,11 +317,11 @@ func (l *Linux) UnsetConfig(file, key string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.ping()
-	if l.denied("config.unset", file+":"+key) {
+	if l.denied("config.unset", file+":"+key, ConfigKey(file, key)) {
 		return
 	}
 	if f, ok := l.config[file]; ok {
 		delete(f, key)
 	}
-	l.log.Append("config.unset", file+":"+key)
+	l.log.AppendKeyed("config.unset", file+":"+key, ConfigKey(file, key))
 }

@@ -106,7 +106,7 @@ func (w *Windows) SetAudit(subcategory string, s AuditSetting) error {
 		return fmt.Errorf("host: unknown audit subcategory %q", subcategory)
 	}
 	w.audit[subcategory] = s
-	w.log.Append("auditpol.set", subcategory+"="+s.String())
+	w.log.AppendKeyed("auditpol.set", subcategory+"="+s.String(), AuditKey(subcategory))
 	return nil
 }
 
@@ -127,7 +127,7 @@ func (w *Windows) SetRegistry(key, value string) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.registry[key] = value
-	w.log.Append("reg.set", key+"="+value)
+	w.log.AppendKeyed("reg.set", key+"="+value, RegistryKey(key))
 }
 
 // Registry returns a registry value.

@@ -10,21 +10,26 @@ import (
 )
 
 // The load driver: replays the churn stream through the token bucket
-// while incremental sweeps run on the fleet coordinator, and measures
-// change→verdict detection latency per event.
+// while the fleet evaluates it — batch mode re-sweeps the coordinator
+// every SweepEvery; push mode feeds a fleet.Streamer that re-runs only
+// the checks each event's state key affects, flushing every Window —
+// and measures change→verdict detection latency per event.
 //
 // Time is virtual — a plain time.Duration offset from replay start. The
 // bucket computes each event's admission instant arithmetically and a
-// sweep is treated as atomic at the current virtual instant, so the
-// detection latency of an event admitted at t and picked up by the
-// sweep at instant v is exactly v−t ∈ (0, SweepEvery]. Everything
-// downstream of the seed is deterministic; the wall clock is only read
-// to report real replay throughput.
+// sweep or flush is treated as atomic at the current virtual instant, so
+// the detection latency of an event admitted at t and picked up at
+// instant v is exactly v−t — bounded by SweepEvery in sweep mode and by
+// Window in push mode, which is the whole point of the streaming
+// evaluator. Everything downstream of the seed is deterministic; the
+// wall clock is only read to report real replay throughput.
 
 // DriverOptions parameterizes one load replay.
 type DriverOptions struct {
 	// Duration is the virtual replay length; SweepEvery the virtual
-	// interval between incremental sweeps (default Duration/10).
+	// interval between incremental sweeps (default Duration/10). In push
+	// mode SweepEvery is the fallback full-sweep interval — the safety
+	// net for state the index cannot localise.
 	Duration   time.Duration
 	SweepEvery time.Duration
 	// Rate is the offered churn load in events per virtual second;
@@ -34,6 +39,12 @@ type DriverOptions struct {
 	// Shards/Workers configure each sweep (see fleet.Options).
 	Shards  int
 	Workers int
+	// Push selects streaming evaluation: events mark hosts dirty through
+	// EventLog subscriptions and a fleet.Streamer flushes the coalesced
+	// deltas every Window, with a fallback sweep every SweepEvery.
+	Push bool
+	// Window is the push-mode coalescing window (default SweepEvery/10).
+	Window time.Duration
 	// Metrics, when non-nil, receives load.* counters and the
 	// load.detect latency samples.
 	Metrics *telemetry.Metrics
@@ -66,11 +77,31 @@ type LoadStats struct {
 	Pending  int
 
 	// Sweeps is how many incremental sweeps ran (the priming full sweep
-	// excluded); HostsReaudited how many per-host audits executed across
-	// them; CacheReplays how many were served from the incremental cache.
+	// excluded) — in push mode, the fallback sweeps; HostsReaudited how
+	// many per-host audits executed across them; CacheReplays how many
+	// were served from the incremental cache.
 	Sweeps         int
 	HostsReaudited int
 	CacheReplays   int
+
+	// Push-mode counters (zero in sweep mode; the priming flush is
+	// excluded throughout). Flushes counts coalescing windows that
+	// evaluated at least one dirty host; DeltaHosts the per-flush host
+	// evaluations; ChecksEvaluated/ChecksExecuted the catalogue entries
+	// the deltas resolved respectively actually executed (dedup replays
+	// subtracted). ChecksPerEvent = ChecksEvaluated/Events is the
+	// O(changed keys) headline: it must sit far below the catalogue
+	// size. Alarms/Repairs count violation episodes the live view opened
+	// and closed.
+	Mode            string
+	Window          time.Duration
+	Flushes         int
+	DeltaHosts      int
+	ChecksEvaluated int
+	ChecksExecuted  int
+	ChecksPerEvent  float64
+	Alarms          int
+	Repairs         int
 
 	// VirtualDuration is the replayed virtual time; OfferedRate the
 	// bucket rate; AchievedRate applied events per virtual second.
@@ -90,10 +121,13 @@ type LoadStats struct {
 	Detect telemetry.QuantileStats
 }
 
-// Run replays churn against the fleet while sweeping it incrementally.
-// The fleet is primed with one full sweep at virtual instant 0 (not
-// counted in the stats), then each SweepEvery tick admits the bucket's
-// due events, applies them, and sweeps.
+// Run replays churn against the fleet. Sweep mode (the default) primes
+// the coordinator with one full sweep at virtual instant 0 (not counted
+// in the stats), then each SweepEvery tick admits the bucket's due
+// events, applies them, and re-sweeps incrementally. Push mode
+// (DriverOptions.Push) instead flushes a fleet.Streamer every Window —
+// admitting the identical event stream, so the two modes are directly
+// comparable on the same seed — with a fallback sweep every SweepEvery.
 func Run(f *Fleet, c *Churn, opts DriverOptions) (LoadStats, error) {
 	if opts.Duration <= 0 {
 		return LoadStats{}, fmt.Errorf("loadgen: driver duration %v, need > 0", opts.Duration)
@@ -104,94 +138,83 @@ func Run(f *Fleet, c *Churn, opts DriverOptions) (LoadStats, error) {
 			opts.SweepEvery = opts.Duration
 		}
 	}
-	bucket, err := NewTokenBucket(opts.Rate, opts.Burst)
-	if err != nil {
-		return LoadStats{}, err
+	if opts.Push {
+		return runPush(f, c, opts)
 	}
-	sweepOpts := fleet.Options{
-		Mode:        core.CheckOnly,
-		Shards:      opts.Shards,
-		Workers:     opts.Workers,
-		Incremental: true,
+	return runSweep(f, c, opts)
+}
+
+// admitUpTo drains the bucket's due events up to virtual instant vnow,
+// applying each through the churn engine and recording it in st and
+// pending. onJoin/onLeave, when non-nil, observe membership changes (the
+// push driver wires and unwires the streamer there). admitted is the
+// last admission instant, threaded between calls.
+func admitUpTo(c *Churn, bucket *TokenBucket, vnow, admitted time.Duration,
+	st *LoadStats, pending map[string][]time.Duration,
+	onJoin, onLeave func(name string)) time.Duration {
+	for {
+		at := bucket.When(admitted)
+		if at > vnow {
+			return admitted
+		}
+		bucket.Take(at)
+		admitted = at
+		ev, ok := c.Step()
+		if !ok {
+			st.Skipped++
+			continue
+		}
+		st.Events++
+		if ev.Drift {
+			st.Drift++
+		}
+		switch ev.Kind {
+		case HostJoin:
+			st.Joins++
+			if onJoin != nil {
+				onJoin(ev.Host)
+			}
+		case HostLeave:
+			st.Leaves++
+		case HostDown:
+			st.Outages++
+		case HostUp:
+			st.Restores++
+		}
+		if ev.Kind == HostLeave {
+			// The member is gone: its verdict never arrives.
+			st.Orphaned += len(pending[ev.Host])
+			delete(pending, ev.Host)
+			if onLeave != nil {
+				onLeave(ev.Host)
+			}
+			continue
+		}
+		pending[ev.Host] = append(pending[ev.Host], at)
 	}
+}
 
-	start := time.Now() // real clock: throughput reporting only
-	coord := fleet.NewCoordinator()
-	coord.Sweep(f.Targets(), sweepOpts) // prime the cache at vnow = 0
-
-	detect := telemetry.NewQuantilesCap(1 << 16)
-	// pending maps host name -> virtual admission times of its events
-	// still awaiting a verdict.
-	pending := map[string][]time.Duration{}
-	var st LoadStats
-
-	admitted := time.Duration(0) // last admission instant
-	vend := time.Duration(0)     // last sweep instant actually replayed
-	for vnow := opts.SweepEvery; ; vnow += opts.SweepEvery {
-		if vnow > opts.Duration {
-			break
-		}
-		vend = vnow
-		// Admit every event the bucket releases up to this sweep instant.
-		for {
-			at := bucket.When(admitted)
-			if at > vnow {
-				break
-			}
-			bucket.Take(at)
-			admitted = at
-			ev, ok := c.Step()
-			if !ok {
-				st.Skipped++
-				continue
-			}
-			st.Events++
-			if ev.Drift {
-				st.Drift++
-			}
-			switch ev.Kind {
-			case HostJoin:
-				st.Joins++
-			case HostLeave:
-				st.Leaves++
-			case HostDown:
-				st.Outages++
-			case HostUp:
-				st.Restores++
-			}
-			if ev.Kind == HostLeave {
-				// The member is gone: its verdict never arrives.
-				st.Orphaned += len(pending[ev.Host])
-				delete(pending, ev.Host)
-				continue
-			}
-			pending[ev.Host] = append(pending[ev.Host], at)
-		}
-
-		// Sweep at virtual instant vnow; any executed (non-cached) host
-		// audit delivers the verdicts for that host's pending events.
-		rep, _ := coord.Sweep(f.Targets(), sweepOpts)
-		st.Sweeps++
-		for _, hr := range rep.Hosts {
-			if hr.FromCache {
-				st.CacheReplays++
-				continue
-			}
-			st.HostsReaudited++
-			times := pending[hr.Target]
-			if len(times) == 0 {
-				continue
-			}
-			for _, t0 := range times {
-				lat := vnow - t0
-				detect.Observe(lat)
-				opts.Metrics.Sample("load.detect", lat)
-			}
-			st.Detected += len(times)
-			delete(pending, hr.Target)
-		}
+// resolvePending delivers verdicts for one host's pending events at
+// virtual instant vnow, observing each latency.
+func resolvePending(pending map[string][]time.Duration, name string,
+	vnow time.Duration, detect *telemetry.Quantiles, m *telemetry.Metrics, st *LoadStats) {
+	times := pending[name]
+	if len(times) == 0 {
+		return
 	}
+	for _, t0 := range times {
+		lat := vnow - t0
+		detect.Observe(lat)
+		m.Sample("load.detect", lat)
+	}
+	st.Detected += len(times)
+	delete(pending, name)
+}
 
+// finishStats fills the end-of-replay roll-up shared by both modes.
+func finishStats(st *LoadStats, f *Fleet, opts DriverOptions,
+	pending map[string][]time.Duration, vend time.Duration,
+	start time.Time, detect *telemetry.Quantiles) {
 	for _, times := range pending {
 		st.Pending += len(times)
 	}
@@ -220,5 +243,157 @@ func Run(f *Fleet, c *Churn, opts DriverOptions) (LoadStats, error) {
 	m.SetGauge("load.hosts", float64(st.Hosts))
 	m.SetGauge("load.rate.virtual", st.AchievedRate)
 	m.SetGauge("load.rate.real", st.RealEventsPerSec)
+}
+
+// runSweep is the batch path: admit, sweep, repeat. Detection latency is
+// bounded by SweepEvery — the floor push mode exists to break.
+func runSweep(f *Fleet, c *Churn, opts DriverOptions) (LoadStats, error) {
+	bucket, err := NewTokenBucket(opts.Rate, opts.Burst)
+	if err != nil {
+		return LoadStats{}, err
+	}
+	sweepOpts := fleet.Options{
+		Mode:        core.CheckOnly,
+		Shards:      opts.Shards,
+		Workers:     opts.Workers,
+		Incremental: true,
+	}
+
+	start := time.Now() // real clock: throughput reporting only
+	coord := fleet.NewCoordinator()
+	coord.Sweep(f.Targets(), sweepOpts) // prime the cache at vnow = 0
+
+	detect := telemetry.NewQuantilesCap(1 << 16)
+	// pending maps host name -> virtual admission times of its events
+	// still awaiting a verdict.
+	pending := map[string][]time.Duration{}
+	st := LoadStats{Mode: "sweep"}
+
+	admitted := time.Duration(0) // last admission instant
+	vend := time.Duration(0)     // last sweep instant actually replayed
+	for vnow := opts.SweepEvery; vnow <= opts.Duration; vnow += opts.SweepEvery {
+		vend = vnow
+		admitted = admitUpTo(c, bucket, vnow, admitted, &st, pending, nil, nil)
+
+		// Sweep at virtual instant vnow; any executed (non-cached) host
+		// audit delivers the verdicts for that host's pending events.
+		rep, _ := coord.Sweep(f.Targets(), sweepOpts)
+		st.Sweeps++
+		for _, hr := range rep.Hosts {
+			if hr.FromCache {
+				st.CacheReplays++
+				continue
+			}
+			st.HostsReaudited++
+			resolvePending(pending, hr.Target, vnow, detect, opts.Metrics, &st)
+		}
+	}
+
+	finishStats(&st, f, opts, pending, vend, start, detect)
+	return st, nil
+}
+
+// runPush is the streaming path: every admitted event marks its host
+// dirty through the EventLog subscription, and a fleet.Streamer flush at
+// each Window tick re-runs only the affected checks, delivering verdicts
+// with latency bounded by Window instead of SweepEvery. A fallback sweep
+// still runs every SweepEvery as the safety net for state the dependency
+// index cannot localise; on a healthy index it is all cache replays,
+// because the streamer's deltas keep the incremental cache stamped.
+func runPush(f *Fleet, c *Churn, opts DriverOptions) (LoadStats, error) {
+	if opts.Window <= 0 {
+		opts.Window = opts.SweepEvery / 10
+		if opts.Window <= 0 {
+			opts.Window = opts.SweepEvery
+		}
+	}
+	bucket, err := NewTokenBucket(opts.Rate, opts.Burst)
+	if err != nil {
+		return LoadStats{}, err
+	}
+	sweepOpts := fleet.Options{
+		Mode:        core.CheckOnly,
+		Shards:      opts.Shards,
+		Workers:     opts.Workers,
+		Incremental: true,
+	}
+
+	start := time.Now() // real clock: throughput reporting only
+	coord := fleet.NewCoordinator()
+	s := fleet.NewStreamer(coord, fleet.StreamOptions{
+		Mode:    core.CheckOnly,
+		Shards:  opts.Shards,
+		Workers: opts.Workers,
+		Dedup:   true,
+		Metrics: opts.Metrics,
+	})
+	for _, h := range f.Hosts() {
+		s.Watch(h.Target(), h.Linux.Log())
+	}
+	s.Flush(0) // prime the verdict baseline at vnow = 0 (not counted)
+
+	detect := telemetry.NewQuantilesCap(1 << 16)
+	pending := map[string][]time.Duration{}
+	st := LoadStats{Mode: "push", Window: opts.Window}
+
+	onJoin := func(name string) {
+		if h, ok := f.Get(name); ok {
+			s.Watch(h.Target(), h.Linux.Log())
+		}
+	}
+	onLeave := func(name string) { s.Unwatch(name) }
+
+	admitted := time.Duration(0)
+	vend := time.Duration(0)
+	nextSweep := opts.SweepEvery
+	for vnow := opts.Window; vnow <= opts.Duration; vnow += opts.Window {
+		vend = vnow
+		admitted = admitUpTo(c, bucket, vnow, admitted, &st, pending, onJoin, onLeave)
+
+		fr := s.Flush(vnow)
+		if len(fr.Hosts) > 0 {
+			st.Flushes++
+			st.DeltaHosts += len(fr.Hosts)
+			st.ChecksEvaluated += fr.ChecksEvaluated
+			st.ChecksExecuted += fr.ChecksExecuted
+			st.Alarms += len(fr.Alarms)
+			st.Repairs += fr.Repairs
+			for _, d := range fr.Hosts {
+				// Every flushed host's live view is now current — a
+				// zero-check re-stamp is a verdict too (the change
+				// provably touched nothing) — so its events resolve.
+				resolvePending(pending, d.Host, vnow, detect, opts.Metrics, &st)
+			}
+		}
+
+		if vnow >= nextSweep {
+			nextSweep += opts.SweepEvery
+			rep, _ := coord.Sweep(f.Targets(), sweepOpts)
+			st.Sweeps++
+			for _, hr := range rep.Hosts {
+				if hr.FromCache {
+					st.CacheReplays++
+					continue
+				}
+				st.HostsReaudited++
+				// A fallback-executed host caught state the stream
+				// missed; resolve whatever is still waiting.
+				resolvePending(pending, hr.Target, vnow, detect, opts.Metrics, &st)
+			}
+		}
+	}
+
+	finishStats(&st, f, opts, pending, vend, start, detect)
+	if st.Events > 0 {
+		st.ChecksPerEvent = float64(st.ChecksEvaluated) / float64(st.Events)
+	}
+	m := opts.Metrics
+	m.Add("load.flushes", int64(st.Flushes))
+	m.Add("load.delta-hosts", int64(st.DeltaHosts))
+	m.Add("load.checks.evaluated", int64(st.ChecksEvaluated))
+	m.Add("load.checks.executed", int64(st.ChecksExecuted))
+	m.Add("load.alarms", int64(st.Alarms))
+	m.Add("load.repairs", int64(st.Repairs))
+	m.SetGauge("load.checks-per-event", st.ChecksPerEvent)
 	return st, nil
 }

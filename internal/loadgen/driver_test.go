@@ -128,3 +128,134 @@ func TestDriverRejectsBadOptions(t *testing.T) {
 		t.Error("zero rate accepted")
 	}
 }
+
+func replayPush(t *testing.T, seed int64) LoadStats {
+	t.Helper()
+	f, err := Synthesize(smallTopology(), 30, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChurn(f, DefaultMix(), seed+1)
+	st, err := Run(f, c, DriverOptions{
+		Duration:   10 * time.Second,
+		SweepEvery: 500 * time.Millisecond,
+		Window:     50 * time.Millisecond,
+		Push:       true,
+		Rate:       40,
+		Burst:      4,
+		Shards:     4,
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDriverPushBreaksSweepFloor is the tentpole's acceptance property
+// in miniature: with the streamer flushing every 50ms, no verdict waits
+// anywhere near the 500ms sweep interval.
+func TestDriverPushBreaksSweepFloor(t *testing.T) {
+	st := replayPush(t, 17)
+	if st.Mode != "push" || st.Window != 50*time.Millisecond {
+		t.Fatalf("Mode/Window = %q/%v, want push/50ms", st.Mode, st.Window)
+	}
+	if st.Events == 0 || st.Detected == 0 {
+		t.Fatalf("no traffic: %+v", st)
+	}
+	// Every event resolves at the next flush: latency is bounded by the
+	// coalescing window, not the sweep interval.
+	if st.Detect.Max > 50*time.Millisecond {
+		t.Errorf("max detection latency %v exceeds the flush window", st.Detect.Max)
+	}
+	if st.Detect.Min < 0 {
+		t.Errorf("negative detection latency %v", st.Detect.Min)
+	}
+	if st.Flushes == 0 || st.DeltaHosts == 0 || st.ChecksEvaluated == 0 {
+		t.Errorf("push counters empty: flushes=%d deltaHosts=%d evaluated=%d",
+			st.Flushes, st.DeltaHosts, st.ChecksEvaluated)
+	}
+	// Efficiency: the dependency index localises most events to far
+	// fewer checks than the 8-requirement catalogue.
+	if st.ChecksPerEvent <= 0 || st.ChecksPerEvent >= 8 {
+		t.Errorf("ChecksPerEvent = %v, want in (0, 8)", st.ChecksPerEvent)
+	}
+	// The fallback sweep still fires on schedule, but the streamer's
+	// deltas keep the incremental cache stamped, so it never re-audits.
+	if st.Sweeps != 20 {
+		t.Errorf("fallback Sweeps = %d, want 20 (10s / 500ms)", st.Sweeps)
+	}
+	if st.HostsReaudited != 0 {
+		t.Errorf("fallback sweeps re-audited %d hosts; want pure cache replays", st.HostsReaudited)
+	}
+	if st.CacheReplays == 0 {
+		t.Error("fallback sweeps recorded no cache replays")
+	}
+	// Same accounting identity as sweep mode.
+	if got := st.Detected + st.Orphaned + st.Pending; got != st.Events-st.Leaves {
+		t.Errorf("detected %d + orphaned %d + pending %d = %d, want events %d - leaves %d",
+			st.Detected, st.Orphaned, st.Pending, got, st.Events, st.Leaves)
+	}
+}
+
+// TestDriverPushDeterministic pins the determinism satellite end to end:
+// seeded churn through subscription wake-ups, dirty-key coalescing and
+// subset evaluation reproduces every counter and the full latency
+// distribution exactly.
+func TestDriverPushDeterministic(t *testing.T) {
+	a := replayPush(t, 23)
+	b := replayPush(t, 23)
+	a.ReplayWall, b.ReplayWall = 0, 0
+	a.RealEventsPerSec, b.RealEventsPerSec = 0, 0
+	if a != b {
+		t.Fatalf("push replays with identical seeds diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestDriverPushMatchesSweepStream verifies head-to-head comparability:
+// both modes admit the identical event stream from the same seed, so
+// the bench's latency comparison measures evaluation strategy only.
+func TestDriverPushMatchesSweepStream(t *testing.T) {
+	sw := replay(t, 31)
+	pu := replayPush(t, 31)
+	if sw.Events != pu.Events || sw.Drift != pu.Drift ||
+		sw.Joins != pu.Joins || sw.Leaves != pu.Leaves ||
+		sw.Outages != pu.Outages || sw.Restores != pu.Restores {
+		t.Errorf("event streams diverged:\nsweep %+v\npush  %+v", sw, pu)
+	}
+	if pu.Detect.P99 >= sw.Detect.P99 {
+		t.Errorf("push p99 %v not below sweep p99 %v", pu.Detect.P99, sw.Detect.P99)
+	}
+}
+
+func TestDriverPushFeedsMetrics(t *testing.T) {
+	f, err := Synthesize(smallTopology(), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.NewMetrics()
+	st, err := Run(f, NewChurn(f, DefaultMix(), 5), DriverOptions{
+		Duration:   2 * time.Second,
+		SweepEvery: 200 * time.Millisecond,
+		Push:       true,
+		Rate:       20,
+		Shards:     2,
+		Workers:    1,
+		Metrics:    m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Window != 20*time.Millisecond {
+		t.Errorf("Window = %v, want SweepEvery/10 = 20ms default", st.Window)
+	}
+	if got := m.Counter("load.flushes"); got != int64(st.Flushes) {
+		t.Errorf("load.flushes counter = %d, want %d", got, st.Flushes)
+	}
+	if got := m.Counter("load.checks.evaluated"); got != int64(st.ChecksEvaluated) {
+		t.Errorf("load.checks.evaluated counter = %d, want %d", got, st.ChecksEvaluated)
+	}
+	if got := m.Percentiles("load.detect"); got.Count != st.Detect.Count {
+		t.Errorf("load.detect samples = %d, want %d", got.Count, st.Detect.Count)
+	}
+}

@@ -205,6 +205,16 @@ func (f *Fleet) DownCount() int { return f.downs }
 // Hosts exposes the live member slice; callers must not mutate it.
 func (f *Fleet) Hosts() []*Host { return f.hosts }
 
+// Get resolves a member by name — the push driver's hook for wiring a
+// freshly joined host into the streaming evaluator.
+func (f *Fleet) Get(name string) (*Host, bool) {
+	i, ok := f.index[name]
+	if !ok {
+		return nil, false
+	}
+	return f.hosts[i], true
+}
+
 // Targets builds the coordinator target list for the current membership.
 func (f *Fleet) Targets() []fleet.Target {
 	out := make([]fleet.Target, len(f.hosts))

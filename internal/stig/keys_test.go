@@ -1,0 +1,75 @@
+package stig
+
+import (
+	"testing"
+
+	"veridevops/internal/core"
+	"veridevops/internal/host"
+)
+
+// TestPatternsDeclareMutatorKeys pins the load-bearing contract of the
+// reverse dependency index: the key a pattern declares via
+// core.KeyReader must be byte-identical to the key the corresponding
+// host mutator attaches to its event — otherwise a change never
+// re-triggers its check under push evaluation.
+func TestPatternsDeclareMutatorKeys(t *testing.T) {
+	l := host.NewLinux()
+	w := host.NewWindows10()
+
+	cases := []struct {
+		name   string
+		req    core.Requirement
+		mutate func()
+	}{
+		{"package", NewV219343(l), func() { l.Install("aide", "1") }},
+		{"config", NewV219177(l), func() { l.SetConfig("/etc/login.defs", "ENCRYPT_METHOD", "MD5") }},
+		{"service", &UbuntuServicePattern{Finding: core.Finding{ID: "T-1"}, Host: l, ServiceName: "auditd", MustBeActive: true},
+			func() { l.EnableService("auditd") }},
+		{"audit", NewV63447(w), func() {
+			if err := w.SetAudit("User Account Management", host.AuditSetting{Failure: true}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"registry", &RegistryRequirement{Finding: core.Finding{ID: "T-2"}, Host: w, Key: `HKLM\X`, Want: "1"},
+			func() { w.SetRegistry(`HKLM\X`, "1") }},
+	}
+	logs := map[string]*host.EventLog{
+		"package": l.Log(), "config": l.Log(), "service": l.Log(),
+		"audit": w.Log(), "registry": w.Log(),
+	}
+
+	for _, c := range cases {
+		keys, ok := core.CheckKeys(c.req)
+		if !ok || len(keys) != 1 {
+			t.Errorf("%s: CheckKeys = (%v, %v), want exactly one key", c.name, keys, ok)
+			continue
+		}
+		log := logs[c.name]
+		before := log.Len()
+		c.mutate()
+		evs := log.Since(before)
+		if len(evs) != 1 {
+			t.Errorf("%s: mutation logged %d events, want 1", c.name, len(evs))
+			continue
+		}
+		if got := evs[0].Key.String(); got != keys[0] {
+			t.Errorf("%s: mutator key %q != declared key %q", c.name, got, keys[0])
+		}
+	}
+}
+
+// TestUbuntuCatalogFullyIndexable verifies every registered Ubuntu and
+// Win10 finding declares its read keys: no silent fallback-to-full-sweep
+// entries hide in the shipped catalogues.
+func TestUbuntuCatalogFullyIndexable(t *testing.T) {
+	for _, c := range []*core.Catalog{
+		UbuntuCatalog(host.NewUbuntu1804()),
+		Win10Catalog(host.NewWindows10()),
+	} {
+		for _, req := range c.All() {
+			if _, ok := core.CheckKeys(req); !ok {
+				t.Errorf("%s declares no state keys", req.FindingID())
+			}
+		}
+	}
+}

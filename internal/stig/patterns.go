@@ -48,6 +48,12 @@ func (u *UbuntuServicePattern) Enforce() core.EnforcementStatus {
 	return core.EnforceSuccess
 }
 
+// CheckStateKeys declares the single service slot the check reads (see
+// core.KeyReader).
+func (u *UbuntuServicePattern) CheckStateKeys() []string {
+	return []string{host.ServiceKey(u.ServiceName).String()}
+}
+
 // String renders the requirement.
 func (u *UbuntuServicePattern) String() string {
 	verb := "must be disabled"
@@ -87,6 +93,12 @@ func (r *RegistryRequirement) Enforce() core.EnforcementStatus {
 	return core.EnforceSuccess
 }
 
+// CheckStateKeys declares the single registry slot the check reads (see
+// core.KeyReader).
+func (r *RegistryRequirement) CheckStateKeys() []string {
+	return []string{host.RegistryKey(r.Key).String()}
+}
+
 // String renders the requirement.
 func (r *RegistryRequirement) String() string {
 	return fmt.Sprintf("[%s] Registry %s must be %q. Status: %s",
@@ -99,4 +111,12 @@ var (
 	_ core.CheckableEnforceableRequirement = (*UbuntuServicePattern)(nil)
 	_ core.CheckableEnforceableRequirement = (*AuditPolicyRequirement)(nil)
 	_ core.CheckableEnforceableRequirement = (*RegistryRequirement)(nil)
+
+	// Every pattern declares the state keys its Check reads, so the whole
+	// catalogue is indexable for push-based incremental evaluation.
+	_ core.KeyReader = (*UbuntuPackagePattern)(nil)
+	_ core.KeyReader = (*UbuntuConfigPattern)(nil)
+	_ core.KeyReader = (*UbuntuServicePattern)(nil)
+	_ core.KeyReader = (*AuditPolicyRequirement)(nil)
+	_ core.KeyReader = (*RegistryRequirement)(nil)
 )

@@ -54,6 +54,14 @@ func (u *UbuntuPackagePattern) CheckStateDigest() (string, bool) {
 		u.PackageName, u.Host.Installed(u.PackageName), u.MustBeInstalled), true
 }
 
+// CheckStateKeys declares the single state slot the check reads — the
+// package's installed flag — in host.StateKey canonical form, so the
+// fleet's reverse dependency index can re-run exactly this check when a
+// pkg event for the package arrives (see core.KeyReader).
+func (u *UbuntuPackagePattern) CheckStateKeys() []string {
+	return []string{host.PackageKey(u.PackageName).String()}
+}
+
 // Enforce installs or removes the package to satisfy the requirement and
 // verifies the mutation took effect; a host that denies the change (for
 // example a read-only host) yields FAILURE.
@@ -118,6 +126,12 @@ func (u *UbuntuConfigPattern) CheckStateDigest() (string, bool) {
 	}
 	v, ok := u.Host.Config(u.File, u.Key)
 	return fmt.Sprintf("cfg:%s:%s=%q,%t;want=%q", u.File, u.Key, v, ok, u.Value), true
+}
+
+// CheckStateKeys declares the single configuration slot the check reads
+// (see core.KeyReader).
+func (u *UbuntuConfigPattern) CheckStateKeys() []string {
+	return []string{host.ConfigKey(u.File, u.Key).String()}
 }
 
 // Enforce writes the required value and verifies it took effect.

@@ -75,6 +75,12 @@ func (r *AuditPolicyRequirement) Check() core.CheckStatus {
 	return core.CheckPass
 }
 
+// CheckStateKeys declares the single audit-policy subcategory the check
+// reads (see core.KeyReader).
+func (r *AuditPolicyRequirement) CheckStateKeys() []string {
+	return []string{host.AuditKey(r.Subcategory).String()}
+}
+
 // Enforce runs auditpol /set enabling the required flags, preserving flags
 // the finding does not constrain.
 func (r *AuditPolicyRequirement) Enforce() core.EnforcementStatus {
