@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet lint build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry bench-load bench-serve smoke-load smoke-serve tables
+.PHONY: check vet lint build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry bench-trace bench-load bench-serve smoke-load smoke-serve smoke-trace tables
 
 # check is the CI gate: vet, the repository's own analyzers, build
 # everything, then the full test suite under the race detector (the
 # engine, core and monitor packages are concurrent by construction, so
 # -race is not optional), and finally the small-N load-harness smoke
-# replays in both sweep and push modes. fleet-race is part of race via
-# ./..., listed separately for a focused re-run.
-check: vet lint build race smoke-load smoke-serve
+# replays in both sweep and push modes plus the tracing-overhead gate.
+# fleet-race is part of race via ./..., listed separately for a focused
+# re-run.
+check: vet lint build race smoke-load smoke-serve smoke-trace
 
 vet:
 	$(GO) vet ./...
@@ -41,10 +42,19 @@ trace-race:
 	$(GO) test -race -run 'Trace|Telemetry|Span' ./internal/telemetry/ ./internal/fleet/ ./internal/engine/ ./internal/core/ ./internal/monitor/ ./cmd/fleetaudit/
 
 # bench-telemetry runs the tracing-overhead benchmarks (the disabled path
-# must hold 0 allocs/op) and regenerates the BENCH_telemetry.json record.
+# must hold 0 allocs/op, the enabled path 0 steady-state allocs) and
+# regenerates the BENCH_telemetry.json record.
 bench-telemetry:
 	$(GO) test -run=^$$ -bench='BenchmarkTelemetry' -benchmem ./internal/telemetry/ ./internal/fleet/
 	$(GO) run ./cmd/fleetaudit -bench-telemetry -o BENCH_telemetry.json
+
+# bench-trace runs the trace-store benchmarks (pooled ingestion, query
+# scans over a full ring) and regenerates the BENCH_trace.json record:
+# Offer/tracer ingestion throughput, query latency percentiles, and the
+# store-as-sink sweep overhead.
+bench-trace:
+	$(GO) test -run=^$$ -bench='BenchmarkStore|BenchmarkQuery' -benchmem ./internal/telemetry/store/
+	$(GO) run ./cmd/fleetaudit -bench-trace -o BENCH_trace.json
 
 # bench-steal runs the scheduler-focused pair: skewed-fleet static vs
 # work-stealing, and dedup off vs on.
@@ -87,6 +97,16 @@ smoke-load:
 # tentpole property — detection p99 strictly below the sweep interval.
 smoke-serve:
 	$(GO) run -race ./cmd/vdo-load -hosts 500 -duration 2s -push -window 50ms -sweep-every 500ms -rate 200 -shards 4 -workers 2 -seed 1 -assert-p99 500ms
+
+# smoke-trace is the tracing-overhead regression gate: the telemetry
+# overhead matrix (best of 5 per cell) must keep the 4-shard spans
+# overhead under 25% of the untraced sweep, or the target exits 1. The
+# sweep under test is ~8ms of mostly sleep, so single-digit percentages
+# are noise on a loaded runner; 25% still catches the 31-33% overhead
+# the per-collector sharding removed. The JSON goes to /dev/null;
+# bench-trace / bench-telemetry write the real records.
+smoke-trace:
+	$(GO) run ./cmd/fleetaudit -bench-telemetry -assert-overhead 25 -o /dev/null
 
 # tables regenerates every EXPERIMENTS.md table on stdout.
 tables:

@@ -8,18 +8,32 @@
 // the cross-host check memo, and -cache-file persists the incremental
 // cache across invocations.
 //
+// The sweep's spans can stay resident instead of (or as well as)
+// streaming to JSONL: -trace-query attaches the embeddable trace store
+// (internal/telemetry/store) to the tracer and runs a TraceQL-ish
+// expression against everything the sweep recorded — filter by span
+// name/outcome/duration/tags, `slowest K`, `p50/p95/p99 by KEY`,
+// `count by KEY`, `traces K` (full trees). With -vclock, -shards 1 and
+// -workers 1 the whole trace — IDs, durations, query output — is
+// deterministic for a given seed. -timeout arms the engine's
+// per-attempt deadline (with -faults, injected slowdowns sleep 4x the
+// deadline, so seeded checks time out deterministically).
+//
 // Usage:
 //
 //	fleetaudit [-hosts N] [-shards N] [-workers N] [-drift N] [-down N]
-//	           [-faults] [-retries N] [-seed N] [-incremental] [-enforce]
-//	           [-sched steal|static] [-dedup] [-cache-file PATH]
-//	           [-telemetry] [-trace PATH] [-metrics]
+//	           [-faults] [-retries N] [-timeout D] [-seed N]
+//	           [-incremental] [-enforce] [-sched steal|static] [-dedup]
+//	           [-cache-file PATH] [-telemetry] [-trace PATH] [-metrics]
+//	           [-trace-query EXPR] [-vclock] [-trace-capacity N]
+//	           [-trace-keep-ok N] [-trace-head N]
 //	           [-cpuprofile PATH] [-memprofile PATH]
 //	fleetaudit -bench [-o BENCH_fleet.json] [-seed N] [-commit HASH]
-//	fleetaudit -bench-telemetry [-o BENCH_telemetry.json] [-seed N] [-commit HASH]
+//	fleetaudit -bench-telemetry [-o BENCH_telemetry.json] [-assert-overhead PCT]
+//	fleetaudit -bench-trace [-o BENCH_trace.json] [-seed N] [-commit HASH]
 //
 // Exit status: 0 fleet fully compliant, 1 violations or errors open,
-// 2 usage error.
+// 2 usage error (or, with -assert-overhead, threshold exceeded).
 package main
 
 import (
@@ -38,6 +52,7 @@ import (
 	"veridevops/internal/host"
 	"veridevops/internal/report"
 	"veridevops/internal/telemetry"
+	"veridevops/internal/telemetry/store"
 )
 
 func main() {
@@ -54,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	down := fs.Int("down", 0, "hosts marked unreachable (degrade to ERROR verdicts)")
 	faults := fs.Bool("faults", false, "inject seeded panics/transients/slowdowns into every check")
 	retries := fs.Int("retries", 1, "attempt budget per check (recovers injected transients)")
+	timeout := fs.Duration("timeout", 0, "per-attempt deadline (0 disables; with -faults, slowdowns sleep 4x this)")
 	seed := fs.Int64("seed", 1, "seed for drift and fault injection")
 	incremental := fs.Bool("incremental", false, "after the full sweep, drift one host and re-sweep incrementally")
 	enforce := fs.Bool("enforce", false, "remediate failing requirements (CheckAndEnforce)")
@@ -63,9 +79,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	showTelemetry := fs.Bool("telemetry", false, "print per-shard and per-host engine telemetry")
 	tracePath := fs.String("trace", "", "write a JSONL span trace (sweep/shard/host/check/attempt) to this file")
 	showMetrics := fs.Bool("metrics", false, "collect and print the telemetry metrics registry after the run")
+	traceQuery := fs.String("trace-query", "", "keep the sweep's spans in the trace store and run this query (see internal/telemetry/store)")
+	vclock := fs.Bool("vclock", false, "stamp spans on a deterministic virtual clock (1us per reading)")
+	traceCap := fs.Int("trace-capacity", 0, "trace store span capacity (default 262144)")
+	traceKeepOK := fs.Int("trace-keep-ok", 0, "tail-sample: keep 1 in N healthy traces (error traces always kept; 0/1 keeps all)")
+	traceHead := fs.Int("trace-head", 0, "head-sample: buffer only 1 in N traces at all (0/1 keeps all)")
 	benchMode := fs.Bool("bench", false, "run the sharding/stealing/dedup/caching benchmark matrix instead of one audit")
 	benchTelemetryMode := fs.Bool("bench-telemetry", false, "run the tracing-overhead benchmark matrix instead of one audit")
-	out := fs.String("o", "", "output file for bench JSON (default BENCH_fleet.json, or BENCH_telemetry.json with -bench-telemetry)")
+	benchTraceMode := fs.Bool("bench-trace", false, "run the trace-store ingestion/query benchmark matrix instead of one audit")
+	assertOverhead := fs.Float64("assert-overhead", 0, "with -bench-telemetry: exit 1 if the 4-shard spans overhead exceeds this percentage (0 disables)")
+	out := fs.String("o", "", "output file for bench JSON (default BENCH_fleet.json / BENCH_telemetry.json / BENCH_trace.json)")
 	commit := fs.String("commit", "", "commit hash recorded in -bench provenance (default: build info)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -74,6 +97,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *hosts < 1 || *drift < 0 || *down < 0 || *retries < 1 {
 		fmt.Fprintln(stderr, "fleetaudit: -hosts must be >= 1 and -drift/-down/-retries non-negative")
+		return 2
+	}
+	if *timeout < 0 || *traceCap < 0 || *traceKeepOK < 0 || *traceHead < 0 {
+		fmt.Fprintln(stderr, "fleetaudit: -timeout/-trace-capacity/-trace-keep-ok/-trace-head must be non-negative")
 		return 2
 	}
 	if *drift > *hosts || *down > *hosts {
@@ -122,7 +149,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *out == "" {
 			*out = "BENCH_telemetry.json"
 		}
-		return runBenchTelemetry(stdout, stderr, *seed, *out, *commit)
+		return runBenchTelemetry(stdout, stderr, *seed, *out, *commit, *assertOverhead)
+	}
+	if *benchTraceMode {
+		if *out == "" {
+			*out = "BENCH_trace.json"
+		}
+		return runBenchTrace(stdout, stderr, *seed, *out, *commit)
 	}
 	if *benchMode {
 		if *out == "" {
@@ -131,10 +164,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runBench(stdout, stderr, *seed, *out, *commit)
 	}
 
-	// -trace streams spans to the file; bare -metrics still builds an
+	// -trace streams spans to the file; -trace-query keeps them resident
+	// in the store instead (both compose); bare -metrics still builds an
 	// aggregate-only tracer so the span-name breakdown can print.
 	var tracer *telemetry.Tracer
 	var traceFile *os.File
+	var spanStore *store.Store
+	var tracerOpts []telemetry.Option
+	if *vclock {
+		tracerOpts = append(tracerOpts, telemetry.WithClock(telemetry.NewVirtualClock(time.Microsecond)))
+	}
+	if *traceQuery != "" {
+		spanStore = store.New(store.Config{
+			Capacity:      *traceCap,
+			HeadKeep1In:   *traceHead,
+			TailKeepOK1In: *traceKeepOK,
+		})
+		tracerOpts = append(tracerOpts, telemetry.WithSink(spanStore))
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -142,9 +189,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		traceFile = f
-		tracer = telemetry.New(f)
-	} else if *showMetrics {
-		tracer = telemetry.New(nil)
+		tracer = telemetry.New(f, tracerOpts...)
+	} else if *showMetrics || spanStore != nil {
+		tracer = telemetry.New(nil, tracerOpts...)
 	}
 	var mets *telemetry.Metrics
 	if *showMetrics {
@@ -160,9 +207,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		machines[i].SetUnreachable(true)
 	}
 	if *faults {
+		// With a deadline armed, slowdowns sleep 4x the deadline so the
+		// seeded slow checks become deterministic timeouts.
+		slowDelay := 100 * time.Microsecond
+		if *timeout > 0 {
+			slowDelay = 4 * *timeout
+		}
 		plan := engine.FaultPlan{
 			PanicProb: 0.04, TransientProb: 0.30,
-			SlowProb: 0.10, SlowDelay: 100 * time.Microsecond,
+			SlowProb: 0.10, SlowDelay: slowDelay,
 		}
 		for i := range targets {
 			targets[i] = fleet.WithFaults(targets[i], *seed+int64(i)*100, plan)
@@ -173,7 +226,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Mode:       core.CheckOnly,
 		Shards:     *shards,
 		Workers:    *workers,
-		Checks:     engine.Policy{MaxAttempts: *retries},
+		Checks:     engine.Policy{MaxAttempts: *retries, AttemptTimeout: *timeout},
 		Scheduling: scheduling,
 		Dedup:      *dedup,
 		Trace:      tracer,
@@ -222,6 +275,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if mets != nil {
 		fmt.Fprintln(stdout)
 		mets.Table("metrics").WriteText(stdout)
+	}
+	if spanStore != nil {
+		spanStore.Flush()
+		res, err := spanStore.Query(*traceQuery)
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetaudit: trace query: %v\n", err)
+			return 2
+		}
+		sst := spanStore.Stats()
+		fmt.Fprintf(stdout, "\ntrace store: %d spans resident from %d traces (%d offered, %d sampled out, %d evicted)\n",
+			sst.Resident, sst.Traces, sst.Offered, sst.HeadDropped+sst.TailDropped, sst.Evicted)
+		res.WriteText(stdout)
 	}
 
 	if *cacheFile != "" {
@@ -396,11 +461,15 @@ func (c *lineCountWriter) Write(p []byte) (int, error) {
 // runBenchTelemetry produces the BENCH_telemetry.json perf record (E15):
 // the full sweep at 1/4/16 shards with telemetry off, spans only, and
 // spans+metrics, plus a fully-cached incremental re-sweep traced end to
-// end — the case whose all-replay stats must stay finite.
-func runBenchTelemetry(stdout, stderr io.Writer, seed int64, out, commit string) int {
+// end — the case whose all-replay stats must stay finite. Each cell is
+// the best of three runs so scheduler noise doesn't masquerade as
+// tracing overhead; -assert-overhead turns the 4-shard spans cell into
+// a regression gate.
+func runBenchTelemetry(stdout, stderr io.Writer, seed int64, out, commit string, assertOverhead float64) int {
 	const (
 		nHosts     = 16
 		probeDelay = 100 * time.Microsecond
+		benchRuns  = 5
 	)
 	mkFleet := func() []fleet.Target {
 		targets, _ := fleet.LinuxFleet(nHosts)
@@ -414,29 +483,43 @@ func runBenchTelemetry(stdout, stderr io.Writer, seed int64, out, commit string)
 		"scenario", "shards", "telemetry", "spans-emitted", "wall-ms", "overhead-vs-off")
 	t.Meta = report.Provenance(commit)
 
+	var spans4Overhead float64
 	for _, shards := range []int{1, 4, 16} {
 		var offWall time.Duration
 		for _, mode := range []string{"off", "spans", "spans+metrics"} {
-			targets := mkFleet()
-			opts := fleet.Options{Shards: shards, Workers: 4}
-			var cw *lineCountWriter
-			if mode != "off" {
-				cw = &lineCountWriter{}
-				opts.Trace = telemetry.New(cw)
+			var bestWall time.Duration
+			spans := 0
+			for run := 0; run < benchRuns; run++ {
+				targets := mkFleet()
+				opts := fleet.Options{Shards: shards, Workers: 4}
+				var cw *lineCountWriter
+				if mode != "off" {
+					cw = &lineCountWriter{}
+					opts.Trace = telemetry.New(cw)
+				}
+				if mode == "spans+metrics" {
+					opts.Metrics = telemetry.NewMetrics()
+				}
+				_, st := fleet.Sweep(targets, opts)
+				if cw != nil {
+					opts.Trace.Flush()
+					spans = cw.lines
+				}
+				if run == 0 || st.Wall < bestWall {
+					bestWall = st.Wall
+				}
 			}
-			if mode == "spans+metrics" {
-				opts.Metrics = telemetry.NewMetrics()
-			}
-			_, st := fleet.Sweep(targets, opts)
-			spans, overhead := 0, "-"
-			if cw != nil {
-				opts.Trace.Flush()
-				spans = cw.lines
-				overhead = report.Percent(float64(st.Wall-offWall) / float64(offWall))
+			overhead := "-"
+			if mode == "off" {
+				offWall = bestWall
 			} else {
-				offWall = st.Wall
+				frac := float64(bestWall-offWall) / float64(offWall)
+				overhead = report.Percent(frac)
+				if shards == 4 && mode == "spans" {
+					spans4Overhead = 100 * frac
+				}
 			}
-			t.AddRow("full sweep", shards, mode, spans, report.Millis(st.Wall), overhead)
+			t.AddRow("full sweep", shards, mode, spans, report.Millis(bestWall), overhead)
 		}
 	}
 
@@ -455,8 +538,8 @@ func runBenchTelemetry(stdout, stderr io.Writer, seed int64, out, commit string)
 		cw.lines, report.Millis(st.Wall), "-")
 
 	t.Note = fmt.Sprintf(
-		"seed %d; overhead = (traced - untraced) / untraced wall per shard count; cached re-sweep hit rate %s, load imbalance %s",
-		seed, report.Percent(st.CacheHitRate()), report.Float(st.LoadImbalance))
+		"seed %d; overhead = (traced - untraced) / untraced wall per shard count, best of %d runs per cell; cached re-sweep hit rate %s, load imbalance %s",
+		seed, benchRuns, report.Percent(st.CacheHitRate()), report.Float(st.LoadImbalance))
 
 	t.WriteText(stdout)
 	f, err := os.Create(out)
@@ -470,6 +553,15 @@ func runBenchTelemetry(stdout, stderr io.Writer, seed int64, out, commit string)
 		return 2
 	}
 	fmt.Fprintf(stdout, "wrote %s\n", out)
+	if assertOverhead > 0 && spans4Overhead > assertOverhead {
+		fmt.Fprintf(stderr, "fleetaudit: 4-shard spans overhead %.1f%% exceeds threshold %.1f%%\n",
+			spans4Overhead, assertOverhead)
+		return 1
+	}
+	if assertOverhead > 0 {
+		fmt.Fprintf(stdout, "4-shard spans overhead %.1f%% within threshold %.1f%%\n",
+			spans4Overhead, assertOverhead)
+	}
 	return 0
 }
 

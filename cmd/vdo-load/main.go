@@ -19,6 +19,7 @@
 //	vdo-load [-hosts N] [-topology PATH] [-rate EV_PER_SEC] [-burst N]
 //	         [-duration D] [-sweep-every D] [-shards N] [-workers N]
 //	         [-seed N] [-metrics] [-push] [-window D] [-assert-p99 D]
+//	         [-slowest N]
 //	vdo-load -bench [-hosts N] [-o BENCH_load.json] [-seed N] [-commit HASH]
 //	vdo-load -bench-serve [-hosts N] [-o BENCH_serve.json] [-seed N] [-commit HASH]
 //
@@ -37,6 +38,7 @@ import (
 	"veridevops/internal/loadgen"
 	"veridevops/internal/report"
 	"veridevops/internal/telemetry"
+	"veridevops/internal/telemetry/store"
 )
 
 func main() {
@@ -58,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	showMetrics := fs.Bool("metrics", false, "print the telemetry metrics registry after the replay")
 	push := fs.Bool("push", false, "stream deltas through the dependency index instead of batch sweeps")
 	window := fs.Duration("window", 50*time.Millisecond, "virtual dirty-key coalescing window between -push flushes")
+	slowest := fs.Int("slowest", 0, "keep spans in the trace store and print the N slowest host audits (push: deltas) after the replay")
 	assertP99 := fs.Duration("assert-p99", 0, "exit 1 unless detection p99 is strictly below this bound (0 disables)")
 	benchMode := fs.Bool("bench", false, "run the rate matrix and write the BENCH_load.json perf record")
 	benchServe := fs.Bool("bench-serve", false, "run the sweep-vs-push matrix and write the BENCH_serve.json perf record")
@@ -111,6 +114,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *showMetrics {
 		mets = telemetry.NewMetrics()
 	}
+	var spanStore *store.Store
+	var tracer *telemetry.Tracer
+	if *slowest > 0 {
+		spanStore = store.New(store.Config{})
+		tracer = telemetry.New(nil, telemetry.WithSink(spanStore))
+	}
 	fmt.Fprintf(stdout, "synthesizing %d hosts (seed %d)...\n", *hosts, *seed)
 	st, err := replay(top, *hosts, *seed, loadgen.DriverOptions{
 		Duration:   *duration,
@@ -122,6 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Shards:     *shards,
 		Workers:    *workers,
 		Metrics:    mets,
+		Trace:      tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "vdo-load: %v\n", err)
@@ -156,6 +166,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if mets != nil {
 		fmt.Fprintln(stdout)
 		mets.Table("metrics").WriteText(stdout)
+	}
+	if spanStore != nil {
+		tracer.Flush()
+		spanStore.Flush()
+		name := "host"
+		if *push {
+			name = "delta" // push-mode flushes root a trace per delta, not per host audit
+		}
+		res, err := spanStore.Query(fmt.Sprintf("name=%s | slowest %d", name, *slowest))
+		if err != nil {
+			fmt.Fprintf(stderr, "vdo-load: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout)
+		res.WriteText(stdout)
 	}
 	if *assertP99 > 0 && st.Detect.P99 >= *assertP99 {
 		fmt.Fprintf(stderr, "vdo-load: detection p99 %v not below asserted bound %v\n", st.Detect.P99, *assertP99)

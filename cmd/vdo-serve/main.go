@@ -18,7 +18,7 @@
 //
 //	vdo-serve [-hosts N] [-topology PATH] [-rate EV_PER_SEC] [-burst N]
 //	          [-window D] [-sweep-fallback D] [-duration D] [-shards N]
-//	          [-workers N] [-seed N] [-quiet] [-metrics]
+//	          [-workers N] [-seed N] [-quiet] [-metrics] [-slowest N]
 //
 // -duration 0 runs until a signal arrives. Exit status: 0 clean
 // shutdown, 2 usage or I/O error.
@@ -39,6 +39,7 @@ import (
 	"veridevops/internal/loadgen"
 	"veridevops/internal/report"
 	"veridevops/internal/telemetry"
+	"veridevops/internal/telemetry/store"
 )
 
 func main() {
@@ -62,6 +63,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "seed for synthesis and churn")
 	quiet := fs.Bool("quiet", false, "suppress ALARM/REPAIR and status lines; summary only")
 	showMetrics := fs.Bool("metrics", false, "print the telemetry metrics registry in the summary")
+	slowest := fs.Int("slowest", 0, "keep spans in the trace store and print the N slowest delta evaluations in the summary")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -101,6 +103,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *showMetrics {
 		mets = telemetry.NewMetrics()
 	}
+	var spanStore *store.Store
+	var tracer *telemetry.Tracer
+	if *slowest > 0 {
+		// Bound the resident window so a long-lived daemon keeps only the
+		// recent past: error traces always survive tail sampling, healthy
+		// deltas 1 in 4.
+		spanStore = store.New(store.Config{TailKeepOK1In: 4})
+		tracer = telemetry.New(nil, telemetry.WithSink(spanStore))
+	}
 	coord := fleet.NewCoordinator()
 	s := fleet.NewStreamer(coord, fleet.StreamOptions{
 		Mode:    core.CheckOnly,
@@ -108,6 +119,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Workers: *workers,
 		Dedup:   true,
 		Metrics: mets,
+		Trace:   tracer,
 	})
 	for _, h := range f.Hosts() {
 		s.Watch(h.Target(), h.Linux.Log())
@@ -228,6 +240,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if mets != nil {
 		fmt.Fprintln(stdout)
 		mets.Table("metrics").WriteText(stdout)
+	}
+	if spanStore != nil {
+		tracer.Flush()
+		spanStore.Flush()
+		res, err := spanStore.Query(fmt.Sprintf("name=delta | slowest %d", *slowest))
+		if err != nil {
+			fmt.Fprintf(stderr, "vdo-serve: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout)
+		res.WriteText(stdout)
 	}
 	return 0
 }

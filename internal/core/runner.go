@@ -150,6 +150,19 @@ func runRequirement(req CheckableEnforceableRequirement, mode RunMode, pol engin
 	pol.Span = sp
 	out := resolveRequirement(req, mode, pol, memo)
 	sp.Tag("status", out.st.Status.String())
+	// CheckError collapses several failure modes; surface which one as an
+	// outcome tag so the trace store can filter check spans the same way
+	// it filters attempt spans (outcome=timeout / outcome=panic).
+	if out.st.Status == CheckError {
+		switch {
+		case out.st.Timeouts > 0:
+			sp.Tag("outcome", "timeout")
+		case out.st.Panics > 0:
+			sp.Tag("outcome", "panic")
+		default:
+			sp.Tag("outcome", "error")
+		}
+	}
 	if out.st.DedupHit {
 		sp.TagBool("dedup_hit", true)
 	}

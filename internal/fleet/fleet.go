@@ -328,7 +328,10 @@ func (c *Coordinator) Sweep(targets []Target, opts Options) (FleetReport, FleetS
 		return func() {
 			var hs *telemetry.Span
 			if shardSpans != nil {
-				hs = shardSpans[shard].Child("host").
+				// ChildTrace: each host audit roots its own trace (tree
+				// link to the shard preserved), so the trace store can
+				// sample and rank per host, not per whole sweep.
+				hs = shardSpans[shard].ChildTrace("host").
 					Tag("host", ts[i].Name).TagBool("stolen", stolen)
 			}
 			hr := c.auditOne(ts[i], shard, opts, memo, hs)

@@ -402,7 +402,9 @@ func (s *Streamer) Flush(now time.Duration) FlushResult {
 	results, _ := engine.Map(plans, s.opts.Shards, func(i int, p deltaPlan) HostResult {
 		var sp *telemetry.Span
 		if root != nil {
-			sp = root.Child("delta").Tag("host", p.sh.target.Name).TagBool("full", p.full)
+			// ChildTrace: each per-host delta is one change→verdict unit,
+			// rooted as its own trace for the store's slowest-trace search.
+			sp = root.ChildTrace("delta").Tag("host", p.sh.target.Name).TagBool("full", p.full)
 		}
 		var hr HostResult
 		if p.full {

@@ -48,6 +48,11 @@ type DriverOptions struct {
 	// Metrics, when non-nil, receives load.* counters and the
 	// load.detect latency samples.
 	Metrics *telemetry.Metrics
+	// Trace, when non-nil, instruments every sweep and flush with spans
+	// (sweep→shard→host, flush→delta). Attach a store via
+	// telemetry.WithSink to keep the replay's traces queryable — the
+	// straggler-search hook behind vdo-load -slowest.
+	Trace *telemetry.Tracer
 }
 
 // LoadStats is the outcome of one replay.
@@ -257,6 +262,7 @@ func runSweep(f *Fleet, c *Churn, opts DriverOptions) (LoadStats, error) {
 		Shards:      opts.Shards,
 		Workers:     opts.Workers,
 		Incremental: true,
+		Trace:       opts.Trace,
 	}
 
 	start := time.Now() // real clock: throughput reporting only
@@ -316,6 +322,7 @@ func runPush(f *Fleet, c *Churn, opts DriverOptions) (LoadStats, error) {
 		Shards:      opts.Shards,
 		Workers:     opts.Workers,
 		Incremental: true,
+		Trace:       opts.Trace,
 	}
 
 	start := time.Now() // real clock: throughput reporting only
@@ -326,6 +333,7 @@ func runPush(f *Fleet, c *Churn, opts DriverOptions) (LoadStats, error) {
 		Workers: opts.Workers,
 		Dedup:   true,
 		Metrics: opts.Metrics,
+		Trace:   opts.Trace,
 	})
 	for _, h := range f.Hosts() {
 		s.Watch(h.Target(), h.Linux.Log())

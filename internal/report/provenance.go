@@ -2,15 +2,33 @@ package report
 
 import (
 	"fmt"
+	"os/exec"
 	"runtime"
 	"runtime/debug"
+	"strings"
 )
+
+// gitCommit asks git for the short HEAD revision of the working tree
+// the binary runs in. A seam so tests can fake both outcomes; it fails
+// harmlessly (empty string) outside a checkout or without git.
+var gitCommit = func() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 // Provenance returns the machine/revision metadata every BENCH_*.json
 // table carries (Table.Meta), so a recorded run is attributable to the
 // platform and commit that produced it. An empty commit falls back to
-// the build info's vcs.revision, then "unknown".
+// `git rev-parse --short HEAD` (the common case: `go run` from a
+// checkout embeds no vcs info), then the build info's vcs.revision,
+// then "unknown".
 func Provenance(commit string) map[string]string {
+	if commit == "" {
+		commit = gitCommit()
+	}
 	if commit == "" {
 		if bi, ok := debug.ReadBuildInfo(); ok {
 			for _, s := range bi.Settings {

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"runtime"
+	"testing"
+)
+
+// swapGitCommit stubs the git seam for one test.
+func swapGitCommit(t *testing.T, fn func() string) {
+	t.Helper()
+	old := gitCommit
+	gitCommit = fn
+	t.Cleanup(func() { gitCommit = old })
+}
+
+func TestProvenanceExplicitCommitWins(t *testing.T) {
+	swapGitCommit(t, func() string {
+		t.Error("git consulted despite explicit -commit")
+		return "deadbee"
+	})
+	m := Provenance("abc1234")
+	if m["commit"] != "abc1234" {
+		t.Fatalf("commit = %q, want abc1234", m["commit"])
+	}
+}
+
+func TestProvenanceFallsBackToGit(t *testing.T) {
+	swapGitCommit(t, func() string { return "deadbee" })
+	m := Provenance("")
+	if m["commit"] != "deadbee" {
+		t.Fatalf("commit = %q, want deadbee", m["commit"])
+	}
+}
+
+// With git unavailable the chain continues to build info; test binaries
+// carry no vcs.revision, so the terminal "unknown" is what must appear
+// rather than an empty string.
+func TestProvenanceGitUnavailable(t *testing.T) {
+	swapGitCommit(t, func() string { return "" })
+	m := Provenance("")
+	if m["commit"] == "" {
+		t.Fatal("commit is empty; want vcs.revision or unknown")
+	}
+	for _, k := range []string{"goos", "goarch", "cpus", "go"} {
+		if m[k] == "" {
+			t.Errorf("meta %q missing", k)
+		}
+	}
+	if m["goos"] != runtime.GOOS {
+		t.Errorf("goos = %q, want %q", m["goos"], runtime.GOOS)
+	}
+}
+
+// The real git seam must not explode when invoked, whatever the
+// environment: worst case it reports nothing and the chain moves on.
+func TestGitCommitSeamDoesNotPanic(t *testing.T) {
+	_ = gitCommit()
+}

@@ -13,8 +13,13 @@ import (
 // Parent 0 marks a root span. Times are microseconds (start is a Unix
 // timestamp, or k*step under a virtual clock).
 type Record struct {
-	ID      uint64            `json:"id"`
-	Parent  uint64            `json:"parent,omitempty"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Trace is the span ID of the record's trace root (the record is
+	// itself the root when Trace == ID). Span.ChildTrace starts a fresh
+	// trace mid-tree, so Trace partitions a sweep's tree into per-host
+	// units for the store's sampling and slowest-trace search.
+	Trace   uint64            `json:"trace,omitempty"`
 	Name    string            `json:"name"`
 	StartUS int64             `json:"start_us"`
 	DurUS   int64             `json:"dur_us"`

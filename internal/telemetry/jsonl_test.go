@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// ReadJSONL consumes files written by other processes — possibly
+// killed mid-write, possibly corrupted. These tests pin down its
+// behaviour on hostile input: fail loudly with the offending line
+// number, never hang or panic, and accept benign irregularities
+// (blank lines, a missing final newline).
+
+func TestReadJSONLMissingFinalNewlineIsFine(t *testing.T) {
+	in := `{"id":1,"name":"a","start_us":0,"dur_us":5}` + "\n" +
+		`{"id":2,"parent":1,"name":"b","start_us":1,"dur_us":3}` // no trailing \n
+	recs, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(recs) != 2 || recs[1].ID != 2 || recs[1].Parent != 1 {
+		t.Fatalf("recs = %+v, want both records", recs)
+	}
+}
+
+func TestReadJSONLTruncatedLastLine(t *testing.T) {
+	// A writer killed mid-record leaves a syntactically broken tail.
+	in := `{"id":1,"name":"a","start_us":0,"dur_us":5}` + "\n" +
+		`{"id":2,"name":"b","sta`
+	_, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not name line 2", err)
+	}
+}
+
+func TestReadJSONLInterleavedGarbage(t *testing.T) {
+	in := `{"id":1,"name":"a","start_us":0,"dur_us":5}` + "\n" +
+		"\n" + // blank lines are skipped...
+		"!!! not json at all\n" + // ...garbage is not
+		`{"id":2,"name":"b","start_us":1,"dur_us":3}` + "\n"
+	_, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name line 3", err)
+	}
+}
+
+func TestReadJSONLOversizedRecord(t *testing.T) {
+	// One record bigger than the scanner's 1MB line cap must produce an
+	// error, not a hang or a silent truncation.
+	var sb strings.Builder
+	sb.WriteString(`{"id":1,"name":"a","start_us":0,"dur_us":5}` + "\n")
+	sb.WriteString(`{"id":2,"name":"`)
+	sb.WriteString(strings.Repeat("x", 2*1024*1024))
+	sb.WriteString(`","start_us":1,"dur_us":3}` + "\n")
+	_, err := ReadJSONL(strings.NewReader(sb.String()))
+	if err == nil {
+		t.Fatal("2MB record accepted")
+	}
+	if !strings.Contains(err.Error(), "token too long") {
+		t.Fatalf("error %q, want the scanner's too-long failure", err)
+	}
+}
+
+func TestReadJSONLUnknownFieldsIgnored(t *testing.T) {
+	// Forward compatibility: a newer writer may add fields.
+	in := `{"id":7,"name":"a","start_us":0,"dur_us":5,"future_field":{"nested":true}}` + "\n"
+	recs, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(recs) != 1 || recs[0].ID != 7 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}

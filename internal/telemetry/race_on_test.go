@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation defeats sync.Pool reuse (Get intentionally drops items
+// under -race), so allocation-budget assertions are skipped.
+const raceEnabled = true

@@ -1,0 +1,617 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"veridevops/internal/report"
+	"veridevops/internal/telemetry"
+)
+
+// Query grammar — a deliberately small TraceQL-ish expression language
+// over the resident ring:
+//
+//	EXPR    := FILTER* [ '|' OP ]
+//	FILTER  := name=NAME | outcome=OUTCOME | trace=ID
+//	         | dur>DUR | dur>=DUR | KEY=VALUE
+//	OP      := slowest [K]            top-K matched spans by duration
+//	         | p50|p95|p99 by KEY     per-group percentiles over matches
+//	         | count by KEY           per-group counts over matches
+//	         | traces [K]             top-K slowest traces, full trees
+//
+// Filters AND together. NAME/KEY/VALUE are whitespace-delimited tokens
+// (span names and tag values in this codebase contain no spaces); DUR
+// is a Go duration ("750us", "3ms"); OUTCOME is one of the store's
+// outcome words (ok, transient, fail, incomplete, error, timeout,
+// panic). A bare KEY=VALUE filter matches spans carrying that tag pair.
+// KEY in a `by` clause may also be the builtin `name`. The default OP
+// is `slowest 5`.
+//
+// Examples:
+//
+//	name=check outcome=timeout | slowest 5
+//	name=attempt | p99 by host
+//	outcome=fail | count by finding
+//	name=host dur>2ms | traces 3
+
+// Result is a query's answer: a rendered table for span/aggregate ops,
+// reassembled trees for `traces`, and scan accounting.
+type Result struct {
+	Table   *report.Table
+	Traces  []TraceTree
+	Scanned int // resident spans examined
+	Matched int // spans that passed the filters
+}
+
+// TraceTree is one reconstructed trace from a `traces` op, slowest
+// first: the trace's spans reassembled into their forest (roots whose
+// parents fell outside the trace or were evicted are promoted, so
+// partial traces stay inspectable).
+type TraceTree struct {
+	Trace uint64
+	DurUS int64
+	Roots []*telemetry.Node
+}
+
+// WriteText renders the result the way the CLIs print it: the table
+// and/or the trace trees.
+func (r *Result) WriteText(w io.Writer) error {
+	if r.Table != nil {
+		if err := r.Table.WriteText(w); err != nil {
+			return err
+		}
+	}
+	for _, tt := range r.Traces {
+		if err := WriteTraceTree(w, tt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTraceTree prints one reconstructed trace as an indented tree.
+func WriteTraceTree(w io.Writer, tt TraceTree) error {
+	if _, err := fmt.Fprintf(w, "trace %d (%.2fms)\n", tt.Trace, float64(tt.DurUS)/1e3); err != nil {
+		return err
+	}
+	var walk func(n *telemetry.Node, depth int) error
+	walk = func(n *telemetry.Node, depth int) error {
+		tags := ""
+		if len(n.Tags) > 0 {
+			keys := make([]string, 0, len(n.Tags))
+			for k := range n.Tags {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = k + "=" + n.Tags[k]
+			}
+			tags = "  [" + strings.Join(parts, " ") + "]"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %.2fms%s\n",
+			strings.Repeat("  ", depth+1), n.Name, float64(n.DurUS)/1e3, tags); err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range tt.Roots {
+		if err := walk(root, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// filter is the compiled AND-conjunction: symbols pre-resolved so the
+// scan loop is pure integer compares.
+type filter struct {
+	nameSym    uint32
+	hasName    bool
+	nameMiss   bool // name never interned: nothing can match
+	outcome    Outcome
+	hasOutcome bool
+	trace      uint64
+	hasTrace   bool
+	minDurUS   int64
+	tagPairs   [][2]uint32 // key-sym, val-sym equality conjuncts
+	tagMiss    bool
+}
+
+func (f *filter) match(b *block, i int) bool {
+	if f.hasName && b.names[i] != f.nameSym {
+		return false
+	}
+	if f.hasOutcome && b.outs[i] != f.outcome {
+		return false
+	}
+	if f.hasTrace && b.traces[i] != f.trace {
+		return false
+	}
+	if b.durs[i] < f.minDurUS {
+		return false
+	}
+	return f.matchTags(b, i)
+}
+
+func (f *filter) matchTags(b *block, i int) bool {
+	for _, kv := range f.tagPairs {
+		off, n := b.tagOff[i], b.tagLen[i]
+		found := false
+		for j := uint32(0); j+1 < n; j += 2 {
+			if b.arena[off+j] == kv[0] && b.arena[off+j+1] == kv[1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// forEach drives fn over every matching row. The reject tests are
+// inlined over local column slices so the per-row cost is a couple of
+// predictable compares — the difference between an ~0.8ms and a ~0.3ms
+// full-ring scan; fn is only paid per candidate match. Must run inside
+// a scan() hold.
+func (f *filter) forEach(blocks []*block, scanned *int, fn func(b *block, i int)) {
+	hasName, nameSym := f.hasName, f.nameSym
+	hasOutcome, oc := f.hasOutcome, f.outcome
+	hasTrace, tr := f.hasTrace, f.trace
+	minDur := f.minDurUS
+	hasTags := len(f.tagPairs) > 0
+	for _, b := range blocks {
+		n := len(b.ids)
+		*scanned += n
+		names, outs, durs, traces := b.names, b.outs, b.durs, b.traces
+		_ = names[:n]
+		for i := 0; i < n; i++ {
+			if hasName && names[i] != nameSym {
+				continue
+			}
+			if hasOutcome && outs[i] != oc {
+				continue
+			}
+			if durs[i] < minDur {
+				continue
+			}
+			if hasTrace && traces[i] != tr {
+				continue
+			}
+			if hasTags && !f.matchTags(b, i) {
+				continue
+			}
+			fn(b, i)
+		}
+	}
+}
+
+type opKind int
+
+const (
+	opSlowest opKind = iota
+	opPercentile
+	opCount
+	opTraces
+)
+
+type op struct {
+	kind opKind
+	k    int     // slowest/traces top-K
+	p    float64 // percentile rank for opPercentile
+	pLbl string  // "p50" | "p95" | "p99"
+	by   string  // group key for opPercentile/opCount
+}
+
+// Query parses and runs one expression against the resident ring. A
+// query that references a name/tag the store has never seen returns an
+// empty result, not an error (the store simply holds no such span).
+func (s *Store) Query(expr string) (*Result, error) {
+	f, o, err := s.parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	if f.nameMiss || f.tagMiss {
+		res := &Result{Scanned: s.Resident()}
+		res.Table = report.New(fmt.Sprintf("trace-query: %s (no matches)", strings.TrimSpace(expr)), "span", "dur_ms")
+		return res, nil
+	}
+	switch o.kind {
+	case opSlowest:
+		return s.querySlowest(expr, f, o)
+	case opPercentile, opCount:
+		return s.queryGrouped(expr, f, o)
+	case opTraces:
+		return s.queryTraces(expr, f, o)
+	}
+	return nil, fmt.Errorf("store: unreachable op %d", o.kind)
+}
+
+func (s *Store) parse(expr string) (*filter, op, error) {
+	o := op{kind: opSlowest, k: 5}
+	filterPart, opPart := expr, ""
+	if i := strings.IndexByte(expr, '|'); i >= 0 {
+		filterPart, opPart = expr[:i], expr[i+1:]
+	}
+	f := &filter{}
+	for _, tok := range strings.Fields(filterPart) {
+		switch {
+		case strings.HasPrefix(tok, "dur>="):
+			d, err := time.ParseDuration(tok[len("dur>="):])
+			if err != nil {
+				return nil, o, fmt.Errorf("store: bad duration in %q: %w", tok, err)
+			}
+			f.minDurUS = sinceUS(d)
+		case strings.HasPrefix(tok, "dur>"):
+			d, err := time.ParseDuration(tok[len("dur>"):])
+			if err != nil {
+				return nil, o, fmt.Errorf("store: bad duration in %q: %w", tok, err)
+			}
+			f.minDurUS = sinceUS(d) + 1
+		case strings.HasPrefix(tok, "name="):
+			f.hasName = true
+			sym, ok := s.lookupSym(tok[len("name="):])
+			f.nameSym, f.nameMiss = sym, !ok
+		case strings.HasPrefix(tok, "outcome="):
+			word := tok[len("outcome="):]
+			oc := ParseOutcome(word)
+			if oc == OutcomeNone && word != "none" {
+				return nil, o, fmt.Errorf("store: unknown outcome %q", word)
+			}
+			f.hasOutcome = true
+			f.outcome = oc
+		case strings.HasPrefix(tok, "trace="):
+			id, err := strconv.ParseUint(tok[len("trace="):], 10, 64)
+			if err != nil {
+				return nil, o, fmt.Errorf("store: bad trace id in %q: %w", tok, err)
+			}
+			f.hasTrace = true
+			f.trace = id
+		default:
+			k, v, ok := strings.Cut(tok, "=")
+			if !ok || k == "" {
+				return nil, o, fmt.Errorf("store: cannot parse filter %q (want name=, outcome=, trace=, dur>, or KEY=VALUE)", tok)
+			}
+			ks, ok1 := s.lookupSym(k)
+			vs, ok2 := s.lookupSym(v)
+			if !ok1 || !ok2 {
+				f.tagMiss = true
+				continue
+			}
+			f.tagPairs = append(f.tagPairs, [2]uint32{ks, vs})
+		}
+	}
+	if strings.TrimSpace(opPart) == "" {
+		return f, o, nil
+	}
+	toks := strings.Fields(opPart)
+	switch toks[0] {
+	case "slowest", "traces":
+		if toks[0] == "traces" {
+			o.kind = opTraces
+		}
+		if len(toks) > 2 {
+			return nil, o, fmt.Errorf("store: %s takes at most one argument", toks[0])
+		}
+		if len(toks) == 2 {
+			k, err := strconv.Atoi(toks[1])
+			if err != nil || k < 1 {
+				return nil, o, fmt.Errorf("store: bad top-K %q", toks[1])
+			}
+			o.k = k
+		}
+	case "p50", "p95", "p99":
+		if len(toks) != 3 || toks[1] != "by" {
+			return nil, o, fmt.Errorf("store: want %q", toks[0]+" by KEY")
+		}
+		o.kind = opPercentile
+		o.pLbl = toks[0]
+		switch toks[0] {
+		case "p50":
+			o.p = 0.50
+		case "p95":
+			o.p = 0.95
+		case "p99":
+			o.p = 0.99
+		}
+		o.by = toks[2]
+	case "count":
+		if len(toks) != 3 || toks[1] != "by" {
+			return nil, o, fmt.Errorf(`store: want "count by KEY"`)
+		}
+		o.kind = opCount
+		o.by = toks[2]
+	default:
+		return nil, o, fmt.Errorf("store: unknown op %q (want slowest, p50/p95/p99 by, count by, traces)", toks[0])
+	}
+	return f, o, nil
+}
+
+// hit is one matched span during a slowest scan.
+type hit struct {
+	blk *block
+	row int
+}
+
+func (s *Store) querySlowest(expr string, f *filter, o op) (*Result, error) {
+	res := &Result{}
+	// Bounded selection: keep the current top-K in a small slice; at
+	// ring scale (256k spans, K=5) the insertion cost is negligible next
+	// to the scan itself.
+	top := make([]hit, 0, o.k)
+	worst := int64(-1) // smallest duration currently in top
+	better := func(a, b hit) bool {
+		da, db := a.blk.durs[a.row], b.blk.durs[b.row]
+		if da != db {
+			return da > db
+		}
+		return a.blk.ids[a.row] < b.blk.ids[b.row] // deterministic ties
+	}
+	t := report.New(fmt.Sprintf("trace-query: %s", strings.TrimSpace(expr)),
+		"span", "dur_ms", "outcome", "trace", "id", "tags")
+	s.scan(func(blocks []*block) {
+		// The reject tests and the top-K cutoff are inlined here rather
+		// than routed through forEach's per-match callback: with a broad
+		// filter most matched rows fall under the cutoff, and the
+		// indirect call per match would cost more than the compare that
+		// rejects them.
+		hasName, nameSym := f.hasName, f.nameSym
+		hasOutcome, oc := f.hasOutcome, f.outcome
+		hasTrace, tr := f.hasTrace, f.trace
+		minDur := f.minDurUS
+		hasTags := len(f.tagPairs) > 0
+		for _, b := range blocks {
+			n := len(b.ids)
+			res.Scanned += n
+			names, outs, durs, traces := b.names, b.outs, b.durs, b.traces
+			_ = names[:n]
+			for i := 0; i < n; i++ {
+				if hasName && names[i] != nameSym {
+					continue
+				}
+				if hasOutcome && outs[i] != oc {
+					continue
+				}
+				if durs[i] < minDur {
+					continue
+				}
+				if hasTrace && traces[i] != tr {
+					continue
+				}
+				if hasTags && !f.matchTags(b, i) {
+					continue
+				}
+				res.Matched++
+				if len(top) == o.k && durs[i] < worst {
+					continue
+				}
+				h := hit{b, i}
+				pos := len(top)
+				for pos > 0 && better(h, top[pos-1]) {
+					pos--
+				}
+				if len(top) < o.k {
+					top = append(top, hit{})
+				} else if pos == len(top) {
+					continue // ties below the cut keep the earlier id
+				}
+				copy(top[pos+1:], top[pos:])
+				top[pos] = h
+				worst = top[len(top)-1].blk.durs[top[len(top)-1].row]
+			}
+		}
+		// Materialise rows under the same lock hold: the hits point into
+		// blocks a writer could otherwise recycle.
+		for _, h := range top {
+			rec := s.record(h.blk, h.row)
+			t.AddRow(rec.Name, report.Millis(time.Duration(rec.DurUS)*time.Microsecond),
+				h.blk.outs[h.row].String(), rec.Trace, rec.ID, compactTags(rec.Tags))
+		}
+	})
+	t.Note = fmt.Sprintf("%d of %d resident spans matched", res.Matched, res.Scanned)
+	res.Table = t
+	return res, nil
+}
+
+func compactTags(tags map[string]string) string {
+	if len(tags) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + tags[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+func (s *Store) queryGrouped(expr string, f *filter, o op) (*Result, error) {
+	res := &Result{}
+	byName := o.by == "name"
+	var bySym uint32
+	if !byName {
+		sym, ok := s.lookupSym(o.by)
+		if !ok {
+			res.Table = report.New(fmt.Sprintf("trace-query: %s (no such tag key %q)", strings.TrimSpace(expr), o.by), o.by, "count")
+			res.Scanned = s.Resident()
+			return res, nil
+		}
+		bySym = sym
+	}
+	groups := map[uint32][]int64{} // group value sym -> matched durs (us)
+	s.scan(func(blocks []*block) {
+		f.forEach(blocks, &res.Scanned, func(b *block, i int) {
+			res.Matched++
+			var g uint32
+			if byName {
+				g = b.names[i]
+			} else {
+				off, tn := b.tagOff[i], b.tagLen[i]
+				found := false
+				for j := uint32(0); j+1 < tn; j += 2 {
+					if b.arena[off+j] == bySym {
+						g = b.arena[off+j+1]
+						found = true
+						break
+					}
+				}
+				if !found {
+					return // span has no such tag: outside the grouping
+				}
+			}
+			groups[g] = append(groups[g], b.durs[i])
+		})
+	})
+	type row struct {
+		key    string
+		count  int
+		stats  telemetry.QuantileStats
+		rankUS time.Duration
+	}
+	rows := make([]row, 0, len(groups))
+	for g, durs := range groups {
+		q := telemetry.NewQuantiles()
+		for _, us := range durs {
+			q.Observe(time.Duration(us) * time.Microsecond)
+		}
+		st := q.Snapshot()
+		r := row{key: s.str(g), count: len(durs), stats: st}
+		switch o.pLbl {
+		case "p50":
+			r.rankUS = st.P50
+		case "p95":
+			r.rankUS = st.P95
+		default:
+			r.rankUS = st.P99
+		}
+		rows = append(rows, r)
+	}
+	if o.kind == opCount {
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].count != rows[j].count {
+				return rows[i].count > rows[j].count
+			}
+			return rows[i].key < rows[j].key
+		})
+		t := report.New(fmt.Sprintf("trace-query: %s", strings.TrimSpace(expr)),
+			o.by, "count", "total_ms", "mean_ms")
+		for _, r := range rows {
+			t.AddRow(r.key, r.count, report.Millis(r.stats.Total), report.Millis(r.stats.Mean))
+		}
+		t.Note = fmt.Sprintf("%d of %d resident spans matched", res.Matched, res.Scanned)
+		res.Table = t
+		return res, nil
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].rankUS != rows[j].rankUS {
+			return rows[i].rankUS > rows[j].rankUS
+		}
+		return rows[i].key < rows[j].key
+	})
+	t := report.New(fmt.Sprintf("trace-query: %s", strings.TrimSpace(expr)),
+		o.by, "count", "p50_ms", "p95_ms", "p99_ms", "max_ms")
+	for _, r := range rows {
+		t.AddRow(r.key, r.count, report.Millis(r.stats.P50), report.Millis(r.stats.P95),
+			report.Millis(r.stats.P99), report.Millis(r.stats.Max))
+	}
+	t.Note = fmt.Sprintf("%d of %d resident spans matched; sorted by %s", res.Matched, res.Scanned, o.pLbl)
+	res.Table = t
+	return res, nil
+}
+
+func (s *Store) queryTraces(expr string, f *filter, o op) (*Result, error) {
+	res := &Result{}
+	// Pass 1: traces containing at least one matched span, ranked by the
+	// trace root's duration (fallback: the trace's longest resident span
+	// when the root was evicted or never ended).
+	rootDur := map[uint64]int64{} // trace -> root span dur
+	maxDur := map[uint64]int64{}  // trace -> longest matched-trace span dur
+	matched := map[uint64]bool{}
+	s.scan(func(blocks []*block) {
+		// Root durations: one tight pass over the id/trace columns.
+		for _, b := range blocks {
+			ids, traces, durs := b.ids, b.traces, b.durs
+			for i := 0; i < len(ids); i++ {
+				if ids[i] == traces[i] {
+					rootDur[traces[i]] = durs[i]
+				}
+			}
+		}
+		f.forEach(blocks, &res.Scanned, func(b *block, i int) {
+			res.Matched++
+			tr := b.traces[i]
+			matched[tr] = true
+			if b.durs[i] > maxDur[tr] {
+				maxDur[tr] = b.durs[i]
+			}
+		})
+	})
+	type cand struct {
+		trace uint64
+		durUS int64
+	}
+	cands := make([]cand, 0, len(matched))
+	for tr := range matched {
+		d, ok := rootDur[tr]
+		if !ok {
+			d = maxDur[tr]
+		}
+		cands = append(cands, cand{tr, d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].durUS != cands[j].durUS {
+			return cands[i].durUS > cands[j].durUS
+		}
+		return cands[i].trace < cands[j].trace // deterministic ties
+	})
+	if len(cands) > o.k {
+		cands = cands[:o.k]
+	}
+	want := make(map[uint64]int, len(cands))
+	for rank, c := range cands {
+		want[c.trace] = rank
+	}
+	// Pass 2: collect every resident span of the winning traces and
+	// reassemble each trace's tree.
+	recsByTrace := make(map[uint64][]telemetry.Record, len(cands))
+	s.scan(func(blocks []*block) {
+		for _, b := range blocks {
+			for i := 0; i < len(b.ids); i++ {
+				if _, ok := want[b.traces[i]]; ok {
+					recsByTrace[b.traces[i]] = append(recsByTrace[b.traces[i]], s.record(b, i))
+				}
+			}
+		}
+	})
+	res.Traces = make([]TraceTree, len(cands))
+	for _, c := range cands {
+		res.Traces[want[c.trace]] = TraceTree{
+			Trace: c.trace,
+			DurUS: c.durUS,
+			Roots: telemetry.BuildTree(recsByTrace[c.trace]),
+		}
+	}
+	t := report.New(fmt.Sprintf("trace-query: %s", strings.TrimSpace(expr)),
+		"rank", "trace", "dur_ms", "spans")
+	for rank, c := range cands {
+		t.AddRow(rank+1, c.trace, report.Millis(time.Duration(c.durUS)*time.Microsecond), len(recsByTrace[c.trace]))
+	}
+	t.Note = fmt.Sprintf("%d of %d resident spans matched across %d trace(s)", res.Matched, res.Scanned, len(matched))
+	res.Table = t
+	return res, nil
+}

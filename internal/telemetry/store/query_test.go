@@ -1,0 +1,302 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixture populates a store with a deterministic little fleet's worth
+// of traces: three hosts, checks with mixed outcomes, one slow timeout.
+func fixture(t *testing.T) *Store {
+	t.Helper()
+	s := New(Config{Capacity: 1 << 12})
+	// host web-0: healthy, fast.
+	offerTrace(s,
+		span(11, 10, 10, "check", 200, "finding", "CIS-1.1", "status", "PASS"),
+		span(12, 10, 10, "check", 300, "finding", "CIS-2.2", "status", "PASS"),
+		span(10, 0, 10, "host", 600, "host", "web-0"),
+	)
+	// host web-1: one timeout check, slow.
+	offerTrace(s,
+		span(21, 20, 20, "check", 5000, "finding", "CIS-1.1", "status", "ERROR", "outcome", "timeout"),
+		span(22, 20, 20, "check", 250, "finding", "CIS-2.2", "status", "PASS"),
+		span(20, 0, 20, "host", 5400, "host", "web-1"),
+	)
+	// host db-0: a failing check.
+	offerTrace(s,
+		span(31, 30, 30, "check", 400, "finding", "CIS-3.3", "status", "FAIL"),
+		span(30, 0, 30, "host", 500, "host", "db-0"),
+	)
+	return s
+}
+
+func TestQuerySlowestWithFilters(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("name=check outcome=timeout | slowest 5")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Matched != 1 || len(res.Table.Rows) != 1 {
+		t.Fatalf("matched = %d rows = %d, want exactly the timeout check", res.Matched, len(res.Table.Rows))
+	}
+	row := res.Table.Rows[0]
+	if row[0] != "check" || row[2] != "timeout" || row[3] != "20" {
+		t.Errorf("row = %v, want check/timeout in trace 20", row)
+	}
+	if !strings.Contains(row[5], "finding=CIS-1.1") {
+		t.Errorf("tags cell = %q, want finding=CIS-1.1", row[5])
+	}
+	if res.Scanned != 8 {
+		t.Errorf("scanned = %d, want all 8 resident spans", res.Scanned)
+	}
+}
+
+func TestQuerySlowestOrderingAndK(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("name=check | slowest 2")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Table.Rows))
+	}
+	// 5000us timeout first, then the 400us FAIL.
+	if res.Table.Rows[0][4] != "21" || res.Table.Rows[1][4] != "31" {
+		t.Errorf("top-2 ids = %v/%v, want 21 then 31", res.Table.Rows[0][4], res.Table.Rows[1][4])
+	}
+	if res.Matched != 5 {
+		t.Errorf("matched = %d, want all 5 checks", res.Matched)
+	}
+}
+
+func TestQueryDurationFilter(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("name=check dur>=400us | slowest 10")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Matched != 2 {
+		t.Fatalf("matched = %d, want 2 (5000us and 400us)", res.Matched)
+	}
+	res, err = s.Query("name=check dur>400us | slowest 10")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Matched != 1 {
+		t.Fatalf("matched = %d, want 1 (strict >400us)", res.Matched)
+	}
+}
+
+func TestQueryTagEquality(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("finding=CIS-1.1 | slowest 10")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Matched != 2 {
+		t.Fatalf("matched = %d, want the two CIS-1.1 checks", res.Matched)
+	}
+}
+
+func TestQueryPercentileByHost(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("name=host | p99 by host")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Table.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 hosts", len(res.Table.Rows))
+	}
+	// Sorted by p99 desc: web-1 (5400us) first.
+	if res.Table.Rows[0][0] != "web-1" {
+		t.Errorf("slowest host = %s, want web-1", res.Table.Rows[0][0])
+	}
+	if res.Table.Rows[0][4] != "5.40" { // p99_ms column
+		t.Errorf("web-1 p99 = %s ms, want 5.40", res.Table.Rows[0][4])
+	}
+}
+
+func TestQueryPercentileByName(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("| p50 by name")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("rows = %d, want check + host", len(res.Table.Rows))
+	}
+}
+
+func TestQueryCountByFinding(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("name=check | count by finding")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Table.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 findings", len(res.Table.Rows))
+	}
+	// CIS-1.1 and CIS-2.2 both count 2; key ascending breaks the tie.
+	if res.Table.Rows[0][0] != "CIS-1.1" || res.Table.Rows[0][1] != "2" {
+		t.Errorf("top row = %v, want CIS-1.1 x2", res.Table.Rows[0])
+	}
+}
+
+func TestQueryTracesReconstructsTrees(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("name=check | traces 2")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(res.Traces))
+	}
+	// Slowest trace root: web-1's host span (5400us).
+	if res.Traces[0].Trace != 20 || res.Traces[0].DurUS != 5400 {
+		t.Fatalf("slowest trace = %+v, want trace 20 / 5400us", res.Traces[0])
+	}
+	roots := res.Traces[0].Roots
+	if len(roots) != 1 || roots[0].Name != "host" || len(roots[0].Children) != 2 {
+		t.Fatalf("trace 20 tree = %+v, want host with 2 check children", roots)
+	}
+	var sb strings.Builder
+	if err := res.WriteText(&sb); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"trace 20 (5.40ms)", "host 5.40ms", "check 5.00ms", "host=web-1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQueryDefaultsToSlowest5(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("name=check")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Table.Rows) != 5 {
+		t.Fatalf("rows = %d, want default slowest 5", len(res.Table.Rows))
+	}
+}
+
+func TestQueryUnknownNameIsEmptyNotError(t *testing.T) {
+	s := fixture(t)
+	for _, expr := range []string{"name=nosuchspan", "nosuchkey=nosuchval", "host=nosuchhost"} {
+		res, err := s.Query(expr)
+		if err != nil {
+			t.Fatalf("query %q: %v", expr, err)
+		}
+		if res.Matched != 0 || len(res.Table.Rows) != 0 {
+			t.Errorf("query %q matched %d, want empty result", expr, res.Matched)
+		}
+	}
+}
+
+func TestQueryParseErrors(t *testing.T) {
+	s := fixture(t)
+	for _, expr := range []string{
+		"dur>banana",
+		"outcome=sideways",
+		"trace=notanumber",
+		"justaword",
+		"| p99 host",
+		"| p50 by",
+		"| count by",
+		"| frobnicate",
+		"| slowest zero",
+		"| slowest 0",
+		"| traces 1 2",
+	} {
+		if _, err := s.Query(expr); err == nil {
+			t.Errorf("query %q: want parse error, got none", expr)
+		}
+	}
+}
+
+func TestQueryTraceFilter(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("trace=30 | slowest 10")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Matched != 2 {
+		t.Fatalf("matched = %d, want trace 30's two spans", res.Matched)
+	}
+}
+
+func TestQueryGroupedUnknownKey(t *testing.T) {
+	s := fixture(t)
+	res, err := s.Query("| p99 by nosuchkey")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(res.Table.Rows) != 0 {
+		t.Fatalf("rows = %d, want empty for unknown group key", len(res.Table.Rows))
+	}
+}
+
+// fullRing populates a store to its full capacity with fleet-shaped
+// traces for query benchmarks: 8-span host traces, ~3% error class.
+func fullRing(capacity int) *Store {
+	s := New(Config{Capacity: capacity})
+	hosts := []string{"web-0", "web-1", "web-2", "db-0", "db-1", "lb-0"}
+	id := uint64(1)
+	for s.Resident() < capacity {
+		root := id
+		id += 8
+		host := hosts[root/8%uint64(len(hosts))]
+		for c := uint64(1); c < 8; c++ {
+			status := "PASS"
+			if (root+c)%257 == 0 {
+				status = "FAIL"
+			}
+			s.Offer(span(root+c, root, root, "check", int64(100+(root+c)%900),
+				"finding", "CIS-1.1", "status", status))
+		}
+		s.Offer(span(root, 0, root, "host", 2000+int64(root%3000), "host", host))
+	}
+	return s
+}
+
+func BenchmarkQueryNameFilter(b *testing.B) {
+	s := fullRing(1 << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("name=host | slowest 5"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryOutcomeFilter(b *testing.B) {
+	s := fullRing(1 << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("outcome=fail | slowest 5"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryP99ByHost(b *testing.B) {
+	s := fullRing(1 << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("name=host | p99 by host"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryTraces(b *testing.B) {
+	s := fullRing(1 << 18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("name=check | traces 5"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -30,18 +31,27 @@ func TestVirtualClockDeterministicDurations(t *testing.T) {
 	if len(recs) != 2 {
 		t.Fatalf("records = %d, want 2", len(recs))
 	}
-	// Spans are emitted at End: child first, then root.
-	if recs[0].Name != "host" || recs[0].DurUS != 1000 {
-		t.Errorf("child record = %+v, want host / 1000us", recs[0])
+	// Record order depends on collector drain order, not End order; look
+	// spans up by name.
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
 	}
-	if recs[1].Name != "sweep" || recs[1].DurUS != 3000 {
-		t.Errorf("root record = %+v, want sweep / 3000us", recs[1])
+	hostRec, sweepRec := byName["host"], byName["sweep"]
+	if hostRec.DurUS != 1000 {
+		t.Errorf("child record = %+v, want dur 1000us", hostRec)
 	}
-	if recs[0].Parent != recs[1].ID {
-		t.Errorf("child parent = %d, want root id %d", recs[0].Parent, recs[1].ID)
+	if sweepRec.DurUS != 3000 {
+		t.Errorf("root record = %+v, want dur 3000us", sweepRec)
 	}
-	if recs[0].Tags["host"] != "h0" {
-		t.Errorf("child tags = %v, want host=h0", recs[0].Tags)
+	if hostRec.Parent != sweepRec.ID {
+		t.Errorf("child parent = %d, want root id %d", hostRec.Parent, sweepRec.ID)
+	}
+	if hostRec.Trace != sweepRec.ID || sweepRec.Trace != sweepRec.ID {
+		t.Errorf("trace ids = %d/%d, want both %d", hostRec.Trace, sweepRec.Trace, sweepRec.ID)
+	}
+	if hostRec.Tags["host"] != "h0" {
+		t.Errorf("child tags = %v, want host=h0", hostRec.Tags)
 	}
 }
 
@@ -222,4 +232,202 @@ func BenchmarkTelemetryEnabledSpan(b *testing.B) {
 		sp := root.Child("host").Tag("host", "h").TagInt("n", i)
 		sp.End()
 	}
+}
+
+// recordingSink copies every offered span (SpanData.Tags is only valid
+// during the call, per the Sink contract).
+type recordingSink struct {
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+func (rs *recordingSink) Offer(d SpanData) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	cp := d
+	cp.Tags = append([]string(nil), d.Tags...)
+	rs.spans = append(rs.spans, cp)
+}
+
+func TestSinkReceivesEndedSpans(t *testing.T) {
+	rs := &recordingSink{}
+	tr := New(nil, WithClock(NewVirtualClock(time.Millisecond)), WithSink(rs))
+	root := tr.Root("sweep")
+	child := root.Child("check").Tag("finding", "CIS-1.1").TagBool("cached", false)
+	child.End()
+	root.End()
+	if len(rs.spans) != 2 {
+		t.Fatalf("sink got %d spans, want 2", len(rs.spans))
+	}
+	c, r := rs.spans[0], rs.spans[1]
+	if c.Name != "check" || r.Name != "sweep" {
+		t.Fatalf("sink order = %s,%s, want check,sweep", c.Name, r.Name)
+	}
+	if c.Parent != r.ID || c.Trace != r.ID || r.Trace != r.ID {
+		t.Errorf("links = parent %d trace %d/%d, want all %d", c.Parent, c.Trace, r.Trace, r.ID)
+	}
+	if c.Dur != time.Millisecond || r.Dur != 3*time.Millisecond {
+		t.Errorf("durations = %v/%v, want 1ms/3ms", c.Dur, r.Dur)
+	}
+	want := []string{"finding", "CIS-1.1", "cached", "false"}
+	if len(c.Tags) != len(want) {
+		t.Fatalf("tags = %v, want %v", c.Tags, want)
+	}
+	for i := range want {
+		if c.Tags[i] != want[i] {
+			t.Fatalf("tags = %v, want %v", c.Tags, want)
+		}
+	}
+}
+
+// TestChildTraceRootsNewTrace: ChildTrace keeps the span-tree parent link
+// but starts its own trace — the fleet's per-host trace boundary.
+func TestChildTraceRootsNewTrace(t *testing.T) {
+	rs := &recordingSink{}
+	tr := New(nil, WithSink(rs))
+	sweep := tr.Root("sweep")
+	host := sweep.ChildTrace("host")
+	check := host.Child("check")
+	check.End()
+	host.End()
+	sweep.End()
+	byName := map[string]SpanData{}
+	for _, d := range rs.spans {
+		byName[d.Name] = d
+	}
+	h, c, s := byName["host"], byName["check"], byName["sweep"]
+	if h.Parent != s.ID {
+		t.Errorf("host parent = %d, want sweep id %d (tree link preserved)", h.Parent, s.ID)
+	}
+	if h.Trace != h.ID {
+		t.Errorf("host trace = %d, want own id %d (new trace root)", h.Trace, h.ID)
+	}
+	if c.Trace != h.ID || c.Trace == s.Trace {
+		t.Errorf("check trace = %d, want host trace %d distinct from sweep trace %d", c.Trace, h.ID, s.Trace)
+	}
+}
+
+// TestJSONStringEscaping: the manual marshaller must round-trip hostile
+// tag content through encoding/json's decoder.
+func TestJSONStringEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf)
+	sp := tr.Root(`na"me\with` + "\n\t\x01" + `controls`)
+	sp.Tag(`k"ey`, "v\\al\r\x1f")
+	sp.Tag("dup", "first").Tag("dup", "second") // keep-last, like the old map
+	sp.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	if recs[0].Name != `na"me\with`+"\n\t\x01"+`controls` {
+		t.Errorf("name = %q", recs[0].Name)
+	}
+	if recs[0].Tags[`k"ey`] != "v\\al\r\x1f" {
+		t.Errorf("tag = %q", recs[0].Tags[`k"ey`])
+	}
+	if recs[0].Tags["dup"] != "second" {
+		t.Errorf("dup tag = %q, want keep-last %q", recs[0].Tags["dup"], "second")
+	}
+}
+
+// TestPoolingAblation: WithPooling(false) — the ablation knob — must
+// still produce identical records.
+func TestPoolingAblation(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, WithPooling(false), WithCollectors(1), WithClock(NewVirtualClock(time.Millisecond)))
+	root := tr.Root("sweep")
+	root.Child("host").Tag("host", "h1").End()
+	root.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+}
+
+// TestDoubleEndIsNoOp: End twice must not fold the span into the
+// aggregates twice or corrupt the pool.
+func TestDoubleEndIsNoOp(t *testing.T) {
+	tr := New(nil)
+	sp := tr.Root("once")
+	sp.End()
+	sp.End()
+	rows := tr.Breakdown()
+	if len(rows) != 1 || rows[0].Count != 1 {
+		t.Fatalf("breakdown = %+v, want a single count-1 row", rows)
+	}
+	if sp.Child("after") != nil || sp.Tag("k", "v") != nil {
+		t.Error("Child/Tag on an ended span must return nil")
+	}
+}
+
+// TestEnabledTelemetryAllocBudget pins the pooled enabled-path budget:
+// steady-state Root/Child/Tag/End against a live tracer (aggregates +
+// JSONL + sink) must not allocate. The warm-up run populates the span
+// pool, tag capacity and aggregate map entries; everything after rides
+// recycled memory.
+func TestEnabledTelemetryAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse; alloc budget measured without -race")
+	}
+	rs := nopSink{}
+	tr := New(io.Discard, WithClock(NewVirtualClock(time.Microsecond)), WithSink(rs))
+	span := func() {
+		root := tr.Root("sweep")
+		sp := root.Child("host").Tag("host", "h0").TagBool("cached", true).TagInt("n", 7)
+		sp.End()
+		root.End()
+	}
+	for i := 0; i < 64; i++ { // warm the pool and aggregate map
+		span()
+	}
+	if allocs := testing.AllocsPerRun(1000, span); allocs > 0 {
+		t.Fatalf("enabled span path allocates %v allocs/op steady-state, want 0", allocs)
+	}
+}
+
+type nopSink struct{}
+
+func (nopSink) Offer(SpanData) {}
+
+// BenchmarkTelemetryEnabledSpanJSONL is the full enabled pipeline —
+// pooled span, tags, aggregate fold, manual JSONL marshal — the cost a
+// traced sweep pays per span.
+func BenchmarkTelemetryEnabledSpanJSONL(b *testing.B) {
+	tr := New(io.Discard)
+	root := tr.Root("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := root.Child("host").Tag("host", "h0").TagBool("cached", true)
+		sp.End()
+	}
+}
+
+// BenchmarkTelemetryEnabledParallel measures collector-shard contention:
+// many goroutines ending spans concurrently, the shape of a multi-shard
+// sweep.
+func BenchmarkTelemetryEnabledParallel(b *testing.B) {
+	tr := New(io.Discard)
+	root := tr.Root("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sp := root.Child("host").Tag("host", "h0")
+			sp.End()
+		}
+	})
 }
