@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry bench-trace bench-load bench-serve smoke-load smoke-serve smoke-trace tables
+.PHONY: check vet lint build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry bench-trace bench-load bench-serve smoke-load smoke-serve smoke-trace smoke-scenario tables
 
 # check is the CI gate: vet, the repository's own analyzers, build
 # everything, then the full test suite under the race detector (the
@@ -9,7 +9,7 @@ GO ?= go
 # replays in both sweep and push modes plus the tracing-overhead gate.
 # fleet-race is part of race via ./..., listed separately for a focused
 # re-run.
-check: vet lint build race smoke-load smoke-serve smoke-trace
+check: vet lint build race smoke-load smoke-serve smoke-trace smoke-scenario
 
 vet:
 	$(GO) vet ./...
@@ -97,6 +97,15 @@ smoke-load:
 # tentpole property — detection p99 strictly below the sweep interval.
 smoke-serve:
 	$(GO) run -race ./cmd/vdo-load -hosts 500 -duration 2s -push -window 50ms -sweep-every 500ms -rate 200 -shards 4 -workers 2 -seed 1 -assert-p99 500ms
+
+# smoke-scenario replays the timed incident-scenario corpus in both
+# evaluation modes — every scenario must pass its assertions and the
+# sweep/push final verdicts must agree — then fuzzes 25 random
+# mutation-grammar walks (pinned seed) through the same cross-mode
+# equivalence oracle.
+smoke-scenario:
+	$(GO) run ./cmd/vdo-scenario -run examples/scenarios -both
+	$(GO) run ./cmd/vdo-scenario -fuzz 25 -seed 1
 
 # smoke-trace is the tracing-overhead regression gate: the telemetry
 # overhead matrix (best of 5 per cell) must keep the 4-shard spans

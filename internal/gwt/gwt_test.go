@@ -59,6 +59,90 @@ func TestParseScenarioErrors(t *testing.T) {
 	}
 }
 
+func TestParseKeywordWhitespace(t *testing.T) {
+	// Regression: splitKeyword only recognized "Keyword<space>", so a tab
+	// or run of spaces after the keyword fell through to "unrecognized
+	// line", and a bare keyword was reported as garbage instead of an
+	// empty step.
+	cases := []struct {
+		name    string
+		text    string
+		wantErr string // substring of the error, "" = must parse
+		check   func(t *testing.T, scs []Scenario)
+	}{
+		{
+			name: "tab after keyword",
+			text: "Scenario: tabs\n\tGiven\tuser exists\n\tWhen\tthey act\n\tThen\tit works",
+			check: func(t *testing.T, scs []Scenario) {
+				if scs[0].Given[0] != "user exists" {
+					t.Errorf("Given = %q, want %q", scs[0].Given[0], "user exists")
+				}
+			},
+		},
+		{
+			name: "multiple spaces after keyword",
+			text: "Scenario: spaces\n  Given   a   user\n  When  stimulus\n  Then  outcome",
+			check: func(t *testing.T, scs []Scenario) {
+				if scs[0].Given[0] != "a   user" {
+					t.Errorf("inner spacing not preserved: %q", scs[0].Given[0])
+				}
+			},
+		},
+		{
+			name: "mixed tab and space continuations",
+			text: "Scenario: mix\n  Given a user\n  And\tanother\n  When x\n  But \t y\n  Then z",
+			check: func(t *testing.T, scs []Scenario) {
+				if len(scs[0].Given) != 2 || scs[0].Given[1] != "another" {
+					t.Errorf("Given = %v", scs[0].Given)
+				}
+				if len(scs[0].When) != 2 || scs[0].When[1] != "y" {
+					t.Errorf("When = %v", scs[0].When)
+				}
+			},
+		},
+		{
+			name:    "bare Given is an empty step, not an unrecognized line",
+			text:    "Scenario: bare\n  Given\n  When x\n  Then y",
+			wantErr: "empty Given step",
+		},
+		{
+			name:    "bare When",
+			text:    "Scenario: bare\n  Given a\n  When\n  Then y",
+			wantErr: "empty When step",
+		},
+		{
+			name:    "keyword with only trailing whitespace",
+			text:    "Scenario: bare\n  Given a\n  When x\n  Then \t ",
+			wantErr: "empty Then step",
+		},
+		{
+			name:    "bare And continuation",
+			text:    "Scenario: bare\n  Given a\n  And\n  When x\n  Then y",
+			wantErr: "empty And step",
+		},
+		{
+			name:    "keyword prefix of a word is not a keyword",
+			text:    "Scenario: prefix\n  Givenx y",
+			wantErr: "unrecognized line",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scs, err := ParseScenarios(tc.text)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, scs)
+		})
+	}
+}
+
 func TestScenarioStringRoundTrip(t *testing.T) {
 	scs, err := ParseScenarios(sampleFeature)
 	if err != nil {
@@ -93,6 +177,42 @@ func TestToModel(t *testing.T) {
 	tcs := AllEdges(m)
 	if EdgeCoverage(m, tcs) != 1 {
 		t.Error("scenario model should be fully coverable")
+	}
+}
+
+func TestToModelDedupesSetupResetEdges(t *testing.T) {
+	// Regression: scenarios sharing an identical Given state used to get
+	// one setup_<i> edge each — parallel duplicate start→given edges that
+	// inflated all-edges path generation and coverage denominators.
+	scs := []Scenario{
+		{Name: "a", Given: []string{"a user"}, When: []string{"x"}, Then: []string{"locked"}},
+		{Name: "b", Given: []string{"a user"}, When: []string{"y"}, Then: []string{"locked"}},
+		{Name: "c", Given: []string{"a user"}, When: []string{"z"}, Then: []string{"alerted"}},
+	}
+	m, err := ToModel(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One shared setup edge, three distinct when edges, one reset per
+	// distinct Then state (locked, alerted) = 6 edges total.
+	if len(m.Edges) != 6 {
+		t.Fatalf("edges = %d, want 6: %+v", len(m.Edges), m.Edges)
+	}
+	count := map[string]int{}
+	for _, e := range m.Edges {
+		count[e.From+"->"+e.To]++
+	}
+	if n := count["start->given:a user"]; n != 1 {
+		t.Errorf("start->given edges = %d, want 1 (setup edges not deduplicated)", n)
+	}
+	if n := count["then:locked->start"]; n != 1 {
+		t.Errorf("then:locked->start edges = %d, want 1 (reset edges not deduplicated)", n)
+	}
+	// The deduplicated model must stay fully coverable, and the coverage
+	// denominator now counts each structural edge once.
+	tcs := AllEdges(m)
+	if cov := EdgeCoverage(m, tcs); cov != 1 {
+		t.Errorf("EdgeCoverage = %v, want 1", cov)
 	}
 }
 

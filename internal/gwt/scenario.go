@@ -8,6 +8,8 @@ package gwt
 import (
 	"fmt"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // Scenario is one Given-When-Then specification: preconditions (Given),
@@ -89,11 +91,17 @@ func ParseScenarios(text string) ([]Scenario, error) {
 			if cur == nil {
 				return nil, fmt.Errorf("gwt: line %d: %s outside a scenario", ln+1, kw)
 			}
+			if rest == "" {
+				return nil, fmt.Errorf("gwt: line %d: empty %s step", ln+1, kw)
+			}
 			section = kw
 			cur.add(section, rest)
 		case "And", "But":
 			if cur == nil || section == "" {
 				return nil, fmt.Errorf("gwt: line %d: %s without a preceding step", ln+1, kw)
+			}
+			if rest == "" {
+				return nil, fmt.Errorf("gwt: line %d: empty %s step", ln+1, kw)
 			}
 			cur.add(section, rest)
 		default:
@@ -122,8 +130,17 @@ func splitKeyword(line string) (kw, rest string) {
 		return "Scenario", strings.TrimSpace(line[i+1:])
 	}
 	for _, k := range []string{"Given", "When", "Then", "And", "But"} {
-		if strings.HasPrefix(line, k+" ") {
-			return k, strings.TrimSpace(line[len(k):])
+		if line == k {
+			return k, ""
+		}
+		if strings.HasPrefix(line, k) {
+			// Any whitespace separates keyword from step text — tabs and
+			// runs of spaces are as valid as a single space. A non-space
+			// continuation ("Givenx") is not this keyword.
+			tail := line[len(k):]
+			if r, _ := utf8.DecodeRuneInString(tail); unicode.IsSpace(r) {
+				return k, strings.TrimSpace(tail)
+			}
 		}
 	}
 	return "", line
@@ -141,6 +158,12 @@ func ToModel(scenarios []Scenario) (*Model, error) {
 			seen[name] = true
 		}
 	}
+	// Setup and reset edges carry no stimulus of their own, so scenarios
+	// sharing a Given (or Then) state share one edge: parallel duplicates
+	// would only inflate all-edges path generation and coverage
+	// denominators without adding distinguishable behaviour.
+	setupDone := map[string]bool{}
+	resetDone := map[string]bool{}
 	for i, sc := range scenarios {
 		if err := sc.Validate(); err != nil {
 			return nil, err
@@ -149,11 +172,14 @@ func ToModel(scenarios []Scenario) (*Model, error) {
 		if len(sc.Given) > 0 {
 			from = "given:" + strings.Join(sc.Given, "; ")
 			ensure(from)
-			m.AddEdge(Edge{
-				ID:   fmt.Sprintf("setup_%d", i),
-				Name: "setup: " + sc.Name,
-				From: "start", To: from,
-			})
+			if !setupDone[from] {
+				setupDone[from] = true
+				m.AddEdge(Edge{
+					ID:   fmt.Sprintf("setup_%d", i),
+					Name: "setup: " + sc.Name,
+					From: "start", To: from,
+				})
+			}
 		}
 		to := "then:" + strings.Join(sc.Then, "; ")
 		ensure(to)
@@ -163,11 +189,14 @@ func ToModel(scenarios []Scenario) (*Model, error) {
 			From: from, To: to,
 		})
 		// Return edge so generators can chain scenarios.
-		m.AddEdge(Edge{
-			ID:   fmt.Sprintf("reset_%d", i),
-			Name: "reset",
-			From: to, To: "start",
-		})
+		if !resetDone[to] {
+			resetDone[to] = true
+			m.AddEdge(Edge{
+				ID:   fmt.Sprintf("reset_%d", i),
+				Name: "reset",
+				From: to, To: "start",
+			})
+		}
 	}
 	return m, m.Validate()
 }

@@ -53,13 +53,20 @@ func (b *TokenBucket) When(now time.Duration) time.Duration {
 	if have >= 1 {
 		return now
 	}
-	wait := time.Duration((1 - have) / b.rate * float64(time.Second))
+	// Round the wait UP to the next nanosecond: truncation would land the
+	// admission fractionally early, letting the token level drift negative
+	// and the long-run admitted rate creep above the configured rate.
+	need := (1 - have) / b.rate * float64(time.Second)
+	wait := time.Duration(need)
+	if float64(wait) < need {
+		wait++
+	}
 	return now + wait
 }
 
-// Take consumes one token at virtual instant t (callers pass a t from
-// When, so the token is always available; any shortfall from rounding
-// is absorbed by letting the level go fractionally negative).
+// Take consumes one token at virtual instant t. Callers pass a t from
+// When, whose rounded-up wait guarantees the token has fully refilled by
+// then, so the level stays non-negative (modulo float-evaluation dust).
 func (b *TokenBucket) Take(t time.Duration) {
 	b.tokens = b.refillAt(t) - 1
 	if t > b.last {

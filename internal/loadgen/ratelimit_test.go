@@ -77,6 +77,60 @@ func TestTokenBucketRefillCapsAtBurst(t *testing.T) {
 	}
 }
 
+func TestTokenBucketLongRunRateNeverExceeded(t *testing.T) {
+	// Regression: When used to truncate the wait toward zero, so each
+	// admission landed fractionally early, the token level drifted
+	// negative, and the admitted count over a long horizon crept past
+	// rate*horizon. Rates with non-terminating binary periods (1/3 s,
+	// 1/7 s) are the worst case; a power-of-two-friendly rate is the
+	// control.
+	for _, rate := range []float64{3, 7, 333.0, 1000.0 / 3.0, 256} {
+		for _, burst := range []int{1, 16} {
+			b, err := NewTokenBucket(rate, burst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const horizon = 1000 * time.Second
+			admitted := 0
+			last := time.Duration(0)
+			for {
+				at := b.When(last)
+				if at > horizon {
+					break
+				}
+				if at < last {
+					t.Fatalf("rate %v: admission moved backwards: %v after %v", rate, at, last)
+				}
+				b.Take(at)
+				last = at
+				admitted++
+				// The rounded-up wait means the token is fully refilled by
+				// the time When hands out the instant: the level must never
+				// drift negative (beyond float-evaluation dust). Truncation
+				// broke exactly this — every admission landed ~1ns early
+				// and left the bucket fractionally overdrawn.
+				if b.tokens < -1e-12 {
+					t.Fatalf("rate %v burst %d: token level %g negative after admission %d at %v",
+						rate, burst, b.tokens, admitted, at)
+				}
+			}
+			// The bucket is born full, so burst tokens admit at t=0 on
+			// top of the refill budget.
+			budget := float64(burst) + rate*horizon.Seconds()
+			if float64(admitted) > budget {
+				t.Errorf("rate %v burst %d: admitted %d events over %v, budget %.0f — admitted rate exceeds configured rate",
+					rate, burst, admitted, horizon, budget)
+			}
+			// And rounding up must not starve the bucket either: the
+			// admitted count should sit within one token of the budget.
+			if float64(admitted) < budget-1 {
+				t.Errorf("rate %v burst %d: admitted only %d events over %v, budget %.0f — wait over-rounded",
+					rate, burst, admitted, horizon, budget)
+			}
+		}
+	}
+}
+
 func TestTokenBucketRejectsBadRate(t *testing.T) {
 	if _, err := NewTokenBucket(0, 1); err == nil {
 		t.Error("rate 0 accepted")

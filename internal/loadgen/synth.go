@@ -38,6 +38,16 @@ func (h *Host) Target() fleet.Target {
 // Down reports whether the host is currently marked unreachable.
 func (h *Host) Down() bool { return h.down }
 
+// Catalog returns the host's audit catalogue.
+func (h *Host) Catalog() *core.Catalog { return h.cat }
+
+// SetCatalog replaces the host's audit catalogue — the scenario
+// executor's hook for wrapping requirements with fault injectors and
+// restoring them afterwards. Swapping the catalogue does not advance the
+// host's event-log version, so callers must invalidate any incremental
+// cache entry keyed on it themselves.
+func (h *Host) SetCatalog(c *core.Catalog) { h.cat = c }
+
 // Fleet is a synthesized host population under churn: hosts join, leave
 // and lose connectivity, so membership is mutable. Removal is
 // swap-remove; name lookup stays O(1). Fleet is not goroutine-safe —
@@ -101,7 +111,24 @@ func (f *Fleet) Join() *Host {
 	for i, c := range f.Topology.Classes {
 		weights[i] = c.Weight
 	}
-	ci := weightedPick(f.rng, weights)
+	return f.joinClass(weightedPick(f.rng, weights))
+}
+
+// JoinClass synthesizes one new host of the named class — the scenario
+// executor's forced-class join, bypassing the weighted draw. Returns nil
+// when the topology has no such class.
+func (f *Fleet) JoinClass(name string) *Host {
+	for ci, c := range f.Topology.Classes {
+		if c.Name == name {
+			return f.joinClass(ci)
+		}
+	}
+	return nil
+}
+
+// joinClass provisions one host of class index ci from the hardened
+// baseline plus the class's seeded per-host picks.
+func (f *Fleet) joinClass(ci int) *Host {
 	class := f.Topology.Classes[ci]
 
 	base := baseline()
