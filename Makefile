@@ -1,25 +1,40 @@
 GO ?= go
 
-.PHONY: check vet lint build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry bench-trace bench-load bench-serve smoke-load smoke-serve smoke-trace smoke-scenario tables
+.PHONY: check vet lint verify-reads sarif build test race fleet-race trace-race bench bench-fleet bench-steal bench-telemetry bench-trace bench-load bench-serve smoke-load smoke-serve smoke-trace smoke-scenario tables
 
 # check is the CI gate: vet, the repository's own analyzers, build
 # everything, then the full test suite under the race detector (the
 # engine, core and monitor packages are concurrent by construction, so
-# -race is not optional), and finally the small-N load-harness smoke
-# replays in both sweep and push modes plus the tracing-overhead gate.
-# fleet-race is part of race via ./..., listed separately for a focused
-# re-run.
-check: vet lint build race smoke-load smoke-serve smoke-trace smoke-scenario
+# -race is not optional), the dynamic declared-reads oracle, and finally
+# the small-N load-harness smoke replays in both sweep and push modes
+# plus the tracing-overhead gate. fleet-race is part of race via ./...,
+# listed separately for a focused re-run.
+check: vet lint build race verify-reads smoke-load smoke-serve smoke-trace smoke-scenario
 
 vet:
 	$(GO) vet ./...
 
-# lint runs the six repository analyzers (spanend, directcheck,
-# ctxprobe, clockuse, lockedchan, reqmeta) over every package including
-# tests. See README "Static analysis" for what each enforces and how to
-# suppress a finding with a recorded reason.
+# lint runs the seven repository analyzers (spanend, directcheck,
+# ctxprobe, clockuse, lockedchan, reqmeta, keyreads) over every package
+# including tests. See README "Static analysis" for what each enforces
+# and how to suppress a finding with a recorded reason.
 lint:
 	$(GO) run ./cmd/vdolint ./...
+
+# verify-reads is the dynamic counterpart of the keyreads analyzer: it
+# executes every shipped catalogue entry on fresh simulated hosts with a
+# read recorder attached and fails on any mismatch between recorded and
+# declared state keys, then replays the scenario corpus in both modes
+# with the same oracle over each fleet's final catalogues.
+verify-reads:
+	$(GO) run ./cmd/vdolint -dynamic
+	$(GO) run ./cmd/vdo-scenario -run examples/scenarios -both -verify-reads
+
+# sarif writes the static findings as a SARIF 2.1.0 log for
+# code-scanning upload; the exit code is ignored here (the lint target
+# is the gate), so the log is produced even when findings exist.
+sarif:
+	$(GO) run ./cmd/vdolint -sarif ./... > vdolint.sarif || true
 
 build:
 	$(GO) build ./...

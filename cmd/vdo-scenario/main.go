@@ -16,7 +16,7 @@
 // Usage:
 //
 //	vdo-scenario [-run PATH] [-push | -both] [-shards N] [-workers N]
-//	             [-v] [-slowest N]
+//	             [-verify-reads] [-v] [-slowest N]
 //	vdo-scenario -fuzz N [-seed N] [-shards N] [-workers N]
 //
 // Exit status: 0 all scenarios passed (or fuzz found no divergence),
@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "base seed for -fuzz generation")
 	shards := fs.Int("shards", 4, "shard goroutines per evaluation pass")
 	workers := fs.Int("workers", 1, "engine workers per catalogue run inside a shard")
+	verifyReads := fs.Bool("verify-reads", false, "run the dynamic declared-reads oracle over each fleet's final catalogues; undeclared reads fail the run")
 	verbose := fs.Bool("v", false, "print the full virtual-time schedule of each run")
 	slowest := fs.Int("slowest", 0, "keep spans in the trace store and print the N slowest evaluations")
 	if err := fs.Parse(args); err != nil {
@@ -62,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opts := scenario.Options{Push: *push, Shards: *shards, Workers: *workers}
+	opts := scenario.Options{Push: *push, Shards: *shards, Workers: *workers, VerifyReads: *verifyReads}
 	var spanStore *store.Store
 	if *slowest > 0 {
 		spanStore = store.New(store.Config{})

@@ -279,6 +279,11 @@ func writeSummary(w io.Writer, s *fleet.Streamer, f *loadgen.Fleet, primed fleet
 		t.AddRow("checks per event", fmt.Sprintf("%.2f", float64(st.ChecksEvaluated)/float64(st.Events)))
 	}
 	t.AddRow("alarms / repairs", fmt.Sprintf("%d / %d", st.Alarms, st.Repairs))
+	// The localization gauges are a property of the watched catalogues,
+	// not of the session's churn, so the priming baseline is not
+	// subtracted from them.
+	t.AddRow("read localization", fmt.Sprintf("%s (%d indexed / %d unindexed checks)",
+		report.Percent(st.ReadLocalization()), st.IndexedChecks, st.UnindexedChecks))
 	t.AddRow("fallback sweeps", sweeps)
 	t.AddRow("fallback audits executed / cached", fmt.Sprintf("%d / %d", reaudits, replays))
 	t.AddRow("final compliance", fmt.Sprintf("%.4f (%d pass / %d fail / %d incomplete)",

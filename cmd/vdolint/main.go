@@ -5,13 +5,21 @@
 //
 // Usage:
 //
-//	vdolint [-json] [packages]
+//	vdolint [-json|-sarif] [-dynamic] [packages]
 //
 // Exit codes: 0 when the tree is clean, 1 when findings were reported,
 // 2 when the packages could not be loaded or the flags were wrong.
 // Findings are printed file:line:col: analyzer: message, relative to
 // the module root; -json emits the same findings as a JSON array for
-// machine consumption (CI annotations, dashboards).
+// machine consumption (CI annotations, dashboards) and -sarif as a
+// SARIF 2.1.0 log for code-scanning upload. The two are mutually
+// exclusive.
+//
+// -dynamic skips the static suite and runs the declared-reads runtime
+// oracle instead: every entry of the shipped catalogues executes on
+// fresh simulated hosts with a read recorder attached, and mismatches
+// between recorded and declared state keys are reported as
+// "keyreads-dynamic" findings (see internal/fleet.VerifyReads).
 //
 // Suppression: //lint:ignore <analyzer>[,<analyzer>] reason on or
 // directly above the flagged line, //lint:file-ignore for a whole file.
@@ -33,6 +41,7 @@ import (
 	"veridevops/internal/analysis/clockuse"
 	"veridevops/internal/analysis/ctxprobe"
 	"veridevops/internal/analysis/directcheck"
+	"veridevops/internal/analysis/keyreads"
 	"veridevops/internal/analysis/lockedchan"
 	"veridevops/internal/analysis/reqmeta"
 	"veridevops/internal/analysis/spanend"
@@ -47,6 +56,7 @@ var analyzers = []*analysis.Analyzer{
 	clockuse.Analyzer,
 	lockedchan.Analyzer,
 	reqmeta.Analyzer,
+	keyreads.Analyzer,
 }
 
 func main() {
@@ -57,8 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vdolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	asSARIF := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+	dynamic := fs.Bool("dynamic", false, "run the declared-reads runtime oracle instead of the static suite")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: vdolint [-json] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: vdolint [-json|-sarif] [-dynamic] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -67,27 +79,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "vdolint: -json and -sarif are mutually exclusive")
+		return 2
 	}
 
-	cwd, err := os.Getwd()
-	if err != nil {
-		fmt.Fprintf(stderr, "vdolint: %v\n", err)
-		return 2
+	var findings []analysis.Finding
+	if *dynamic {
+		findings = dynamicFindings()
+	} else {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		cwd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintf(stderr, "vdolint: %v\n", err)
+			return 2
+		}
+		units, err := analysis.Load(cwd, patterns...)
+		if err != nil {
+			fmt.Fprintf(stderr, "vdolint: %v\n", err)
+			return 2
+		}
+		findings, err = analysis.Run(units, analyzers, moduleRoot(cwd))
+		if err != nil {
+			fmt.Fprintf(stderr, "vdolint: %v\n", err)
+			return 2
+		}
 	}
-	units, err := analysis.Load(cwd, patterns...)
-	if err != nil {
-		fmt.Fprintf(stderr, "vdolint: %v\n", err)
-		return 2
+
+	var err error
+	if *asSARIF {
+		err = emitSARIF(stdout, findings)
+	} else {
+		err = emit(stdout, findings, *asJSON)
 	}
-	findings, err := analysis.Run(units, analyzers, moduleRoot(cwd))
 	if err != nil {
-		fmt.Fprintf(stderr, "vdolint: %v\n", err)
-		return 2
-	}
-	if err := emit(stdout, findings, *asJSON); err != nil {
 		fmt.Fprintf(stderr, "vdolint: %v\n", err)
 		return 2
 	}

@@ -68,6 +68,66 @@ func TestEmitJSON(t *testing.T) {
 	}
 }
 
+func TestRunJSONSarifExclusive(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-sarif"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d for -json -sarif, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "mutually exclusive") {
+		t.Errorf("stderr %q misses the exclusivity message", errb.String())
+	}
+}
+
+func TestRunDynamicOracleClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	// The shipped catalogues must satisfy the declared-reads contract at
+	// runtime: a non-zero exit here is a real soundness regression.
+	code := run([]string{"-dynamic"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout %q", code, errb.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean dynamic run produced output: %q", out.String())
+	}
+}
+
+func TestEmitSARIF(t *testing.T) {
+	findings := []analysis.Finding{
+		{Analyzer: "keyreads", File: "a.go", Line: 3, Col: 2, Message: "under-declared", Package: "p", Severity: analysis.SeverityError},
+		{Analyzer: "keyreads-dynamic", File: "(dynamic)", Message: "overdeclared [pkg:x]", Package: "patterns", Severity: analysis.SeverityWarning},
+	}
+	var out bytes.Buffer
+	if err := emitSARIF(&out, findings); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("emitSARIF produced invalid JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log = %+v", log)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "vdolint" {
+		t.Errorf("driver = %q, want vdolint", run.Tool.Driver.Name)
+	}
+	// One rule per static analyzer plus the dynamic pseudo-analyzer.
+	if want := len(analyzers) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules = %d, want %d", len(run.Tool.Driver.Rules), want)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %+v", run.Results)
+	}
+	if r := run.Results[0]; r.RuleID != "keyreads" || r.Level != "error" ||
+		r.Locations[0].PhysicalLocation.Region.StartLine != 3 {
+		t.Errorf("static result = %+v", r)
+	}
+	if r := run.Results[1]; r.Level != "warning" ||
+		r.Locations[0].PhysicalLocation.Region.StartLine != 1 {
+		t.Errorf("dynamic result = %+v (line must clamp to 1)", r)
+	}
+}
+
 func TestEmitJSONEmpty(t *testing.T) {
 	var out bytes.Buffer
 	if err := emit(&out, nil, true); err != nil {

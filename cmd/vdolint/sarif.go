@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"veridevops/internal/analysis"
+)
+
+// Minimal SARIF 2.1.0 writer (stdlib only): one run, one rule per
+// analyzer that can report, one result per finding. The shape is the
+// subset GitHub code scanning ingests — ruleId, level, message, and a
+// physical location with a repo-relative URI.
+
+const (
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// emitSARIF renders the findings as a SARIF 2.1.0 log. The rule table
+// lists the static suite plus any extra analyzer names the findings
+// carry (the dynamic oracle reports as "keyreads-dynamic").
+func emitSARIF(w io.Writer, findings []analysis.Finding) error {
+	var rules []sarifRule
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		known[a.Name] = true
+	}
+	for _, f := range findings {
+		if !known[f.Analyzer] {
+			known[f.Analyzer] = true
+			rules = append(rules, sarifRule{ID: f.Analyzer,
+				ShortDescription: sarifMessage{Text: "declared-reads dynamic oracle violation"}})
+		}
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		level := "error"
+		if f.Severity == analysis.SeverityWarning {
+			level = "warning"
+		}
+		line := f.Line
+		if line < 1 {
+			// SARIF regions are 1-based; synthetic findings (the dynamic
+			// oracle) carry no real position.
+			line = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   level,
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "vdolint", Rules: rules}},
+			Results: results,
+		}},
+	})
+}

@@ -66,10 +66,25 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// Severity levels for diagnostics. Errors are contract violations
+// (push-mode unsoundness, leaked spans); warnings mark spots the
+// analyzer cannot prove either way and a human should eyeball.
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
+)
+
 // Diagnostic is one finding at one position.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Severity is SeverityError or SeverityWarning; empty means error.
+	Severity string
+}
+
+// Warnf is the printf convenience for warning-level diagnostics.
+func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Severity: SeverityWarning})
 }
 
 // Finding is a resolved diagnostic as emitted by Run: position made
@@ -83,8 +98,14 @@ type Finding struct {
 	Message  string `json:"message"`
 	// Package is the import path of the package the finding was found in.
 	Package string `json:"package"`
+	// Severity is SeverityError or SeverityWarning (never empty once
+	// resolved by Run).
+	Severity string `json:"severity"`
 }
 
 func (f Finding) String() string {
+	if f.Severity == SeverityWarning {
+		return fmt.Sprintf("%s:%d:%d: %s: warning: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }

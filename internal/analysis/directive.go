@@ -70,6 +70,7 @@ func parseDirectives(u *Unit) (map[string]*fileDirectives, []Finding) {
 						Col:      pos.Column,
 						Message:  "malformed //lint: directive: want \"//lint:ignore <analyzer>[,<analyzer>] reason\"",
 						Package:  u.ImportPath,
+						Severity: SeverityError,
 					})
 					continue
 				}

@@ -1,0 +1,12 @@
+package keyreads_test
+
+import (
+	"testing"
+
+	"veridevops/internal/analysis/analysistest"
+	"veridevops/internal/analysis/keyreads"
+)
+
+func TestKeyreads(t *testing.T) {
+	analysistest.Run(t, keyreads.Analyzer, "testdata/src/a", "a")
+}

@@ -26,6 +26,10 @@ func Run(units []*Unit, analyzers []*Analyzer, rel string) ([]Finding, error) {
 			}
 			pass.Report = func(d Diagnostic) {
 				pos := u.Fset.Position(d.Pos)
+				sev := d.Severity
+				if sev == "" {
+					sev = SeverityError
+				}
 				found = append(found, Finding{
 					Analyzer: a.Name,
 					File:     pos.Filename,
@@ -33,6 +37,7 @@ func Run(units []*Unit, analyzers []*Analyzer, rel string) ([]Finding, error) {
 					Col:      pos.Column,
 					Message:  d.Message,
 					Package:  u.ImportPath,
+					Severity: sev,
 				})
 			}
 			if _, err := a.Run(pass); err != nil {

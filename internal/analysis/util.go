@@ -12,6 +12,7 @@ const (
 	CorePath      = "veridevops/internal/core"
 	EnginePath    = "veridevops/internal/engine"
 	TelemetryPath = "veridevops/internal/telemetry"
+	HostPath      = "veridevops/internal/host"
 )
 
 // IsTestFile reports whether pos lies in a *_test.go file.

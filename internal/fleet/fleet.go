@@ -349,6 +349,7 @@ func (c *Coordinator) Sweep(targets []Target, opts Options) (FleetReport, FleetS
 
 	rep := FleetReport{Hosts: results}
 	st := aggregate(results, shardWalls, ps, opts)
+	countLocalization(&st, ts)
 	sched.apply(&st)
 	root.TagInt("steals", st.Steals).TagInt("cached_hosts", st.CachedHosts).End()
 	recordSweepMetrics(opts.Metrics, st)

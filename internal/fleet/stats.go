@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"veridevops/internal/core"
 	"veridevops/internal/engine"
 	"veridevops/internal/report"
 )
@@ -91,6 +92,14 @@ type FleetStats struct {
 	// telemetry (see ShardStats).
 	Steals    int
 	QueueWait time.Duration
+	// IndexedChecks / UnindexedChecks count catalogue entries across the
+	// fleet (per target, shared catalogues counted once per host) that do
+	// or do not declare their read set via core.KeyReader. Unindexed
+	// checks cannot be localized by the reverse dependency index: push
+	// evaluation must conservatively re-run them on every event of their
+	// host, so a non-zero count here is conservative fan-out made visible.
+	IndexedChecks   int
+	UnindexedChecks int
 	// ActiveShards counts shards that executed or replayed at least one
 	// host. Affinity hashing can leave buckets empty under static
 	// scheduling, so capacity-derived metrics use this, not Shards.
@@ -125,6 +134,20 @@ func (s FleetStats) DedupRate() float64 {
 	return float64(s.DedupHits) / float64(total)
 }
 
+// ReadLocalization is IndexedChecks / (IndexedChecks + UnindexedChecks)
+// in [0,1]: the fraction of the fleet's checks the dependency index can
+// re-run selectively under push evaluation. 1.0 means every event fans
+// out to exactly its readers; anything less marks conservative full
+// re-runs. 0 when the fleet declared nothing (or localization was not
+// measured).
+func (s FleetStats) ReadLocalization() float64 {
+	total := s.IndexedChecks + s.UnindexedChecks
+	if total == 0 {
+		return 0
+	}
+	return float64(s.IndexedChecks) / float64(total)
+}
+
 // Utilization is Busy / (ActiveShards * Workers * Wall) in [0,1]: how
 // much of the capacity the sweep actually deployed it kept busy. The
 // denominator counts active shards, not configured ones — affinity
@@ -138,12 +161,13 @@ func (s FleetStats) Utilization() float64 {
 // Summary renders the roll-up as one line.
 func (s FleetStats) Summary() string {
 	return fmt.Sprintf(
-		"fleet: %d hosts over %d shards (%d active) x %d workers, %d requirements (%d hosts cached, hit rate %s, dedup %s), %d attempts (%d retries, %d panics recovered, %d timeouts), %d errors (%d hosts degraded), %d stolen, wall %s ms, utilization %s",
+		"fleet: %d hosts over %d shards (%d active) x %d workers, %d requirements (%d hosts cached, hit rate %s, dedup %s), %d attempts (%d retries, %d panics recovered, %d timeouts), %d errors (%d hosts degraded), %d stolen, wall %s ms, utilization %s, read localization %s (%d unindexed)",
 		s.Hosts, s.Shards, s.ActiveShards, s.Workers, s.Requirements,
 		s.CachedHosts, report.Percent(s.CacheHitRate()),
 		report.Percent(s.DedupRate()), s.Attempts, s.Retries, s.Panics,
 		s.Timeouts, s.Errors, s.DegradedHosts, s.Steals, report.Millis(s.Wall),
-		report.Percent(s.Utilization()))
+		report.Percent(s.Utilization()),
+		report.Percent(s.ReadLocalization()), s.UnindexedChecks)
 }
 
 // ShardTable renders the per-shard telemetry.
@@ -192,6 +216,33 @@ func (s FleetStats) Canonical() FleetStats {
 	}
 	s.PerHost = hosts
 	return s
+}
+
+// countLocalization fills the read-localization counters: per target,
+// how many catalogue entries declare their read set (core.KeyReader)
+// versus not. A catalogue shared by several targets is measured once
+// but counted per host, matching the per-host fan-out cost an
+// unindexed check imposes on push evaluation.
+func countLocalization(st *FleetStats, ts []Target) {
+	memo := map[*core.Catalog][2]int{}
+	for _, t := range ts {
+		if t.Catalog == nil {
+			continue
+		}
+		cnt, ok := memo[t.Catalog]
+		if !ok {
+			for _, req := range t.Catalog.All() {
+				if _, declared := core.CheckKeys(req); declared {
+					cnt[0]++
+				} else {
+					cnt[1]++
+				}
+			}
+			memo[t.Catalog] = cnt
+		}
+		st.IndexedChecks += cnt[0]
+		st.UnindexedChecks += cnt[1]
+	}
 }
 
 // aggregate folds per-host results and shard walls into the roll-up.

@@ -127,6 +127,23 @@ type StreamStats struct {
 	// Alarms and Repairs count violation episodes opened and closed.
 	Alarms  int
 	Repairs int
+	// IndexedChecks / UnindexedChecks are gauges, not counters: how many
+	// catalogue entries across the currently watched hosts the dependency
+	// index can localize (core.KeyReader declared) versus must fan out to
+	// conservatively on every event. Snapshotted by Stats() from the
+	// per-host indexes.
+	IndexedChecks   int
+	UnindexedChecks int
+}
+
+// ReadLocalization is IndexedChecks / (IndexedChecks + UnindexedChecks)
+// in [0,1]; 0 when nothing is watched. See FleetStats.ReadLocalization.
+func (s StreamStats) ReadLocalization() float64 {
+	total := s.IndexedChecks + s.UnindexedChecks
+	if total == 0 {
+		return 0
+	}
+	return float64(s.IndexedChecks) / float64(total)
 }
 
 // Alarm is one violation-episode opening observed by a flush: a finding
@@ -296,11 +313,17 @@ func (s *Streamer) Compliance() float64 {
 	return float64(pass) / float64(total)
 }
 
-// Stats returns the cumulative streamer telemetry.
+// Stats returns the cumulative streamer telemetry, with the
+// read-localization gauges snapshotted from the currently watched hosts.
 func (s *Streamer) Stats() StreamStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	for _, sh := range s.hosts {
+		st.IndexedChecks += len(sh.index.Indexed())
+		st.UnindexedChecks += len(sh.index.Unindexed())
+	}
+	return st
 }
 
 // deltaPlan is one dirty host's work for a flush, computed under no

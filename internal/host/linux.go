@@ -49,6 +49,9 @@ type Linux struct {
 	// requirements (the check drivers of the VeriDevOps prototype fail this
 	// way when ssh/WinRM transport dies).
 	unreachable bool
+	// rec, when attached, records every successful read's state key — the
+	// dynamic declared-reads oracle (see record.go, fleet.VerifyReads).
+	rec *ReadRecorder
 }
 
 // ErrUnreachable is the panic value every Linux operation raises while the
@@ -191,6 +194,7 @@ func (l *Linux) Version(name string) string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.ping()
+	l.rec.observe(PackageKey(name))
 	if p, ok := l.packages[name]; ok && p.Installed {
 		return p.Version
 	}
@@ -209,6 +213,7 @@ func (l *Linux) InstalledCtx(ctx context.Context, name string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.pingCtx(ctx)
+	l.rec.observe(PackageKey(name))
 	p, ok := l.packages[name]
 	return ok && p.Installed
 }
@@ -218,6 +223,7 @@ func (l *Linux) Packages() []string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.ping()
+	l.rec.observe(wildcard(KeyPackage))
 	var out []string
 	for _, p := range l.packages {
 		if p.Installed {
@@ -272,6 +278,7 @@ func (l *Linux) ServiceActiveCtx(ctx context.Context, name string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.pingCtx(ctx)
+	l.rec.observe(ServiceKey(name))
 	s, ok := l.services[name]
 	return ok && s.Enabled && s.Running
 }
@@ -304,6 +311,7 @@ func (l *Linux) ConfigCtx(ctx context.Context, file, key string) (string, bool) 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.pingCtx(ctx)
+	l.rec.observe(ConfigKey(file, key))
 	f, ok := l.config[file]
 	if !ok {
 		return "", false

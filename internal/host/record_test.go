@@ -1,0 +1,89 @@
+package host
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestReadRecorderCapturesLinuxReads(t *testing.T) {
+	l := NewUbuntu1804()
+	rec := NewReadRecorder()
+	l.SetRecorder(rec)
+
+	l.Installed("sudo")
+	l.Installed("sudo")
+	l.Version("apt")
+	l.ServiceActive("sshd")
+	l.Config("/etc/login.defs", "ENCRYPT_METHOD")
+	l.Packages()
+
+	want := []string{
+		"cfg:/etc/login.defs:ENCRYPT_METHOD",
+		"pkg:*",
+		"pkg:apt",
+		"pkg:sudo",
+		"svc:sshd",
+	}
+	if got := rec.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recorded keys = %v, want %v", got, want)
+	}
+	if n := rec.Count("pkg:sudo"); n != 2 {
+		t.Fatalf("pkg:sudo read count = %d, want 2", n)
+	}
+	rec.Reset()
+	if got := rec.Keys(); len(got) != 0 {
+		t.Fatalf("keys after Reset = %v, want empty", got)
+	}
+	// Detached recorder: further reads do not record.
+	l.SetRecorder(nil)
+	l.Installed("sudo")
+	if got := rec.Keys(); len(got) != 0 {
+		t.Fatalf("detached recorder captured %v", got)
+	}
+}
+
+func TestReadRecorderCapturesWindowsReads(t *testing.T) {
+	w := NewWindows10()
+	rec := NewReadRecorder()
+	w.SetRecorder(rec)
+
+	if _, err := w.GetAudit("Logon"); err != nil {
+		t.Fatalf("GetAudit: %v", err)
+	}
+	w.Registry(`HKLM\Software\Policies\X`)
+	w.Subcategories()
+	// The auditpol text interface routes through GetAudit, so forked
+	// /get invocations record too.
+	ap := AuditPol{W: w}
+	if _, err := ap.Run("/get", `/subcategory:"Account Lockout"`); err != nil {
+		t.Fatalf("auditpol /get: %v", err)
+	}
+
+	want := []string{
+		"audit:*",
+		"audit:Account Lockout",
+		"audit:Logon",
+		`reg:HKLM\Software\Policies\X`,
+	}
+	if got := rec.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recorded keys = %v, want %v", got, want)
+	}
+}
+
+func TestReadRecorderUnreachableRecordsNothing(t *testing.T) {
+	l := NewUbuntu1804()
+	rec := NewReadRecorder()
+	l.SetRecorder(rec)
+	l.SetUnreachable(true)
+	func() {
+		defer func() {
+			if r := recover(); r != ErrUnreachable {
+				t.Fatalf("recovered %v, want ErrUnreachable", r)
+			}
+		}()
+		l.Installed("sudo")
+	}()
+	if got := rec.Keys(); len(got) != 0 {
+		t.Fatalf("unreachable probe recorded %v, want nothing", got)
+	}
+}

@@ -39,6 +39,9 @@ type Windows struct {
 	categories map[string]string
 	registry   map[string]string
 	log        *EventLog
+	// rec, when attached, records every read's state key — the dynamic
+	// declared-reads oracle (see record.go, fleet.VerifyReads).
+	rec *ReadRecorder
 }
 
 // Audit-policy taxonomy used by the Windows 10 STIG findings implemented in
@@ -91,6 +94,7 @@ func (w *Windows) Category(subcategory string) (string, error) {
 func (w *Windows) GetAudit(subcategory string) (AuditSetting, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.rec.observe(AuditKey(subcategory))
 	s, ok := w.audit[subcategory]
 	if !ok {
 		return AuditSetting{}, fmt.Errorf("host: unknown audit subcategory %q", subcategory)
@@ -114,6 +118,7 @@ func (w *Windows) SetAudit(subcategory string, s AuditSetting) error {
 func (w *Windows) Subcategories() []string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.rec.observe(wildcard(KeyAudit))
 	out := make([]string, 0, len(w.audit))
 	for s := range w.audit {
 		out = append(out, s)
@@ -134,6 +139,7 @@ func (w *Windows) SetRegistry(key, value string) {
 func (w *Windows) Registry(key string) (string, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.rec.observe(RegistryKey(key))
 	v, ok := w.registry[key]
 	return v, ok
 }

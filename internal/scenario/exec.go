@@ -28,6 +28,12 @@ type Options struct {
 	Push bool
 	// Shards and Workers size the fleet evaluation pools.
 	Shards, Workers int
+	// VerifyReads runs the dynamic declared-reads oracle
+	// (fleet.VerifyReads) over every host's final catalogue after the
+	// horizon: undeclared recorded reads fail the run (push-mode
+	// unsoundness observed on this very fleet), overdeclared and
+	// unlocalized findings are recorded as advisory.
+	VerifyReads bool
 	// Trace, when non-nil, records the underlying sweep/flush span trees.
 	Trace *telemetry.Tracer
 }
@@ -156,6 +162,9 @@ func Run(sp Spec, opts Options) (*Result, error) {
 	for _, d := range deferred {
 		ex.evalGAs(d.index, d.gas)
 	}
+	if opts.VerifyReads {
+		ex.verifyReads()
+	}
 
 	ex.res.Ticks = len(ex.res.Schedule) - len(ex.res.Steps)
 	ex.res.Alarms, ex.res.Repairs = ex.alarms, ex.repairs
@@ -270,6 +279,33 @@ func degradedReport(rep core.Report) bool {
 		}
 	}
 	return true
+}
+
+// verifyReads runs the dynamic declared-reads oracle over the fleet's
+// state at the horizon: each host's current catalogue re-executes with
+// a host.ReadRecorder attached and the recorded state keys are compared
+// against the CheckStateKeys declarations (fleet.VerifyReads). Only
+// undeclared recorded reads are fatal — they are the reads the
+// dependency index would miss, i.e. observed push-mode unsoundness.
+// Overdeclared keys (short-circuiting on the current state) and
+// unlocalized checks (fault-wrapped catalogues drop the KeyReader
+// surface) stay advisory. Down hosts record nothing and therefore
+// surface at worst as advisory too.
+func (ex *executor) verifyReads() {
+	hosts := append([]*loadgen.Host(nil), ex.fleet.Hosts()...)
+	sort.Slice(hosts, func(a, b int) bool { return hosts[a].Name < hosts[b].Name })
+	fatal := 0
+	for _, h := range hosts {
+		for _, v := range fleet.VerifyReads(h.Catalog(), h.Linux) {
+			if v.Fatal() {
+				fatal++
+			}
+			ex.res.ReadViolations = append(ex.res.ReadViolations, fmt.Sprintf("%s: %s", h.Name, v))
+		}
+	}
+	ex.res.FatalReadViolations = fatal
+	ex.log("verify-reads: %d violation(s), %d fatal, over %d host(s)",
+		len(ex.res.ReadViolations), fatal, len(hosts))
 }
 
 // prune drops a departed host from the live view. Its open episodes are

@@ -55,10 +55,20 @@ type Result struct {
 	// Trace is the recorded signal log (compliance, failing, incomplete,
 	// alarms, repairs, alarm/repair pulses, custom signals).
 	Trace *trace.Trace
+	// ReadViolations holds the dynamic declared-reads oracle's findings
+	// ("host: finding: kind [keys] ..."), sorted by host, when
+	// Options.VerifyReads was set; FatalReadViolations counts the
+	// undeclared-read subset, which fails the run.
+	ReadViolations      []string
+	FatalReadViolations int
 }
 
-// Failed reports whether any assertion step failed.
+// Failed reports whether any assertion step failed or the declared-reads
+// oracle observed an undeclared read.
 func (r *Result) Failed() bool {
+	if r.FatalReadViolations > 0 {
+		return true
+	}
 	for _, s := range r.Steps {
 		if !s.OK {
 			return true
@@ -117,6 +127,13 @@ func (r *Result) Report() string {
 			}
 			fmt.Fprintf(&b, "    %-7s %s (activations=%d violations=%d)\n",
 				verdict, v.GA.Name, v.Activations, len(v.Violations))
+		}
+	}
+	if len(r.ReadViolations) > 0 {
+		fmt.Fprintf(&b, "  declared-reads oracle: %d violation(s), %d fatal\n",
+			len(r.ReadViolations), r.FatalReadViolations)
+		for _, v := range r.ReadViolations {
+			fmt.Fprintf(&b, "    %s\n", v)
 		}
 	}
 	fmt.Fprintf(&b, "  final: compliance=%.4f alarms=%d repairs=%d verdicts=%d\n",

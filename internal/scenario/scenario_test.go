@@ -253,6 +253,54 @@ func TestFaultsAndHeal(t *testing.T) {
 	}
 }
 
+// TestVerifyReadsOracle pins the post-run declared-reads oracle: on a
+// pristine catalogue the run is clean; on a fleet left with a
+// fault-wrapped catalogue (the wrapper drops the KeyReader surface) the
+// oracle reports advisory unlocalized findings without failing the run
+// — only undeclared reads are fatal.
+func TestVerifyReadsOracle(t *testing.T) {
+	clean := testSpec("vr-clean", 2, 3, []Step{
+		{At: at(100), Do: "config", On: "#0", File: "/etc/login.defs", Key: "ENCRYPT_METHOD", Value: "MD5"},
+		{At: at(600), Expect: "compliance", Op: "<", Num: 1},
+	})
+	for _, push := range []bool{false, true} {
+		res, err := Run(clean, Options{Push: push, VerifyReads: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			t.Fatalf("push=%v:\n%s", push, res.Report())
+		}
+		if len(res.ReadViolations) != 0 {
+			t.Fatalf("push=%v: clean fleet reported %v", push, res.ReadViolations)
+		}
+	}
+
+	faulty := testSpec("vr-faulty", 2, 3, []Step{
+		{At: at(300), Do: "faults", On: "#0", FailFirst: 1},
+		{At: at(900), Expect: "compliance", Op: "<=", Num: 1},
+	})
+	res, err := Run(faulty, Options{VerifyReads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FatalReadViolations != 0 {
+		t.Fatalf("fault wrappers must stay advisory:\n%s", res.Report())
+	}
+	if res.Failed() {
+		t.Fatalf("advisory violations failed the run:\n%s", res.Report())
+	}
+	advisory := false
+	for _, v := range res.ReadViolations {
+		if strings.Contains(v, "unlocalized") {
+			advisory = true
+		}
+	}
+	if !advisory {
+		t.Fatalf("fault-wrapped catalogue produced no unlocalized advisory: %v", res.ReadViolations)
+	}
+}
+
 func TestUnreachableHostDegradation(t *testing.T) {
 	sp := testSpec("outage", 3, 21, []Step{
 		{At: at(300), Do: "down", On: "#1"},

@@ -58,6 +58,15 @@ func (r *PatchRequirement) Check() core.CheckStatus {
 	return core.CheckBool(CompareVersions(r.Host.Version(r.Advisory.Package), r.Advisory.FixedIn) >= 0)
 }
 
+// CheckStateKeys declares the single package slot Check reads, making
+// patch requirements localizable in fleet.DepIndex: a push-mode fleet
+// re-evaluates the advisory only when its package changes. (Found by
+// the keyreads analyzer: before PR 10 this type was unindexed and every
+// host event conservatively re-ran the whole advisory catalogue.)
+func (r *PatchRequirement) CheckStateKeys() []string {
+	return []string{host.PackageKey(r.Advisory.Package).String()}
+}
+
 // Enforce upgrades the package to the fixed version, or removes it when no
 // fix exists, verifying the mutation took effect.
 func (r *PatchRequirement) Enforce() core.EnforcementStatus {
@@ -85,6 +94,7 @@ func (r *PatchRequirement) String() string {
 }
 
 var _ core.CheckableEnforceableRequirement = (*PatchRequirement)(nil)
+var _ core.KeyReader = (*PatchRequirement)(nil)
 
 // Catalog generates one requirement per advisory matching the host and
 // registers them in an RQCODE catalogue, ready for the same audit/enforce
